@@ -1,0 +1,77 @@
+// Command morphbench regenerates the paper's evaluation figures as CSV.
+//
+// Usage:
+//
+//	morphbench -fig 12a                     # one figure at laptop scale
+//	morphbench -fig 12a,13c -scale 0.01     # bigger graphs
+//	morphbench -all -quick                  # everything, quick variants
+//	morphbench -list                        # available experiments
+//
+// Scale 1.0 corresponds to the paper's full-size graphs (do not attempt
+// FR at 1.0 on a laptop). Output goes to stdout; progress to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"morphing/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "comma-separated experiment IDs (e.g. 12a,13c)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		scale   = flag.Float64("scale", 0.004, "dataset scale factor (1.0 = paper size)")
+		threads = flag.Int("threads", 0, "engine worker threads (0 = GOMAXPROCS)")
+		seed    = flag.Int64("seed", 1, "random seed for datasets and workloads")
+		quick   = flag.Bool("quick", true, "restrict to the cheaper graphs/patterns")
+		samples = flag.Int("samples", 0, "alternative-set samples for fig 15e (0 = paper's 250, or 40 in quick mode)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := bench.Config{
+		Scale:   *scale,
+		Threads: *threads,
+		Seed:    *seed,
+		Quick:   *quick,
+		Samples: *samples,
+	}
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range bench.Registry() {
+			ids = append(ids, e.ID)
+		}
+	case *fig != "":
+		ids = strings.Split(*fig, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "morphbench: pass -fig <id>[,<id>...], -all, or -list")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		e, err := bench.ByID(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "== fig %s: %s (scale=%v quick=%v)\n", e.ID, e.Title, cfg.Scale, cfg.Quick)
+		fmt.Printf("# experiment %s: %s\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "morphbench: experiment %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "== fig %s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

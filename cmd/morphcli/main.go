@@ -1,0 +1,228 @@
+// Command morphcli inspects the morphing machinery interactively:
+// patterns, their matching plans, their S-DAGs, the Fig. 7 conversion
+// identities, and the alternative set the cost model would select for a
+// query on a given dataset.
+//
+// Usage:
+//
+//	morphcli pattern 4-cycle                 # structure, symmetries, plan
+//	morphcli equation tailed-triangle        # the SM-E / SM-V identities
+//	morphcli sdag p4 p5                      # superpattern lattice
+//	morphcli transform -graph MI -scale .01 4-cycle:v 4-star:v
+//
+// Patterns are named (see `morphcli names`) or written in the codec form
+// "n=4;e=0-1,1-2,2-3,3-0;v"; a ":v" suffix on a name selects the
+// vertex-induced variant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"morphing/internal/canon"
+	"morphing/internal/core"
+	"morphing/internal/costmodel"
+	"morphing/internal/dataset"
+	"morphing/internal/graph"
+	"morphing/internal/pattern"
+	"morphing/internal/plan"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "pattern":
+		err = cmdPattern(args)
+	case "equation":
+		err = cmdEquation(args)
+	case "sdag":
+		err = cmdSDAG(args)
+	case "transform":
+		err = cmdTransform(args)
+	case "names":
+		cmdNames()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "morphcli:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: morphcli <pattern|equation|sdag|transform|names> [args]`)
+}
+
+func cmdNames() {
+	fmt.Println("figure-1 patterns:")
+	for _, np := range pattern.Fig1Patterns() {
+		fmt.Printf("  %-18s %s\n", np.Name, np.Pattern)
+	}
+	fmt.Println("evaluation patterns (fig 11a stand-ins):")
+	for _, np := range pattern.Fig11Patterns() {
+		fmt.Printf("  %-18s %s\n", np.Name, np.Pattern)
+	}
+}
+
+// resolve parses a pattern argument: a known name (optionally with a :v
+// suffix) or codec text.
+func resolve(arg string) (*pattern.Pattern, error) {
+	vertexInduced := false
+	name := arg
+	if strings.HasSuffix(arg, ":v") {
+		vertexInduced = true
+		name = strings.TrimSuffix(arg, ":v")
+	}
+	p, err := pattern.ByName(name)
+	if err != nil {
+		p, err = pattern.Parse(arg)
+		if err != nil {
+			return nil, fmt.Errorf("%q is neither a named pattern nor codec text", arg)
+		}
+		return p, nil
+	}
+	if vertexInduced {
+		p = p.AsVertexInduced()
+	}
+	return p, nil
+}
+
+func cmdPattern(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("pattern takes exactly one argument")
+	}
+	p, err := resolve(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pattern:     %s (%s)\n", p, p.Induced())
+	fmt.Printf("vertices:    %d   edges: %d   anti-edges: %d\n",
+		p.N(), p.EdgeCount(), len(p.AntiEdgePairs()))
+	fmt.Printf("clique:      %v   connected: %v\n", p.IsClique(), p.IsConnected())
+	auts := canon.Automorphisms(p)
+	fmt.Printf("|Aut|:       %d\n", len(auts))
+	fmt.Printf("canonical:   %s (id %x)\n", canon.Canonicalize(p), canon.StructureID(p))
+	conds := plan.SymmetryConditions(p)
+	fmt.Printf("symmetry:    %d breaking conditions %v\n", len(conds), conds)
+	pl, err := plan.Build(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("match order: %v\n", pl.Order)
+	for i := range pl.Order {
+		fmt.Printf("  level %d: bind v%-2d intersect=%v difference=%v greater=%v smaller=%v\n",
+			i, pl.Order[i], pl.Connect[i], pl.Disconnect[i], pl.Greater[i], pl.Smaller[i])
+	}
+	return nil
+}
+
+func cmdEquation(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("equation takes exactly one argument")
+	}
+	p, err := resolve(args[0])
+	if err != nil {
+		return err
+	}
+	d, err := core.BuildSDAG([]*pattern.Pattern{p})
+	if err != nil {
+		return err
+	}
+	eqE, err := core.EdgeInducedEquation(d, p)
+	if err != nil {
+		return err
+	}
+	eqV, err := core.VertexInducedEquation(d, p)
+	if err != nil {
+		return err
+	}
+	fmt.Println(eqE)
+	fmt.Println(eqV)
+	return nil
+}
+
+func cmdSDAG(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("sdag needs at least one pattern")
+	}
+	queries := make([]*pattern.Pattern, 0, len(args))
+	for _, a := range args {
+		p, err := resolve(a)
+		if err != nil {
+			return err
+		}
+		queries = append(queries, p)
+	}
+	d, err := core.BuildSDAG(queries)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("S-DAG: %d structures\n", d.Len())
+	for _, n := range d.Nodes() {
+		fmt.Printf("  %-40s edges=%-2d parents=%d children=%d\n",
+			n.Pattern, n.Pattern.EdgeCount(), len(n.Parents), len(n.Children))
+	}
+	return nil
+}
+
+func cmdTransform(args []string) error {
+	fs := flag.NewFlagSet("transform", flag.ContinueOnError)
+	graphName := fs.String("graph", "MI", "dataset recipe (MI, MG, PR, OK, FR)")
+	scale := fs.Float64("scale", 0.01, "dataset scale factor")
+	perMatch := fs.Float64("permatch", 0, "aggregation cost per match for the model")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("transform needs at least one pattern")
+	}
+	queries := make([]*pattern.Pattern, 0, fs.NArg())
+	for _, a := range fs.Args() {
+		p, err := resolve(a)
+		if err != nil {
+			return err
+		}
+		queries = append(queries, p)
+	}
+	r, err := dataset.ByName(*graphName)
+	if err != nil {
+		return err
+	}
+	g, err := r.Scaled(*scale).Generate()
+	if err != nil {
+		return err
+	}
+	d, err := core.BuildSDAG(queries)
+	if err != nil {
+		return err
+	}
+	model := costmodel.NewDefault(graph.Summarize(g))
+	sel, err := core.Select(d, queries, core.DefaultCostFunc(model, *perMatch), core.PolicyAny, core.SelectOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph %s at scale %v: %d vertices, %d edges\n",
+		*graphName, *scale, g.NumVertices(), g.NumEdges())
+	fmt.Printf("modeled cost: %.0f -> %.0f\n", sel.CostBefore, sel.CostAfter)
+	for i, q := range sel.Queries {
+		status := "as-is"
+		if q.Morphed {
+			status = "morphed"
+		}
+		fmt.Printf("query %d: %s  [%s]\n", i, q.Pattern, status)
+	}
+	fmt.Println("alternative pattern set:")
+	for _, c := range sel.Mine {
+		fmt.Printf("  mine %s\n", c.Pattern)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module morphing
+
+go 1.22

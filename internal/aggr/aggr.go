@@ -1,0 +1,284 @@
+// Package aggr defines the aggregation abstraction of the morphing
+// algebra (§4.3): an aggregation a = (λ, ⊕) maps match sets to values and
+// combines them with a commutative operator. Result transformation needs
+// two extra capabilities: a permute operator ◦* that adjusts a value under
+// an isomorphic vertex remapping (Eq. 2), and — for conversions in the
+// subtractive direction (deriving vertex-induced results from edge-induced
+// alternatives) — an inverse ⊖.
+//
+// Two aggregations cover the paper's applications: Count (subgraph
+// counting, motif counting; invertible) and MNI (frequent subgraph mining
+// support [8]; idempotent but not invertible).
+package aggr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is an aggregation value. Each Aggregation documents its concrete
+// type: uint64 for Count, *Table for MNI.
+type Value any
+
+// Aggregation is the (λ, ⊕) pair plus the permute operator.
+//
+// Contract for result conversion (see internal/core):
+//   - Combine must be commutative and associative with Zero as identity.
+//   - If Idempotent() is false, per-match values must be invariant under
+//     pattern automorphisms; conversion then applies one isomorphism per
+//     automorphism coset (copy multiplicity).
+//   - If Idempotent() is true (Combine(a,a) == a), conversion applies every
+//     isomorphism, which saturates values across symmetric positions (the
+//     behaviour MNI requires).
+type Aggregation interface {
+	// Name identifies the aggregation in errors and logs.
+	Name() string
+	// Zero returns the identity of Combine.
+	Zero() Value
+	// Combine is ⊕.
+	Combine(a, b Value) Value
+	// Permute is ◦*: reindex v from a source pattern to a target pattern
+	// through the isomorphism f, where f[i] is the source vertex that
+	// target vertex i maps to.
+	Permute(v Value, f []int) Value
+	// Idempotent reports whether Combine(a, a) == a.
+	Idempotent() bool
+}
+
+// Invertible aggregations additionally support ⊖, enabling the subtractive
+// conversion direction (computing vertex-induced results from edge-induced
+// alternatives). Counting is invertible; MNI is not — the selection logic
+// uses this to constrain alternative variants.
+type Invertible interface {
+	Aggregation
+	// Uncombine returns total ⊖ part. It panics if part is not contained
+	// in total (an algebra-invariant violation, not a runtime condition).
+	Uncombine(total, part Value) Value
+}
+
+// Count aggregates matches by counting them. Values are uint64.
+type Count struct{}
+
+var _ Invertible = Count{}
+
+// Name implements Aggregation.
+func (Count) Name() string { return "count" }
+
+// Zero implements Aggregation.
+func (Count) Zero() Value { return uint64(0) }
+
+// Combine implements Aggregation.
+func (Count) Combine(a, b Value) Value { return a.(uint64) + b.(uint64) }
+
+// Permute implements Aggregation: counts are invariant under vertex
+// remapping.
+func (Count) Permute(v Value, f []int) Value { return v }
+
+// Idempotent implements Aggregation.
+func (Count) Idempotent() bool { return false }
+
+// Uncombine implements Invertible.
+func (Count) Uncombine(total, part Value) Value {
+	t, p := total.(uint64), part.(uint64)
+	if p > t {
+		panic(fmt.Sprintf("aggr: count underflow: %d - %d", t, p))
+	}
+	return t - p
+}
+
+// Scale multiplies a count by an integer coefficient (the copy counts in
+// the morphing equations of Fig. 7). It is Count-specific: general
+// aggregations express multiplicity by repeated Combine.
+func (Count) Scale(v Value, k uint64) Value { return v.(uint64) * k }
+
+// MNI aggregates matches into minimum-node-image tables [8]. Values are
+// *Table. MNI is idempotent (column union) and has no inverse.
+type MNI struct{}
+
+var _ Aggregation = MNI{}
+
+// Name implements Aggregation.
+func (MNI) Name() string { return "mni" }
+
+// Zero implements Aggregation: an empty table adapts its width on first
+// Combine.
+func (MNI) Zero() Value { return &Table{} }
+
+// Combine implements Aggregation by column-wise union.
+func (MNI) Combine(a, b Value) Value {
+	ta, tb := a.(*Table), b.(*Table)
+	out := ta.Clone()
+	out.Merge(tb)
+	return out
+}
+
+// Permute implements Aggregation: column i of the result is column f[i]
+// of the source (Fig. 10).
+func (MNI) Permute(v Value, f []int) Value {
+	return v.(*Table).Permuted(f)
+}
+
+// Idempotent implements Aggregation.
+func (MNI) Idempotent() bool { return true }
+
+// Exists aggregates matches into a boolean: does at least one exist?
+// Values are bool. Like MNI it is idempotent (logical or) and has no
+// inverse, so morphing uses the additive direction only; it demonstrates
+// the algebra's generality over arbitrary (λ, ⊕) pairs (§4.3).
+type Exists struct{}
+
+var _ Aggregation = Exists{}
+
+// Name implements Aggregation.
+func (Exists) Name() string { return "exists" }
+
+// Zero implements Aggregation.
+func (Exists) Zero() Value { return false }
+
+// Combine implements Aggregation (logical or).
+func (Exists) Combine(a, b Value) Value { return a.(bool) || b.(bool) }
+
+// Permute implements Aggregation: existence is invariant under vertex
+// remapping.
+func (Exists) Permute(v Value, f []int) Value { return v }
+
+// Idempotent implements Aggregation.
+func (Exists) Idempotent() bool { return true }
+
+// Table is a minimum node image table: one column per pattern vertex
+// holding the set of data vertices bound to it across all matches. The
+// MNI support of a pattern is the size of its smallest column.
+type Table struct {
+	cols []map[uint32]struct{}
+}
+
+// NewTable returns an empty table with one column per pattern vertex.
+func NewTable(width int) *Table {
+	t := &Table{cols: make([]map[uint32]struct{}, width)}
+	for i := range t.cols {
+		t.cols[i] = make(map[uint32]struct{})
+	}
+	return t
+}
+
+// Width returns the number of columns (0 for the adaptive zero table).
+func (t *Table) Width() int { return len(t.cols) }
+
+// Insert records one match: m[i] joins column i.
+func (t *Table) Insert(m []uint32) {
+	t.ensure(len(m))
+	for i, v := range m {
+		t.cols[i][v] = struct{}{}
+	}
+}
+
+// InsertAll records a match under every automorphism of its pattern,
+// producing the full MNI semantics (every embedding, not just the
+// symmetry-broken representative the engine emits). auts come from
+// canon.Automorphisms.
+func (t *Table) InsertAll(m []uint32, auts [][]int) {
+	t.ensure(len(m))
+	for _, a := range auts {
+		for i, ai := range a {
+			t.cols[i][m[ai]] = struct{}{}
+		}
+	}
+}
+
+func (t *Table) ensure(width int) {
+	for len(t.cols) < width {
+		t.cols = append(t.cols, make(map[uint32]struct{}))
+	}
+}
+
+// Merge unions other into t column-wise.
+func (t *Table) Merge(other *Table) {
+	t.ensure(other.Width())
+	for i, col := range other.cols {
+		for v := range col {
+			t.cols[i][v] = struct{}{}
+		}
+	}
+}
+
+// Permuted returns a new table whose column i is t's column f[i].
+func (t *Table) Permuted(f []int) *Table {
+	out := NewTable(len(f))
+	for i, src := range f {
+		if src < len(t.cols) {
+			for v := range t.cols[src] {
+				out.cols[i][v] = struct{}{}
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (t *Table) Clone() *Table {
+	out := NewTable(len(t.cols))
+	for i, col := range t.cols {
+		for v := range col {
+			out.cols[i][v] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Support returns the MNI support: the size of the smallest column.
+// The empty table has support 0.
+func (t *Table) Support() int {
+	if len(t.cols) == 0 {
+		return 0
+	}
+	min := -1
+	for _, col := range t.cols {
+		if min == -1 || len(col) < min {
+			min = len(col)
+		}
+	}
+	return min
+}
+
+// Column returns the sorted contents of column i (for tests and output).
+func (t *Table) Column(i int) []uint32 {
+	if i >= len(t.cols) {
+		return nil
+	}
+	out := make([]uint32, 0, len(t.cols[i]))
+	for v := range t.cols[i] {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Equal reports column-wise equality.
+func (t *Table) Equal(other *Table) bool {
+	if t.Width() != other.Width() {
+		return false
+	}
+	for i, col := range t.cols {
+		if len(col) != len(other.cols[i]) {
+			return false
+		}
+		for v := range col {
+			if _, ok := other.cols[i][v]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the table compactly for diagnostics.
+func (t *Table) String() string {
+	s := "MNI{"
+	for i := range t.cols {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprint(t.Column(i))
+	}
+	return s + "}"
+}

@@ -1,0 +1,216 @@
+// Package fsm implements Frequent Subgraph Mining: level-wise exploration
+// of labeled edge-induced patterns whose minimum-node-image (MNI) support
+// [8] crosses a threshold (§2, Fig. 3, Fig. 9). FSM is the paper's
+// UDF-bound application: each match feeds an MNI table, so morphing wins
+// by steering expensive patterns toward vertex-induced variants with
+// fewer matches — and therefore fewer UDF invocations (§7.2).
+package fsm
+
+import (
+	"fmt"
+	"sort"
+
+	"morphing/internal/canon"
+	"morphing/internal/core"
+	"morphing/internal/engine"
+	"morphing/internal/graph"
+	"morphing/internal/pattern"
+)
+
+// Options configures a mining run.
+type Options struct {
+	// MaxEdges bounds pattern growth: k-FSM in the paper mines patterns
+	// with up to k edges (3-FSM explores the three 3-edge topologies).
+	MaxEdges int
+	// MinSupport is the MNI support threshold.
+	MinSupport int
+	// Morph toggles Subgraph Morphing.
+	Morph bool
+	// PerMatchCost tells the cost model how expensive the MNI UDF is per
+	// match; 0 picks a default proportional to the graph size (the paper
+	// uses O(|V|) as the MNI merge hint, §5.2).
+	PerMatchCost float64
+}
+
+// Frequent is one output pattern with its support.
+type Frequent struct {
+	Pattern *pattern.Pattern
+	Support int
+}
+
+// Stats aggregates mining work across all levels.
+type Stats struct {
+	Levels     int
+	Candidates int
+	Mining     engine.Stats
+	Runs       []*core.RunStats
+}
+
+// Mine runs level-wise FSM on g: frequent single-edge patterns are
+// extended one edge at a time (both closing edges and new labeled
+// vertices), candidates are deduplicated canonically, and each level's
+// batch is evaluated through the morphing pipeline (or directly when
+// morphing is off). The dynamic, data-dependent query sets are exactly
+// why pattern transformation must run at runtime (§5).
+func Mine(g *graph.Graph, eng engine.Engine, opts Options) ([]Frequent, *Stats, error) {
+	if opts.MaxEdges < 1 {
+		return nil, nil, fmt.Errorf("fsm: MaxEdges must be positive")
+	}
+	if opts.MinSupport < 1 {
+		return nil, nil, fmt.Errorf("fsm: MinSupport must be positive")
+	}
+	perMatch := opts.PerMatchCost
+	if perMatch == 0 {
+		// The paper's hint: merging MNI tables costs O(|V(G)|).
+		perMatch = float64(g.NumVertices()) / 1000
+	}
+	runner := &core.Runner{Engine: eng, DisableMorphing: !opts.Morph, PerMatchCost: perMatch}
+	stats := &Stats{}
+
+	labels := frequentLabels(g, opts.MinSupport)
+	candidates := seedPatterns(g, labels)
+	var frequent []Frequent
+	seenFrequent := map[uint64]bool{}
+
+	for level := 1; level <= opts.MaxEdges && len(candidates) > 0; level++ {
+		stats.Levels++
+		stats.Candidates += len(candidates)
+		tables, run, err := runner.MNITables(g, candidates)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.Runs = append(stats.Runs, run)
+		if run.Mining != nil {
+			stats.Mining.Add(run.Mining)
+		}
+		var survivors []*pattern.Pattern
+		for i, tbl := range tables {
+			sup := tbl.Support()
+			if sup >= opts.MinSupport {
+				survivors = append(survivors, candidates[i])
+				id := canon.StructureID(candidates[i])
+				if !seenFrequent[id] {
+					seenFrequent[id] = true
+					frequent = append(frequent, Frequent{Pattern: candidates[i], Support: sup})
+				}
+			}
+		}
+		if level == opts.MaxEdges {
+			break
+		}
+		candidates = extend(survivors, labels, opts.MaxEdges)
+	}
+	sort.Slice(frequent, func(i, j int) bool {
+		if frequent[i].Pattern.EdgeCount() != frequent[j].Pattern.EdgeCount() {
+			return frequent[i].Pattern.EdgeCount() < frequent[j].Pattern.EdgeCount()
+		}
+		return frequent[i].Support > frequent[j].Support
+	})
+	return frequent, stats, nil
+}
+
+// frequentLabels returns the labels whose vertex frequency alone could
+// support a frequent pattern (an admissible pruning: MNI support is
+// bounded by vertex counts per label). Unlabeled graphs yield the single
+// wildcard label.
+func frequentLabels(g *graph.Graph, minSupport int) []int32 {
+	if !g.Labeled() {
+		return []int32{pattern.Unlabeled}
+	}
+	freq := map[int32]int{}
+	for v := 0; v < g.NumVertices(); v++ {
+		freq[g.Label(uint32(v))]++
+	}
+	var out []int32
+	for l, c := range freq {
+		if c >= minSupport {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// seedPatterns builds the level-1 candidates: one single-edge pattern per
+// unordered frequent label pair that actually occurs in g.
+func seedPatterns(g *graph.Graph, labels []int32) []*pattern.Pattern {
+	ok := map[int32]bool{}
+	for _, l := range labels {
+		ok[l] = true
+	}
+	type pair struct{ a, b int32 }
+	present := map[pair]bool{}
+	for v := 0; v < g.NumVertices(); v++ {
+		lv := g.Label(uint32(v))
+		if !ok[lv] {
+			continue
+		}
+		for _, u := range g.Neighbors(uint32(v)) {
+			lu := g.Label(u)
+			if !ok[lu] || lv > lu {
+				continue
+			}
+			present[pair{lv, lu}] = true
+		}
+	}
+	pairs := make([]pair, 0, len(present))
+	for p := range present {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	out := make([]*pattern.Pattern, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, pattern.MustNew(2, [][2]int{{0, 1}},
+			pattern.WithLabels([]int32{p.a, p.b})))
+	}
+	return out
+}
+
+// extend produces the next level's candidates from this level's frequent
+// patterns: every one-edge extension, closing a non-edge or attaching a
+// new vertex with a frequent label, deduplicated canonically.
+func extend(frequent []*pattern.Pattern, labels []int32, maxEdges int) []*pattern.Pattern {
+	seen := map[uint64]bool{}
+	var out []*pattern.Pattern
+	add := func(p *pattern.Pattern) {
+		if p.EdgeCount() > maxEdges {
+			return
+		}
+		id := canon.StructureID(p)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, canon.Canonicalize(p))
+		}
+	}
+	for _, p := range frequent {
+		for _, ne := range p.NonEdges() {
+			if q, err := p.WithExtraEdge(ne[0], ne[1]); err == nil {
+				add(q)
+			}
+		}
+		if p.N() < pattern.MaxVertices {
+			for u := 0; u < p.N(); u++ {
+				for _, l := range labels {
+					newLabels := append(p.Labels(), l)
+					edges := append(p.Edges(), [2]int{u, p.N()})
+					q, err := pattern.New(p.N()+1, edges, pattern.WithLabels(newLabels))
+					if err == nil {
+						add(q)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EdgeCount() != out[j].EdgeCount() {
+			return out[i].EdgeCount() < out[j].EdgeCount()
+		}
+		return canon.StructureID(out[i]) < canon.StructureID(out[j])
+	})
+	return out
+}

@@ -1,0 +1,53 @@
+// Package sc implements Subgraph Counting: counting the matches of an
+// explicit set of query patterns (§7.1, Fig. 13a). Unlike motif counting,
+// the superpatterns that morphing introduces are generally not part of
+// the input set, so the selection algorithm must weigh the cost of mining
+// extra patterns against the anti-edge savings.
+package sc
+
+import (
+	"fmt"
+
+	"morphing/internal/core"
+	"morphing/internal/engine"
+	"morphing/internal/graph"
+	"morphing/internal/pattern"
+)
+
+// Count returns the number of matches of each query pattern in g. With
+// morph enabled, queries go through Subgraph Morphing; engines without
+// native vertex-induced support (GraphPi/BigJoin models) then compute
+// vertex-induced counts UDF-free via edge-induced alternatives (§7.2).
+func Count(g *graph.Graph, queries []*pattern.Pattern, eng engine.Engine, morph bool) ([]uint64, *core.RunStats, error) {
+	if len(queries) == 0 {
+		return nil, nil, fmt.Errorf("sc: empty query set")
+	}
+	r := &core.Runner{Engine: eng, DisableMorphing: !morph}
+	return r.Counts(g, queries)
+}
+
+// CountBaselineWithFilter is the pre-morphing strategy for vertex-induced
+// queries on engines lacking anti-edge support: match the edge-induced
+// variant and reject matches with extra edges through a Filter UDF
+// (Fig. 4d-e). filterer is the engine-specific filter entry point.
+func CountBaselineWithFilter(g *graph.Graph, queries []*pattern.Pattern, filterer FilterEngine) ([]uint64, *engine.Stats, error) {
+	counts := make([]uint64, len(queries))
+	total := &engine.Stats{}
+	for i, q := range queries {
+		if q.Induced() != pattern.VertexInduced {
+			return nil, nil, fmt.Errorf("sc: filter baseline requires vertex-induced queries, got %v", q)
+		}
+		c, st, err := filterer.CountVertexInducedViaFilter(g, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		counts[i] = c
+		total.Add(st)
+	}
+	return counts, total, nil
+}
+
+// FilterEngine is satisfied by the GraphPi and BigJoin models.
+type FilterEngine interface {
+	CountVertexInducedViaFilter(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error)
+}

@@ -1,0 +1,154 @@
+package se
+
+import (
+	"math"
+	"testing"
+
+	"morphing/internal/dataset"
+	"morphing/internal/graphpi"
+	"morphing/internal/pattern"
+	"morphing/internal/peregrine"
+	"morphing/internal/refmatch"
+)
+
+func TestEnumerateMorphedEqualsBaseline(t *testing.T) {
+	g, err := dataset.ErdosRenyi(60, 8, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []*pattern.Pattern{
+		pattern.FourCycle(),
+		pattern.TailedTriangle(),
+	}
+	w := NewWeights(g, 10, 2, 7)
+	eng := peregrine.New(3)
+	base, err := Enumerate(g, eng, queries, w.WithinOneStd, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	morphed, err := Enumerate(g, eng, queries, w.WithinOneStd, nil, Options{Morph: true, PerMatchCost: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if base.Delivered[i] != morphed.Delivered[i] {
+			t.Errorf("query %v: baseline delivered %d, morphed %d",
+				queries[i], base.Delivered[i], morphed.Delivered[i])
+		}
+		total := base.Delivered[i] + base.Filtered[i]
+		if want := refmatch.Count(g, queries[i]); total != want {
+			t.Errorf("query %v: %d total matches, oracle %d", queries[i], total, want)
+		}
+	}
+	if morphed.Selection == nil {
+		t.Fatal("morphed run missing selection")
+	}
+}
+
+func TestEnumerateTrivialFilter(t *testing.T) {
+	g, err := dataset.ErdosRenyi(40, 6, 0, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := func([]uint32) bool { return true }
+	res, err := Enumerate(g, peregrine.New(2), []*pattern.Pattern{pattern.Triangle()}, all, nil, Options{Morph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := refmatch.Count(g, pattern.Triangle()); res.Delivered[0] != want {
+		t.Fatalf("delivered %d, want %d", res.Delivered[0], want)
+	}
+	if res.Filtered[0] != 0 {
+		t.Fatalf("trivial filter rejected %d", res.Filtered[0])
+	}
+}
+
+func TestEnumerateRejectsVertexInducedQueries(t *testing.T) {
+	g, err := dataset.ErdosRenyi(20, 4, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pattern.FourCycle().AsVertexInduced()
+	if _, err := Enumerate(g, peregrine.New(1), []*pattern.Pattern{q}, func([]uint32) bool { return true }, nil, Options{Morph: true}); err == nil {
+		t.Fatal("vertex-induced query accepted")
+	}
+}
+
+func TestEnumerateRequiresVertexCapableEngine(t *testing.T) {
+	g, err := dataset.ErdosRenyi(20, 4, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Enumerate(g, graphpi.New(1), []*pattern.Pattern{pattern.Triangle()},
+		func([]uint32) bool { return true }, nil, Options{Morph: true})
+	if err == nil {
+		t.Fatal("morphing enumeration accepted on an edge-only engine")
+	}
+}
+
+func TestWeights(t *testing.T) {
+	g, err := dataset.ErdosRenyi(5000, 4, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWeights(g, 100, 15, 9)
+	if len(w.W) != g.NumVertices() {
+		t.Fatal("weight count mismatch")
+	}
+	mean := 0.0
+	for _, x := range w.W {
+		mean += x
+	}
+	mean /= float64(len(w.W))
+	if math.Abs(mean-100) > 2 {
+		t.Fatalf("sample mean %v far from 100", mean)
+	}
+	// Determinism.
+	w2 := NewWeights(g, 100, 15, 9)
+	for i := range w.W {
+		if w.W[i] != w2.W[i] {
+			t.Fatal("weights not deterministic")
+		}
+	}
+	// The one-std filter keeps roughly the right fraction of single
+	// vertices (~68%).
+	kept := 0
+	for v := uint32(0); v < uint32(g.NumVertices()); v++ {
+		if w.WithinOneStd([]uint32{v}) {
+			kept++
+		}
+	}
+	frac := float64(kept) / float64(g.NumVertices())
+	if frac < 0.6 || frac > 0.76 {
+		t.Fatalf("one-std filter kept %v of vertices, want ~0.68", frac)
+	}
+}
+
+func TestMorphingReducesUDFCalls(t *testing.T) {
+	// The §7.3 claim at test scale: vertex-induced alternatives have
+	// fewer matches, so the filter UDF runs fewer times.
+	g, err := dataset.MiCo().Scaled(0.01).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []*pattern.Pattern{pattern.FourCycle(), pattern.Path(4)}
+	w := NewWeights(g, 0, 1, 5)
+	eng := peregrine.New(2)
+	base, err := Enumerate(g, eng, queries, w.WithinOneStd, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	morphed, err := Enumerate(g, eng, queries, w.WithinOneStd, nil, Options{Morph: true, PerMatchCost: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if morphed.Stats.UDFCalls >= base.Stats.UDFCalls {
+		t.Errorf("morphing did not reduce UDF calls: %d >= %d",
+			morphed.Stats.UDFCalls, base.Stats.UDFCalls)
+	}
+	for i := range queries {
+		if base.Delivered[i] != morphed.Delivered[i] {
+			t.Errorf("query %v: results diverged", queries[i])
+		}
+	}
+}

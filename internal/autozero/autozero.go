@@ -1,0 +1,400 @@
+// Package autozero models the paper's in-house AutoZero system: the
+// compilation-based scheduling of AutoMine [40] combined with GraphZero's
+// symmetry-breaking restrictions [39], augmented (as the paper does) with
+// schedule merging — the nested-loop schedules of multiple input patterns
+// are merged on common prefixes so overlapping loops execute once, while
+// conflicting restrictions are applied separately to avoid under-counting.
+// Instead of generating and compiling C++ like the original, schedules are
+// compact structs executed by an interpreter: the schedule trie.
+//
+// Merging is what makes AutoZero the best case for Subgraph Morphing
+// (§7.1): the extra superpatterns that morphing introduces share loop
+// prefixes with the query patterns, so they come almost for free.
+package autozero
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"morphing/internal/engine"
+	"morphing/internal/graph"
+	"morphing/internal/pattern"
+	"morphing/internal/plan"
+	"morphing/internal/setops"
+)
+
+// Engine is an AutoZero-model matching engine.
+type Engine struct {
+	// Threads is the worker count (0 = GOMAXPROCS).
+	Threads int
+	// Instrument enables phase timings.
+	Instrument bool
+}
+
+var _ engine.Engine = (*Engine)(nil)
+
+// New returns an engine with the given worker count.
+func New(threads int) *Engine { return &Engine{Threads: threads} }
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "AutoZero" }
+
+// SupportsInduced implements engine.Engine: schedules express anti-edges
+// as set differences, so both semantics are supported.
+func (e *Engine) SupportsInduced(pattern.Induced) bool { return true }
+
+// order is AutoZero's scheduling heuristic: always extend with the
+// highest-degree connected vertex, ignoring how many bound vertices it
+// connects back to. It intentionally differs from the Peregrine model's
+// heuristic so the two systems exhibit the distinct relative pattern
+// performance of observation 4 (§3.4).
+func order(p *pattern.Pattern) []int {
+	n := p.N()
+	out := make([]int, 0, n)
+	placed := make([]bool, n)
+	start := 0
+	for v := 1; v < n; v++ {
+		if p.Degree(v) > p.Degree(start) {
+			start = v
+		}
+	}
+	out = append(out, start)
+	placed[start] = true
+	for len(out) < n {
+		best, bestDeg := -1, -1
+		for v := 0; v < n; v++ {
+			if placed[v] {
+				continue
+			}
+			connected := false
+			for _, u := range out {
+				if p.HasEdge(v, u) {
+					connected = true
+					break
+				}
+			}
+			if connected && p.Degree(v) > bestDeg {
+				best, bestDeg = v, p.Degree(v)
+			}
+		}
+		if best == -1 {
+			break // disconnected; caught by plan validation
+		}
+		out = append(out, best)
+		placed[best] = true
+	}
+	return out
+}
+
+// Count counts a single pattern (a one-pattern merged schedule).
+func (e *Engine) Count(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+	counts, st, err := e.CountAll(g, []*pattern.Pattern{p})
+	if err != nil {
+		return 0, nil, err
+	}
+	return counts[0], st, nil
+}
+
+// Match streams matches of one pattern. Enumeration schedules are not
+// merged (AutoMine streams pattern by pattern); execution reuses the
+// generic backtracking executor over AutoZero's schedule order.
+func (e *Engine) Match(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
+	pl, err := plan.BuildWithOrder(p, order(p))
+	if err != nil {
+		return nil, fmt.Errorf("autozero: %w", err)
+	}
+	_, st, err := engine.Backtrack(g, pl, visit, engine.ExecOptions{Threads: e.Threads, Instrument: e.Instrument})
+	return st, err
+}
+
+// CountAll compiles all patterns into one merged schedule trie and
+// executes it in a single pass: schedules sharing loop prefixes share
+// candidate computation, and conflicting symmetry restrictions stay on
+// separate branches so nothing is under-counted.
+func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
+	start := time.Now()
+	if len(ps) == 0 {
+		return nil, &engine.Stats{}, nil
+	}
+	var tr trie
+	maxDepth := 0
+	for idx, p := range ps {
+		pl, err := plan.BuildWithOrder(p, order(p))
+		if err != nil {
+			return nil, nil, fmt.Errorf("autozero: pattern %d: %w", idx, err)
+		}
+		tr.insert(pl, idx)
+		if p.N() > maxDepth {
+			maxDepth = p.N()
+		}
+	}
+
+	threads := engine.ExecOptions{Threads: e.Threads}.ThreadCount()
+	n := g.NumVertices()
+	blockSize := 256
+	if n/threads < blockSize*8 {
+		blockSize = n/(threads*8) + 1
+	}
+	numBlocks := (n + blockSize - 1) / blockSize
+	maxDeg := g.MaxDegree()
+
+	var cursor int64
+	var wg sync.WaitGroup
+	workers := make([]*azWorker, threads)
+	for t := 0; t < threads; t++ {
+		workers[t] = newAZWorker(g, len(ps), maxDepth, maxDeg, e.Instrument)
+	}
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(w *azWorker) {
+			defer wg.Done()
+			for {
+				b := int(atomic.AddInt64(&cursor, 1)) - 1
+				if b >= numBlocks {
+					return
+				}
+				lo := uint32(b * blockSize)
+				hi := uint32((b + 1) * blockSize)
+				if hi > uint32(n) {
+					hi = uint32(n)
+				}
+				w.runRoot(&tr, lo, hi)
+			}
+		}(workers[t])
+	}
+	wg.Wait()
+
+	counts := make([]uint64, len(ps))
+	st := &engine.Stats{}
+	for _, w := range workers {
+		for i, c := range w.counts {
+			counts[i] += c
+		}
+		w.st.SetOps += w.sst.Ops
+		w.st.SetElems += w.sst.Elems
+		st.Add(&w.st)
+	}
+	for _, c := range counts {
+		st.Matches += c
+	}
+	st.TotalTime = time.Since(start)
+	return counts, st, nil
+}
+
+// loopSig captures what determines a merged loop's candidate set given the
+// bound prefix: intersected levels, subtracted levels and label filter.
+// Symmetry restrictions are deliberately excluded so that loops merge even
+// when restrictions conflict.
+func loopSig(pl *plan.Plan, i int) string {
+	return fmt.Sprint(pl.Connect[i], pl.Disconnect[i], pl.Pattern.Label(pl.Order[i]))
+}
+
+func restrictSig(pl *plan.Plan, i int) string {
+	return fmt.Sprint(pl.Greater[i], pl.Smaller[i])
+}
+
+// trie is the merged schedule: a forest of depth-0 loops.
+type trie struct {
+	roots []*trieNode
+}
+
+// trieNode is one merged loop: a shared candidate computation with one or
+// more restriction branches hanging off it.
+type trieNode struct {
+	sig        string
+	connect    []int
+	disconnect []int
+	label      int32
+	branches   []*trieBranch
+}
+
+// trieBranch applies one restriction set to the enclosing loop's
+// candidates. Patterns agreeing on the loop but disagreeing on
+// restrictions live on sibling branches.
+type trieBranch struct {
+	sig      string
+	greater  []int
+	smaller  []int
+	enders   []int // indices of patterns whose last loop is this branch
+	children []*trieNode
+}
+
+func (t *trie) insert(pl *plan.Plan, idx int) {
+	nodes := &t.roots
+	var br *trieBranch
+	for i := 0; i < pl.Pattern.N(); i++ {
+		ls := loopSig(pl, i)
+		var node *trieNode
+		for _, c := range *nodes {
+			if c.sig == ls {
+				node = c
+				break
+			}
+		}
+		if node == nil {
+			node = &trieNode{
+				sig:        ls,
+				connect:    pl.Connect[i],
+				disconnect: pl.Disconnect[i],
+				label:      pl.Pattern.Label(pl.Order[i]),
+			}
+			*nodes = append(*nodes, node)
+		}
+		rs := restrictSig(pl, i)
+		br = nil
+		for _, b := range node.branches {
+			if b.sig == rs {
+				br = b
+				break
+			}
+		}
+		if br == nil {
+			br = &trieBranch{sig: rs, greater: pl.Greater[i], smaller: pl.Smaller[i]}
+			node.branches = append(node.branches, br)
+		}
+		nodes = &br.children
+	}
+	br.enders = append(br.enders, idx)
+	sort.Ints(br.enders)
+}
+
+type azWorker struct {
+	g          *graph.Graph
+	instrument bool
+	st         engine.Stats
+	sst        setops.Stats
+	counts     []uint64
+	match      []uint32
+	bufA       [][]uint32
+	bufB       [][]uint32
+}
+
+func newAZWorker(g *graph.Graph, patterns, maxDepth, maxDeg int, instrument bool) *azWorker {
+	w := &azWorker{
+		g:          g,
+		instrument: instrument,
+		counts:     make([]uint64, patterns),
+		match:      make([]uint32, maxDepth),
+		bufA:       make([][]uint32, maxDepth),
+		bufB:       make([][]uint32, maxDepth),
+	}
+	for i := 0; i < maxDepth; i++ {
+		w.bufA[i] = make([]uint32, 0, maxDeg)
+		w.bufB[i] = make([]uint32, 0, maxDeg)
+	}
+	return w
+}
+
+func (w *azWorker) runRoot(tr *trie, lo, hi uint32) {
+	for _, root := range tr.roots {
+		for v := lo; v < hi; v++ {
+			if root.label != pattern.Unlabeled && w.g.Label(v) != root.label {
+				continue
+			}
+			w.match[0] = v
+			// Depth-0 loops have no restrictions (no earlier levels).
+			for _, br := range root.branches {
+				for _, idx := range br.enders {
+					w.counts[idx]++
+				}
+				for _, child := range br.children {
+					w.exec(child, 1)
+				}
+			}
+		}
+	}
+}
+
+// exec runs a merged loop at the given depth: compute candidates once,
+// then per valid candidate evaluate each restriction branch, counting
+// enders and recursing into children. When no branch has children the
+// loop degenerates into pure counting (the fast path compiled schedules
+// end with).
+func (w *azWorker) exec(node *trieNode, depth int) {
+	cands := w.candidates(node, depth)
+
+	// Per-branch restriction windows depend only on the bound prefix, so
+	// compute them once per loop execution.
+	type window struct {
+		lower, upper       uint32
+		hasLower, hasUpper bool
+	}
+	wins := make([]window, len(node.branches))
+	for bi, br := range node.branches {
+		win := window{upper: ^uint32(0)}
+		for _, j := range br.greater {
+			if w.match[j] >= win.lower {
+				win.lower, win.hasLower = w.match[j], true
+			}
+		}
+		for _, j := range br.smaller {
+			if w.match[j] <= win.upper {
+				win.upper, win.hasUpper = w.match[j], true
+			}
+		}
+		wins[bi] = win
+	}
+
+	for _, v := range cands {
+		if node.label != pattern.Unlabeled && w.g.Label(v) != node.label {
+			continue
+		}
+		used := false
+		for j := 0; j < depth; j++ {
+			if w.match[j] == v {
+				used = true
+				break
+			}
+		}
+		if used {
+			continue
+		}
+		w.match[depth] = v
+		for bi, br := range node.branches {
+			win := wins[bi]
+			if win.hasLower && v <= win.lower || win.hasUpper && v >= win.upper {
+				continue
+			}
+			for _, idx := range br.enders {
+				w.counts[idx]++
+			}
+			for _, child := range br.children {
+				w.exec(child, depth+1)
+			}
+		}
+	}
+}
+
+func (w *azWorker) candidates(node *trieNode, depth int) []uint32 {
+	var t0 time.Time
+	if w.instrument {
+		t0 = time.Now()
+	}
+	base := node.connect[0]
+	for _, j := range node.connect[1:] {
+		if w.g.Degree(w.match[j]) < w.g.Degree(w.match[base]) {
+			base = j
+		}
+	}
+	cur := w.g.Neighbors(w.match[base])
+	out, spare := w.bufA[depth], w.bufB[depth]
+	for _, j := range node.connect {
+		if j == base {
+			continue
+		}
+		cur = setops.Intersect(out, cur, w.g.Neighbors(w.match[j]), &w.sst)
+		out, spare = spare, cur
+	}
+	for _, j := range node.disconnect {
+		cur = setops.Difference(out, cur, w.g.Neighbors(w.match[j]), &w.sst)
+		out, spare = spare, cur
+	}
+	w.bufA[depth], w.bufB[depth] = out, spare
+	if w.instrument {
+		w.st.SetOpTime += time.Since(t0)
+	}
+	return cur
+}

@@ -1,0 +1,398 @@
+// Package bigjoin models the BigJoin system [4]: subgraph queries
+// evaluated as worst-case optimal joins over a dataflow. Each pattern
+// vertex is an attribute bound by one pipeline stage; batches of prefix
+// tuples flow through channels from stage to stage, and every stage
+// extends each prefix by intersecting the adjacency lists of its bound
+// neighbors. The original runs distributed on Timely Dataflow; this model
+// keeps the dataflow structure (batched tuples, per-stage parallelism,
+// low-memory streaming) in-process with goroutines and channels.
+//
+// Like the real system, only edge-induced patterns are matched natively;
+// vertex-induced results need a Filter UDF (Fig. 4e) or Subgraph Morphing.
+package bigjoin
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+
+	"morphing/internal/engine"
+	"morphing/internal/graph"
+	"morphing/internal/pattern"
+	"morphing/internal/plan"
+	"morphing/internal/setops"
+)
+
+// Engine is a BigJoin-model matching engine.
+type Engine struct {
+	// Threads is the total worker budget across stages (0 = GOMAXPROCS).
+	Threads int
+	// BatchSize is the number of prefix tuples per dataflow batch
+	// (0 = 1024).
+	BatchSize int
+	// Instrument enables phase timings.
+	Instrument bool
+}
+
+var _ engine.Engine = (*Engine)(nil)
+
+// New returns an engine with the given worker budget.
+func New(threads int) *Engine { return &Engine{Threads: threads} }
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "BigJoin" }
+
+// SupportsInduced implements engine.Engine.
+func (e *Engine) SupportsInduced(iv pattern.Induced) bool {
+	return iv == pattern.EdgeInduced
+}
+
+// Count returns the number of unique edge-induced matches of p in g.
+func (e *Engine) Count(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+	return e.run(g, p, nil)
+}
+
+// CountAll counts each pattern independently (BigJoin evaluates one query
+// dataflow at a time).
+func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
+	counts := make([]uint64, len(ps))
+	total := &engine.Stats{}
+	for i, p := range ps {
+		c, st, err := e.Count(g, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		counts[i] = c
+		total.Add(st)
+	}
+	return counts, total, nil
+}
+
+// Match streams every unique edge-induced match of p to visit.
+func (e *Engine) Match(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
+	_, st, err := e.run(g, p, visit)
+	return st, err
+}
+
+// CountVertexInducedViaFilter counts vertex-induced matches the
+// pre-morphing way: run the edge-induced dataflow and append a Filter UDF
+// stage probing every non-adjacent pattern pair for extra edges
+// (Fig. 4e / Fig. 14b).
+func (e *Engine) CountVertexInducedViaFilter(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+	nonEdges := p.NonEdges()
+	threads := engine.ExecOptions{Threads: e.Threads}.ThreadCount()
+	type shard struct {
+		kept     uint64
+		branches uint64
+		_        [48]byte
+	}
+	shards := make([]shard, threads)
+	_, st, err := e.run(g, p.AsEdgeInduced(), func(worker int, m []uint32) {
+		s := &shards[worker%threads]
+		keep := true
+		for _, ne := range nonEdges {
+			u, v := m[ne[0]], m[ne[1]]
+			du, dv := g.Degree(u), g.Degree(v)
+			if dv < du {
+				du = dv
+			}
+			s.branches += uint64(bits.Len(uint(du))) + 1
+			if g.HasEdge(u, v) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			s.kept++
+		}
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	var kept uint64
+	for i := range shards {
+		kept += shards[i].kept
+		st.Branches += shards[i].branches
+	}
+	st.Matches = kept
+	return kept, st, nil
+}
+
+// batch is a block of prefix tuples: width consecutive entries of data per
+// tuple, tuples indexed by plan level.
+type batch struct {
+	data  []uint32
+	width int
+}
+
+func (b *batch) tuples() int { return len(b.data) / b.width }
+
+func (e *Engine) run(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (uint64, *engine.Stats, error) {
+	start := time.Now()
+	if p.HasExplicitAntiEdges() {
+		return 0, nil, fmt.Errorf("bigjoin: %w", engine.ErrInducedUnsupported)
+	}
+	if p.Induced() == pattern.VertexInduced {
+		if !p.IsClique() {
+			return 0, nil, fmt.Errorf("bigjoin: %w", engine.ErrInducedUnsupported)
+		}
+		p = p.AsEdgeInduced()
+	}
+	pl, err := plan.Build(p)
+	if err != nil {
+		return 0, nil, fmt.Errorf("bigjoin: %w", err)
+	}
+	k := p.N()
+	batchSize := e.BatchSize
+	if batchSize <= 0 {
+		batchSize = 1024
+	}
+	totalWorkers := engine.ExecOptions{Threads: e.Threads}.ThreadCount()
+
+	st := &engine.Stats{}
+	var total uint64
+
+	if k == 1 {
+		// Degenerate single-attribute query: no joins.
+		want := p.Label(0)
+		for v := uint32(0); v < uint32(g.NumVertices()); v++ {
+			if want != pattern.Unlabeled && g.Label(v) != want {
+				continue
+			}
+			total++
+			if visit != nil {
+				st.UDFCalls++
+				st.Materialized++
+				visit(0, []uint32{v})
+			}
+		}
+		st.Matches = total
+		st.TotalTime = time.Since(start)
+		return total, st, nil
+	}
+
+	// One extend stage per level 1..k-1, each with a share of the worker
+	// budget.
+	numStages := k - 1
+	perStage := totalWorkers / numStages
+	if perStage < 1 {
+		perStage = 1
+	}
+	chans := make([]chan *batch, k) // chans[i] feeds the stage binding level i
+	for i := 1; i < k; i++ {
+		chans[i] = make(chan *batch, 4*perStage)
+	}
+
+	workers := make([]*bjWorker, 0, numStages*perStage)
+	var stageWGs = make([]sync.WaitGroup, k)
+	globalID := 0
+	for level := 1; level < k; level++ {
+		var out chan *batch
+		if level+1 < k {
+			out = chans[level+1]
+		}
+		for wi := 0; wi < perStage; wi++ {
+			w := newBJWorker(globalID, g, pl, level, batchSize, out, visit, e.Instrument)
+			globalID++
+			workers = append(workers, w)
+			stageWGs[level].Add(1)
+			go func(w *bjWorker, in chan *batch, level int) {
+				defer stageWGs[level].Done()
+				for b := range in {
+					w.process(b)
+				}
+				w.flush()
+			}(w, chans[level], level)
+		}
+	}
+	// Stage closers: when all workers of a stage finish, close downstream.
+	for level := 1; level < k-1; level++ {
+		go func(level int) {
+			stageWGs[level].Wait()
+			close(chans[level+1])
+		}(level)
+	}
+
+	// Source: emit level-0 bindings in batches.
+	src := &batch{width: 1}
+	want := p.Label(pl.Order[0])
+	for v := uint32(0); v < uint32(g.NumVertices()); v++ {
+		if want != pattern.Unlabeled && g.Label(v) != want {
+			continue
+		}
+		src.data = append(src.data, v)
+		if src.tuples() >= batchSize {
+			chans[1] <- src
+			src = &batch{width: 1}
+		}
+	}
+	if len(src.data) > 0 {
+		chans[1] <- src
+	}
+	close(chans[1])
+	stageWGs[k-1].Wait()
+
+	for _, w := range workers {
+		total += w.count
+		w.st.SetOps += w.sst.Ops
+		w.st.SetElems += w.sst.Elems
+		st.Add(&w.st)
+	}
+	st.Matches = total
+	st.TotalTime = time.Since(start)
+	return total, st, nil
+}
+
+// bjWorker extends prefixes of length `level` by one binding.
+type bjWorker struct {
+	id         int
+	g          *graph.Graph
+	pl         *plan.Plan
+	level      int
+	last       bool
+	batchSize  int
+	out        chan *batch // nil at the last stage
+	visit      engine.Visitor
+	instrument bool
+
+	st       engine.Stats
+	sst      setops.Stats
+	count    uint64
+	pending  *batch
+	bufA     []uint32
+	bufB     []uint32
+	byVertex []uint32
+	label    int32
+}
+
+func newBJWorker(id int, g *graph.Graph, pl *plan.Plan, level, batchSize int, out chan *batch, visit engine.Visitor, instrument bool) *bjWorker {
+	k := pl.Pattern.N()
+	return &bjWorker{
+		id:         id,
+		g:          g,
+		pl:         pl,
+		level:      level,
+		last:       level == k-1,
+		batchSize:  batchSize,
+		out:        out,
+		visit:      visit,
+		instrument: instrument,
+		pending:    &batch{width: level + 1},
+		bufA:       make([]uint32, 0, 64),
+		bufB:       make([]uint32, 0, 64),
+		byVertex:   make([]uint32, k),
+		label:      pl.Pattern.Label(pl.Order[level]),
+	}
+}
+
+func (w *bjWorker) process(b *batch) {
+	for off := 0; off+b.width <= len(b.data); off += b.width {
+		prefix := b.data[off : off+b.width]
+		w.extend(prefix)
+	}
+}
+
+// extend computes the candidates for one prefix and either counts, emits
+// matches, or appends extended tuples to the output batch.
+func (w *bjWorker) extend(prefix []uint32) {
+	var t0 time.Time
+	if w.instrument {
+		t0 = time.Now()
+	}
+	i := w.level
+	conn := w.pl.Connect[i]
+	base := conn[0]
+	for _, j := range conn[1:] {
+		if w.g.Degree(prefix[j]) < w.g.Degree(prefix[base]) {
+			base = j
+		}
+	}
+	cur := w.g.Neighbors(prefix[base])
+	out, spare := w.bufA, w.bufB
+	for _, j := range conn {
+		if j == base {
+			continue
+		}
+		cur = setops.Intersect(out, cur, w.g.Neighbors(prefix[j]), &w.sst)
+		out, spare = spare, cur
+	}
+	w.bufA, w.bufB = out, spare
+	if w.instrument {
+		w.st.SetOpTime += time.Since(t0)
+	}
+
+	hasLower, hasUpper := false, false
+	lower, upper := uint32(0), ^uint32(0)
+	for _, j := range w.pl.Greater[i] {
+		if prefix[j] >= lower {
+			lower, hasLower = prefix[j], true
+		}
+	}
+	for _, j := range w.pl.Smaller[i] {
+		if prefix[j] <= upper {
+			upper, hasUpper = prefix[j], true
+		}
+	}
+
+	for _, v := range cur {
+		if hasLower && v <= lower || hasUpper && v >= upper {
+			continue
+		}
+		if w.label != pattern.Unlabeled && w.g.Label(v) != w.label {
+			continue
+		}
+		used := false
+		for _, u := range prefix {
+			if u == v {
+				used = true
+				break
+			}
+		}
+		if used {
+			continue
+		}
+		if w.last {
+			w.count++
+			if w.visit != nil {
+				w.emit(prefix, v)
+			}
+			continue
+		}
+		w.pending.data = append(w.pending.data, prefix...)
+		w.pending.data = append(w.pending.data, v)
+		if w.pending.tuples() >= w.batchSize {
+			w.out <- w.pending
+			w.pending = &batch{width: w.level + 1}
+		}
+	}
+}
+
+func (w *bjWorker) emit(prefix []uint32, v uint32) {
+	var t0 time.Time
+	if w.instrument {
+		t0 = time.Now()
+	}
+	for lev, u := range prefix {
+		w.byVertex[w.pl.Order[lev]] = u
+	}
+	w.byVertex[w.pl.Order[w.level]] = v
+	w.st.Materialized += uint64(len(w.byVertex))
+	if w.instrument {
+		w.st.MaterializeTime += time.Since(t0)
+		t0 = time.Now()
+	}
+	w.st.UDFCalls++
+	w.visit(w.id, w.byVertex)
+	if w.instrument {
+		w.st.UDFTime += time.Since(t0)
+	}
+}
+
+// flush sends any partially filled batch downstream at end of input.
+func (w *bjWorker) flush() {
+	if w.out != nil && len(w.pending.data) > 0 {
+		w.out <- w.pending
+		w.pending = &batch{width: w.level + 1}
+	}
+}

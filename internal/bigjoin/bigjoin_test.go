@@ -1,0 +1,119 @@
+package bigjoin
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"morphing/internal/dataset"
+	"morphing/internal/engine"
+	"morphing/internal/graph"
+	"morphing/internal/pattern"
+	"morphing/internal/refmatch"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := dataset.ErdosRenyi(70, 8, 0, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBatchSizeInvariance(t *testing.T) {
+	// The dataflow must count identically for any batch granularity,
+	// including batches smaller than a single extension's output.
+	g := testGraph(t)
+	p := pattern.TailedTriangle()
+	want := refmatch.Count(g, p)
+	for _, bs := range []int{1, 7, 64, 4096} {
+		e := &Engine{Threads: 3, BatchSize: bs}
+		got, _, err := e.Count(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("BatchSize=%d: count %d, want %d", bs, got, want)
+		}
+	}
+}
+
+func TestWorkerBudgetSplitsAcrossStages(t *testing.T) {
+	// More stages than workers must still work (one worker per stage).
+	g := testGraph(t)
+	p := pattern.House() // 5 vertices = 4 extend stages
+	want := refmatch.Count(g, p)
+	for _, threads := range []int{1, 2, 16} {
+		e := New(threads)
+		got, _, err := e.Count(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("threads=%d: count %d, want %d", threads, got, want)
+		}
+	}
+}
+
+func TestSingleVertexQuery(t *testing.T) {
+	g, err := graph.FromEdges(3, [][2]uint32{{0, 1}}, []int32{5, 5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(2)
+	one := pattern.MustNew(1, nil, pattern.WithLabels([]int32{5}))
+	got, _, err := e.Count(g, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("labeled single-vertex count %d, want 2", got)
+	}
+	var visits int64
+	if _, err := e.Match(g, one, func(_ int, m []uint32) {
+		atomic.AddInt64(&visits, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if visits != 2 {
+		t.Fatalf("single-vertex match visits %d, want 2", visits)
+	}
+}
+
+func TestRejectsVertexInduced(t *testing.T) {
+	g := testGraph(t)
+	e := New(2)
+	_, _, err := e.Count(g, pattern.FourStar().AsVertexInduced())
+	if !errors.Is(err, engine.ErrInducedUnsupported) {
+		t.Fatalf("got %v, want ErrInducedUnsupported", err)
+	}
+	if _, _, err := e.Count(g, pattern.FourClique().AsVertexInduced()); err != nil {
+		t.Fatalf("vertex-induced clique rejected: %v", err)
+	}
+}
+
+func TestFilterPathMatchesOracle(t *testing.T) {
+	g := testGraph(t)
+	e := New(3)
+	p := pattern.TailedTriangle().AsVertexInduced()
+	kept, st, err := e.CountVertexInducedViaFilter(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := refmatch.Count(g, p); kept != want {
+		t.Fatalf("filter count %d, want %d", kept, want)
+	}
+	if st.Branches == 0 || st.UDFCalls == 0 {
+		t.Error("filter work not recorded")
+	}
+}
+
+func TestDisconnectedPatternRejected(t *testing.T) {
+	g := testGraph(t)
+	e := New(1)
+	disc := pattern.MustNew(4, [][2]int{{0, 1}, {2, 3}})
+	if _, _, err := e.Count(g, disc); err == nil {
+		t.Fatal("disconnected pattern accepted")
+	}
+}

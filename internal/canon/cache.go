@@ -1,0 +1,45 @@
+package canon
+
+import (
+	"sync"
+
+	"morphing/internal/pattern"
+)
+
+// Morphing workloads call the isomorphism machinery with the same handful
+// of patterns thousands of times (cost functions per S-DAG node, plan
+// building per partition, conversion maps per query), so the expensive
+// entry points are memoized process-wide. Keys are the exact pattern
+// encoding — vertex numbering included — because automorphisms and
+// isomorphisms are numbering-sensitive; the canonicalization-based IDs
+// additionally collapse to one entry per isomorphism class internally.
+//
+// Cached slices are shared: callers must treat returned permutations as
+// read-only (all in-tree callers do).
+
+var (
+	structIDCache sync.Map // string -> uint64
+	autCache      sync.Map // string -> [][]int
+	isoCache      sync.Map // string -> [][]int
+)
+
+// Key returns a compact numbering-sensitive identity string for p,
+// suitable as a memoization key for pattern-pair computations (the
+// induced flag is excluded; cache it separately if it matters).
+func Key(p *pattern.Pattern) string { return exactKey(p) }
+
+// exactKey encodes a pattern's full identity: vertex count, adjacency
+// masks, labels. The induced flag is irrelevant to every cached function.
+func exactKey(p *pattern.Pattern) string {
+	n := p.N()
+	buf := make([]byte, 0, 1+8*n)
+	buf = append(buf, byte(n))
+	for i := 0; i < n; i++ {
+		m := p.NeighborMask(i)
+		a := p.AntiMask(i)
+		l := p.Label(i)
+		buf = append(buf, byte(m), byte(m>>8), byte(a), byte(a>>8),
+			byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(buf)
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"morphing/internal/canon"
+	"morphing/internal/pattern"
+)
+
+func TestEnumerateAssignments(t *testing.T) {
+	bases := fourPatterns(t)
+	queries := make([]*pattern.Pattern, len(bases))
+	for i, b := range bases {
+		queries[i] = b.AsVertexInduced()
+	}
+	d, err := BuildSDAG(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := EnumerateAssignments(d, 40, 7)
+	if len(as) < 2 {
+		t.Fatalf("got %d assignments", len(as))
+	}
+	// First assignment is all-vertex-induced (modulo cliques).
+	for _, c := range as[0].Choices {
+		if !c.Node.Pattern.IsClique() && c.Variant != pattern.VertexInduced {
+			t.Fatalf("first assignment not all vertex-induced: %v", c)
+		}
+	}
+	// Second is all-edge-induced.
+	for _, c := range as[1].Choices {
+		if c.Variant != pattern.EdgeInduced {
+			t.Fatalf("second assignment not all edge-induced: %v", c)
+		}
+	}
+	// All assignments cover every structure exactly once.
+	for _, a := range as {
+		if len(a.Choices) != d.Len() {
+			t.Fatalf("assignment covers %d structures, want %d", len(a.Choices), d.Len())
+		}
+	}
+	// Deterministic in seed.
+	bs := EnumerateAssignments(d, 40, 7)
+	if len(bs) != len(as) {
+		t.Fatal("sampling not deterministic")
+	}
+}
+
+// TestConvertAssignmentAllAgree mines (via the oracle) every sampled
+// assignment and checks all of them convert to identical query counts —
+// the correctness half of the Fig. 15e claim.
+func TestConvertAssignmentAllAgree(t *testing.T) {
+	g := oracleGraphs(t)[0]
+	bases := fourPatterns(t)
+	queries := make([]*pattern.Pattern, len(bases))
+	for i, b := range bases {
+		queries[i] = b.AsVertexInduced()
+	}
+	d, err := BuildSDAG(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint64, len(queries))
+	for i, q := range queries {
+		want[i] = oracleCount(g, q)
+	}
+	for ai, a := range EnumerateAssignments(d, 30, 3) {
+		counts := make([]uint64, len(a.Choices))
+		for i, c := range a.Choices {
+			counts[i] = oracleCount(g, c.Pattern)
+		}
+		got, err := ConvertAssignment(d, a, queries, counts)
+		if err != nil {
+			t.Fatalf("assignment %d: %v", ai, err)
+		}
+		for i := range queries {
+			if got[i] != want[i] {
+				t.Errorf("assignment %d query %v: %d, want %d", ai, queries[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestConvertAssignmentErrors(t *testing.T) {
+	d, err := BuildSDAG([]*pattern.Pattern{pattern.FourCycle().AsVertexInduced()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := EnumerateAssignments(d, 2, 1)[0]
+	if _, err := ConvertAssignment(d, a, []*pattern.Pattern{pattern.FourCycle()}, nil); err == nil {
+		t.Error("count/choice length mismatch accepted")
+	}
+	counts := make([]uint64, len(a.Choices))
+	if _, err := ConvertAssignment(d, a, []*pattern.Pattern{pattern.FiveClique()}, counts); err == nil {
+		t.Error("query outside S-DAG accepted")
+	}
+}
+
+func TestCanonIDStability(t *testing.T) {
+	// Guard against representative drift: node identity must match query
+	// identity for any numbering.
+	q := pattern.MustNew(4, [][2]int{{3, 2}, {2, 1}, {1, 0}, {0, 3}})
+	d, err := BuildSDAG([]*pattern.Pattern{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Node(q) == nil || d.Node(pattern.FourCycle()) != d.Node(q) {
+		t.Fatal("structure identity broken")
+	}
+	if canon.StructureID(d.Node(q).Pattern) != d.Node(q).ID {
+		t.Fatal("representative ID mismatch")
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"morphing/internal/pattern"
+)
+
+func buildFor(t *testing.T, ps ...*pattern.Pattern) *SDAG {
+	t.Helper()
+	d, err := BuildSDAG(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestFig7SME2 reproduces equation [SM-E2]: the edge-induced 4-cycle
+// equals the vertex-induced 4-cycle plus one diamond plus three 4-cliques.
+func TestFig7SME2(t *testing.T) {
+	c4 := pattern.FourCycle()
+	d := buildFor(t, c4)
+	eq, err := EdgeInducedEquation(d, c4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]int{4: 1, 5: 1, 6: 3} // edges -> coefficient
+	if len(eq.Terms) != 3 {
+		t.Fatalf("equation has %d terms: %v", len(eq.Terms), eq)
+	}
+	for _, term := range eq.Terms {
+		if got := want[term.Pattern.EdgeCount()]; term.Coefficient != got {
+			t.Errorf("term %v: coefficient %d, want %d", term.Pattern, term.Coefficient, got)
+		}
+		if term.Negative {
+			t.Errorf("edge-induced identity has negative term %v", term.Pattern)
+		}
+	}
+	s := eq.String()
+	if !strings.Contains(s, "3·[4-clique]") {
+		t.Errorf("rendering lost the Fig. 7 coefficient: %q", s)
+	}
+	if !strings.Contains(s, "[4-cycle]E = [4-cycle]V") {
+		t.Errorf("rendering lost the variant suffixes: %q", s)
+	}
+}
+
+// TestFig7SME1 reproduces [SM-E1] for the tailed triangle: TT_E = TT_V +
+// 4·diamond_V + 12·K4.
+func TestFig7SME1(t *testing.T) {
+	tt := pattern.TailedTriangle()
+	d := buildFor(t, tt)
+	eq, err := EdgeInducedEquation(d, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coeffs := map[int]int{}
+	for _, term := range eq.Terms {
+		coeffs[term.Pattern.EdgeCount()] = term.Coefficient
+	}
+	if coeffs[4] != 1 || coeffs[5] != 4 || coeffs[6] != 12 {
+		t.Fatalf("SM-E1 coefficients = %v, want {4:1 5:4 6:12}", coeffs)
+	}
+}
+
+// TestFig7SMV1 reproduces [SM-V1]: the vertex-induced 4-cycle equals the
+// edge-induced 4-cycle minus one diamond minus three 4-cliques.
+func TestFig7SMV1(t *testing.T) {
+	c4 := pattern.FourCycle()
+	d := buildFor(t, c4)
+	eq, err := VertexInducedEquation(d, c4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eq.Terms) != 3 {
+		t.Fatalf("equation has %d terms: %v", len(eq.Terms), eq)
+	}
+	if eq.Terms[0].Negative || eq.Terms[0].Pattern.Induced() != pattern.EdgeInduced {
+		t.Fatalf("leading term must be the positive edge-induced variant: %v", eq)
+	}
+	for _, term := range eq.Terms[1:] {
+		if !term.Negative {
+			t.Errorf("superpattern term %v must be subtractive", term.Pattern)
+		}
+	}
+	s := eq.String()
+	if !strings.Contains(s, " - 3·[4-clique]") {
+		t.Errorf("rendering lost the subtraction: %q", s)
+	}
+}
+
+// TestEquationsVerifyNumerically checks every ≤4-vertex identity, both
+// directions, against oracle counts on random graphs.
+func TestEquationsVerifyNumerically(t *testing.T) {
+	g := oracleGraphs(t)[0]
+	for _, base := range fourPatterns(t) {
+		d := buildFor(t, base)
+		count := func(p *pattern.Pattern) uint64 { return oracleCount(g, p) }
+		eqE, err := EdgeInducedEquation(d, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eqE.Verify(count); err != nil {
+			t.Error(err)
+		}
+		eqV, err := VertexInducedEquation(d, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eqV.Verify(count); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestEquationUnknownPattern(t *testing.T) {
+	d := buildFor(t, pattern.Triangle())
+	if _, err := EdgeInducedEquation(d, pattern.FourCycle()); err == nil {
+		t.Fatal("pattern outside S-DAG accepted")
+	}
+	if _, err := VertexInducedEquation(d, pattern.FourCycle()); err == nil {
+		t.Fatal("pattern outside S-DAG accepted")
+	}
+}
+
+func TestCliqueEquationIsTrivial(t *testing.T) {
+	d := buildFor(t, pattern.FourClique())
+	eq, err := EdgeInducedEquation(d, pattern.FourClique())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eq.Terms) != 1 || eq.Terms[0].Coefficient != 1 {
+		t.Fatalf("clique identity not trivial: %v", eq)
+	}
+}

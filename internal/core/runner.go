@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"morphing/internal/aggr"
+	"morphing/internal/canon"
+	"morphing/internal/costmodel"
+	"morphing/internal/engine"
+	"morphing/internal/graph"
+	"morphing/internal/pattern"
+)
+
+// Runner glues the Subgraph Morphing pipeline of Fig. 5 to a matching
+// engine: pattern transformation → mining → result transformation. A
+// zero-value Runner with an Engine is usable; Morph defaults to enabled
+// morphing and can be cleared for baseline measurements.
+type Runner struct {
+	// Engine executes the matching phase.
+	Engine engine.Engine
+	// DisableMorphing runs queries as-is (the baseline).
+	DisableMorphing bool
+	// Weights tune the cost model (zero value = DefaultWeights).
+	Weights costmodel.Weights
+	// PerMatchCost is the aggregation's estimated per-match work fed to
+	// the cost model (0 for system-native counting; see
+	// costmodel.ProfileUDF for UDF-derived values).
+	PerMatchCost float64
+	// SelectOptions tunes Algorithm 1.
+	SelectOptions SelectOptions
+}
+
+// RunStats reports where the time of a morphed execution went, matching
+// the paper's claim that transformation time is negligible (§7,
+// "transforming patterns of size 4 and 5 took at most 0.7ms and 7.2ms").
+type RunStats struct {
+	Transform time.Duration // S-DAG build + Algorithm 1
+	Mining    *engine.Stats // matching phase, summed over alternatives
+	Convert   time.Duration // result transformation
+	Selection *Selection    // the chosen alternative set
+}
+
+// policyFor derives the variant policy from aggregation algebra and
+// engine capability (§4.4).
+func (r *Runner) policyFor(agg aggr.Aggregation) (Policy, error) {
+	_, invertible := agg.(aggr.Invertible)
+	supportsV := r.Engine.SupportsInduced(pattern.VertexInduced)
+	switch {
+	case invertible && supportsV:
+		return PolicyAny, nil
+	case invertible:
+		return PolicyEdgeOnly, nil
+	case supportsV:
+		return PolicyVertexOnly, nil
+	default:
+		return 0, fmt.Errorf("core: aggregation %q is not invertible and engine %q cannot mine vertex-induced patterns: no sound morphing direction", agg.Name(), r.Engine.Name())
+	}
+}
+
+// Transform runs pattern transformation for a query set: S-DAG build plus
+// Algorithm 1 under the policy derived for agg.
+func (r *Runner) Transform(g *graph.Graph, queries []*pattern.Pattern, agg aggr.Aggregation) (*Selection, error) {
+	policy, err := r.policyFor(agg)
+	if err != nil {
+		return nil, err
+	}
+	if r.DisableMorphing || r.SelectOptions.DisableMorphing {
+		if policy == PolicyEdgeOnly {
+			for _, q := range queries {
+				if q.Induced() == pattern.VertexInduced && !q.IsClique() {
+					return nil, fmt.Errorf("core: vertex-induced query %v cannot run under an edge-only engine without morphing; use a Filter UDF baseline instead", q)
+				}
+			}
+		}
+		return IdentitySelection(queries)
+	}
+	d, err := BuildSDAG(queries)
+	if err != nil {
+		return nil, err
+	}
+	model := costmodel.New(graph.Summarize(g), r.weights())
+	return Select(d, queries, DefaultCostFunc(model, r.PerMatchCost), policy, r.SelectOptions)
+}
+
+// TransformForStreaming runs pattern transformation for match-stream
+// output (subgraph enumeration): streams cannot be subtracted, so only
+// the additive direction is sound (PolicyVertexOnly) and the engine must
+// support vertex-induced matching.
+func (r *Runner) TransformForStreaming(g *graph.Graph, queries []*pattern.Pattern) (*Selection, error) {
+	if !r.Engine.SupportsInduced(pattern.VertexInduced) {
+		return nil, fmt.Errorf("core: engine %q cannot mine vertex-induced patterns; on-the-fly conversion unavailable", r.Engine.Name())
+	}
+	if r.DisableMorphing || r.SelectOptions.DisableMorphing {
+		return IdentitySelection(queries)
+	}
+	d, err := BuildSDAG(queries)
+	if err != nil {
+		return nil, err
+	}
+	model := costmodel.New(graph.Summarize(g), r.weights())
+	return Select(d, queries, DefaultCostFunc(model, r.PerMatchCost), PolicyVertexOnly, r.SelectOptions)
+}
+
+func (r *Runner) weights() costmodel.Weights {
+	if r.Weights == (costmodel.Weights{}) {
+		return costmodel.DefaultWeights()
+	}
+	return r.Weights
+}
+
+// Counts answers subgraph counting queries (SC/MC): the count of each
+// query pattern, computed through morphing unless disabled.
+func (r *Runner) Counts(g *graph.Graph, queries []*pattern.Pattern) ([]uint64, *RunStats, error) {
+	agg := aggr.Count{}
+	t0 := time.Now()
+	sel, err := r.Transform(g, queries, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &RunStats{Selection: sel, Transform: time.Since(t0)}
+
+	minePatterns := make([]*pattern.Pattern, len(sel.Mine))
+	for i, c := range sel.Mine {
+		minePatterns[i] = c.Pattern
+	}
+	counts, mst, err := r.Engine.CountAll(g, minePatterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Mining = mst
+
+	t1 := time.Now()
+	mined := make([]aggr.Value, len(counts))
+	for i, c := range counts {
+		mined[i] = c
+	}
+	vals, err := sel.Convert(agg, mined)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Convert = time.Since(t1)
+	out := make([]uint64, len(vals))
+	for i, v := range vals {
+		out[i] = v.(uint64)
+	}
+	return out, stats, nil
+}
+
+// MNITables answers FSM-style support queries: the full-MNI table of each
+// query pattern (every embedding inserted, Bringmann-Nijssen semantics).
+// Morphing uses the additive direction only (PolicyVertexOnly).
+func (r *Runner) MNITables(g *graph.Graph, queries []*pattern.Pattern) ([]*aggr.Table, *RunStats, error) {
+	agg := aggr.MNI{}
+	t0 := time.Now()
+	sel, err := r.Transform(g, queries, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &RunStats{Selection: sel, Transform: time.Since(t0)}
+
+	stats.Mining = &engine.Stats{}
+	mined := make([]aggr.Value, len(sel.Mine))
+	for i, c := range sel.Mine {
+		tbl, st, err := MineMNITable(r.Engine, g, c.Pattern)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.Mining.Add(st)
+		mined[i] = tbl
+	}
+
+	t1 := time.Now()
+	vals, err := sel.Convert(agg, mined)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Convert = time.Since(t1)
+	out := make([]*aggr.Table, len(vals))
+	for i, v := range vals {
+		out[i] = v.(*aggr.Table)
+	}
+	return out, stats, nil
+}
+
+// MineMNITable streams one pattern's matches into a full MNI table using
+// per-worker shards merged at the end (the map-reduce structure of the
+// FSM UDF in Fig. 9).
+func MineMNITable(eng engine.Engine, g *graph.Graph, p *pattern.Pattern) (*aggr.Table, *engine.Stats, error) {
+	auts := canon.Automorphisms(p)
+	// Worker IDs from any engine stay far below this (see engine.Visitor);
+	// distinct IDs never share a shard, so no locking is needed.
+	const shardCount = 256
+	shards := make([]*aggr.Table, shardCount)
+	for i := range shards {
+		shards[i] = aggr.NewTable(p.N())
+	}
+	st, err := eng.Match(g, p, func(worker int, m []uint32) {
+		shards[worker%shardCount].InsertAll(m, auts)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := aggr.NewTable(p.N())
+	for _, s := range shards {
+		out.Merge(s)
+	}
+	return out, st, nil
+}

@@ -1,0 +1,176 @@
+// Package core implements Subgraph Morphing, the paper's contribution:
+// the structure-aware algebra over patterns (§4), the S-DAG data structure
+// and greedy alternative-pattern selection (§5, Algorithm 1), and result
+// transformation for both output modes (§6, Algorithms 2 and 3).
+//
+// The flow mirrors Fig. 5: queries enter pattern transformation (BuildSDAG
+// + Select), the selected alternatives are mined by any engine, and the
+// results come back through Convert (batched aggregation values) or
+// OnTheFlyVisitor (streamed matches).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"morphing/internal/canon"
+	"morphing/internal/pattern"
+)
+
+// Node is one vertex of the S-DAG: an isomorphism class of pattern
+// structures (labels included, variants excluded). Parents are the
+// superpatterns obtained by adding one edge; children the subpatterns
+// obtained by removing one. All nodes in one weakly connected component
+// share a vertex count and labeling multiset.
+type Node struct {
+	// ID is the canonical structure identifier (canon.StructureID).
+	ID uint64
+	// Pattern is the canonical edge-induced representative. Mining and
+	// conversion may use a different "frame" object for this structure
+	// (e.g. the original query); representatives anchor DAG identity.
+	Pattern *pattern.Pattern
+	// Parents holds the same-size superpatterns with exactly one more
+	// edge; Children the converse.
+	Parents  []*Node
+	Children []*Node
+}
+
+// IsCliqueNode reports whether the node is the apex of its component.
+func (n *Node) IsCliqueNode() bool { return n.Pattern.IsClique() }
+
+// SDAG memoizes patterns and their superpattern relationships (§5.1). It
+// is built once per query set and consulted by the selection algorithm;
+// memoization prevents re-generating duplicate superpatterns reachable
+// through different extension sequences.
+type SDAG struct {
+	nodes map[uint64]*Node
+}
+
+// BuildSDAG constructs the S-DAG containing every query pattern's
+// structure and, recursively, all of their same-size superpatterns up to
+// the clique. Queries must be connected patterns; variants are ignored
+// (the S-DAG is a structure graph).
+func BuildSDAG(queries []*pattern.Pattern) (*SDAG, error) {
+	d := &SDAG{nodes: map[uint64]*Node{}}
+	var worklist []*Node
+	for i, q := range queries {
+		if q == nil {
+			return nil, fmt.Errorf("core: query %d is nil", i)
+		}
+		if !q.IsConnected() {
+			return nil, fmt.Errorf("core: query %d (%v) is disconnected", i, q)
+		}
+		if q.HasExplicitAntiEdges() {
+			return nil, fmt.Errorf("core: query %d (%v) has explicit anti-edges; the morphing algebra operates on the edge-/vertex-induced variant lattice — match such patterns directly", i, q)
+		}
+		n, fresh := d.intern(q)
+		if fresh {
+			worklist = append(worklist, n)
+		}
+	}
+	for len(worklist) > 0 {
+		n := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		for _, ne := range n.Pattern.NonEdges() {
+			super, err := n.Pattern.WithExtraEdge(ne[0], ne[1])
+			if err != nil {
+				return nil, fmt.Errorf("core: extending %v: %v", n.Pattern, err)
+			}
+			sn, fresh := d.intern(super)
+			if fresh {
+				worklist = append(worklist, sn)
+			}
+			link(n, sn)
+		}
+	}
+	return d, nil
+}
+
+// intern returns the node for p's structure, creating it if absent.
+func (d *SDAG) intern(p *pattern.Pattern) (*Node, bool) {
+	id := canon.StructureID(p)
+	if n, ok := d.nodes[id]; ok {
+		return n, false
+	}
+	n := &Node{ID: id, Pattern: canon.Canonicalize(p).AsEdgeInduced()}
+	d.nodes[id] = n
+	return n, true
+}
+
+// link records parent as a one-edge superpattern of child, once.
+func link(child, parent *Node) {
+	for _, p := range child.Parents {
+		if p == parent {
+			return
+		}
+	}
+	child.Parents = append(child.Parents, parent)
+	parent.Children = append(parent.Children, child)
+}
+
+// Node returns the S-DAG node for p's structure, or nil if the structure
+// is not in the DAG.
+func (d *SDAG) Node(p *pattern.Pattern) *Node {
+	return d.nodes[canon.StructureID(p)]
+}
+
+// Len returns the number of structures in the DAG.
+func (d *SDAG) Len() int { return len(d.nodes) }
+
+// Nodes returns all nodes sorted by edge count then ID (deterministic).
+func (d *SDAG) Nodes() []*Node {
+	out := make([]*Node, 0, len(d.nodes))
+	for _, n := range d.nodes {
+		out = append(out, n)
+	}
+	sortNodes(out)
+	return out
+}
+
+// UpSet returns the superpattern closure of n including n itself, sorted
+// by edge count descending (clique first) — the natural order for the
+// subtractive conversion direction.
+func (d *SDAG) UpSet(n *Node) []*Node {
+	seen := map[uint64]bool{n.ID: true}
+	out := []*Node{n}
+	stack := []*Node{n}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range cur.Parents {
+			if !seen[p.ID] {
+				seen[p.ID] = true
+				out = append(out, p)
+				stack = append(stack, p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pattern.EdgeCount() != out[j].Pattern.EdgeCount() {
+			return out[i].Pattern.EdgeCount() > out[j].Pattern.EdgeCount()
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// StrictUpSet is UpSet without n itself.
+func (d *SDAG) StrictUpSet(n *Node) []*Node {
+	up := d.UpSet(n)
+	out := up[:0]
+	for _, m := range up {
+		if m != n {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func sortNodes(ns []*Node) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Pattern.EdgeCount() != ns[j].Pattern.EdgeCount() {
+			return ns[i].Pattern.EdgeCount() < ns[j].Pattern.EdgeCount()
+		}
+		return ns[i].ID < ns[j].ID
+	})
+}

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"morphing/internal/canon"
+	"morphing/internal/costmodel"
+	"morphing/internal/pattern"
+)
+
+// Policy constrains which variants alternative patterns may use. The
+// constraint comes from the aggregation algebra and the engine (§4.3,
+// §4.4): the additive conversion direction (edge-induced results from
+// vertex-induced alternatives) works for any aggregation, while the
+// subtractive direction needs an invertible ⊕; engines without native
+// anti-edge support can only mine edge-induced alternatives.
+type Policy int
+
+const (
+	// PolicyAny allows either variant per alternative: the aggregation is
+	// invertible and the engine matches both semantics (e.g. counting on
+	// Peregrine/AutoZero).
+	PolicyAny Policy = iota
+	// PolicyVertexOnly forces vertex-induced alternatives: the
+	// aggregation is not invertible (MNI, match streaming), so only the
+	// additive direction is sound. Edge-induced queries can morph;
+	// vertex-induced queries cannot.
+	PolicyVertexOnly
+	// PolicyEdgeOnly forces edge-induced alternatives: the engine has no
+	// native anti-edge support (GraphPi/BigJoin models). Requires an
+	// invertible aggregation; vertex-induced queries morph, edge-induced
+	// queries are already in target form.
+	PolicyEdgeOnly
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyAny:
+		return "any"
+	case PolicyVertexOnly:
+		return "vertex-only"
+	case PolicyEdgeOnly:
+		return "edge-only"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Costs holds the estimated mining cost of a structure's two variants.
+type Costs struct {
+	E, V float64
+}
+
+// CostFunc estimates variant costs for an S-DAG node. DefaultCostFunc
+// derives one from the cost model; tests inject exact tables.
+type CostFunc func(n *Node) Costs
+
+// DefaultCostFunc builds a CostFunc from the §5.2 cost model: plan cost
+// plus expected matches times the per-match aggregation cost.
+func DefaultCostFunc(model *costmodel.Model, perMatchCost float64) CostFunc {
+	return func(n *Node) Costs {
+		aut := len(canon.Automorphisms(n.Pattern))
+		cE, errE := model.PatternCost(n.Pattern.AsEdgeInduced(), aut, perMatchCost)
+		cV, errV := model.PatternCost(n.Pattern.AsVertexInduced(), aut, perMatchCost)
+		if errE != nil || errV != nil {
+			// Connected patterns never fail plan building; treat as very
+			// expensive so selection avoids them rather than aborting.
+			return Costs{E: math.Inf(1), V: math.Inf(1)}
+		}
+		return Costs{E: cE, V: cV}
+	}
+}
+
+// pairKey identifies (structure, variant) — the unit of mining work.
+type pairKey struct {
+	id      uint64
+	variant pattern.Induced
+}
+
+// Choice is one pattern the engine must mine: a structure, the variant to
+// mine it in, and the exact pattern object (the "frame") whose vertex
+// numbering all of its results use. Unmorphed queries keep their original
+// object; alternatives use the canonical representative.
+type Choice struct {
+	Node    *Node
+	Variant pattern.Induced
+	Pattern *pattern.Pattern
+}
+
+// Query pairs an input pattern with its S-DAG node.
+type Query struct {
+	Pattern *pattern.Pattern
+	Node    *Node
+	Morphed bool
+}
+
+// Selection is the output of pattern transformation: the alternative
+// pattern set to mine and the bookkeeping needed to convert results back.
+type Selection struct {
+	SDAG    *SDAG
+	Policy  Policy
+	Queries []Query
+	Mine    []Choice
+
+	// CostBefore/CostAfter are the model's totals for the original query
+	// set and the selected alternative set (diagnostics and Fig. 15e).
+	CostBefore, CostAfter float64
+
+	byPair map[pairKey]int // pair -> index into Mine
+}
+
+// SelectOptions tunes Select.
+type SelectOptions struct {
+	// MaxSubset caps the size of children subsets enumerated per parent
+	// (Algorithm 1 line 6); 0 means 12.
+	MaxSubset int
+	// DisableMorphing keeps every query as-is (the baseline systems).
+	DisableMorphing bool
+}
+
+// IdentitySelection returns the no-morphing selection: every query is
+// mined as-is. Baseline runs use it to avoid paying for S-DAG
+// construction they do not need; conversion degenerates to pass-through.
+func IdentitySelection(queries []*pattern.Pattern) (*Selection, error) {
+	sel := &Selection{Policy: PolicyAny, byPair: map[pairKey]int{}}
+	for i, q := range queries {
+		if q == nil || !q.IsConnected() {
+			return nil, fmt.Errorf("core: query %d (%v) is not a connected pattern", i, q)
+		}
+		n := &Node{ID: canon.StructureID(q), Pattern: q.AsEdgeInduced()}
+		sel.Queries = append(sel.Queries, Query{Pattern: q, Node: n})
+		k := pairKey{n.ID, normVariant(q)}
+		if _, dup := sel.byPair[k]; dup {
+			continue
+		}
+		sel.byPair[k] = len(sel.Mine)
+		sel.Mine = append(sel.Mine, Choice{Node: n, Variant: normVariant(q), Pattern: q})
+	}
+	return sel, nil
+}
+
+// Select implements Algorithm 1: starting from the query set, greedily
+// replace subsets of patterns with their combined superpattern sets
+// whenever the cost model predicts a win, zeroing the cost of patterns
+// already scheduled so overlapping alternatives compound.
+func Select(d *SDAG, queries []*pattern.Pattern, cost CostFunc, policy Policy, opts SelectOptions) (*Selection, error) {
+	sel := &Selection{SDAG: d, Policy: policy, byPair: map[pairKey]int{}}
+	if len(queries) == 0 {
+		return sel, nil
+	}
+
+	// Per-node base costs, computed once.
+	baseCosts := map[uint64]Costs{}
+	nodeCost := func(n *Node) Costs {
+		c, ok := baseCosts[n.ID]
+		if !ok {
+			c = cost(n)
+			baseCosts[n.ID] = c
+		}
+		return c
+	}
+	variantCost := func(n *Node, v pattern.Induced) float64 {
+		c := nodeCost(n)
+		if n.Pattern.IsClique() {
+			// The variants of a clique are the same pattern; its one true
+			// cost is the smaller estimate.
+			return math.Min(c.E, c.V)
+		}
+		if v == pattern.VertexInduced {
+			return c.V
+		}
+		return c.E
+	}
+	// bestVariant picks the cheapest variant a policy allows for an
+	// alternative pattern. Cliques have identical variants; normalize to
+	// the policy's canonical form.
+	bestVariant := func(n *Node) pattern.Induced {
+		switch policy {
+		case PolicyVertexOnly:
+			return pattern.VertexInduced
+		case PolicyEdgeOnly:
+			return pattern.EdgeInduced
+		default:
+			if n.Pattern.IsClique() {
+				return pattern.EdgeInduced
+			}
+			c := nodeCost(n)
+			if c.V < c.E {
+				return pattern.VertexInduced
+			}
+			return pattern.EdgeInduced
+		}
+	}
+
+	// S: the working alternative set, keyed by (structure, variant).
+	type member struct {
+		node *Node
+		key  pairKey
+	}
+	S := map[pairKey]*Node{}
+
+	for i, q := range queries {
+		n := d.Node(q)
+		if n == nil {
+			return nil, fmt.Errorf("core: query %d (%v) missing from S-DAG", i, q)
+		}
+		sel.Queries = append(sel.Queries, Query{Pattern: q, Node: n})
+		S[pairKey{n.ID, normVariant(q)}] = n
+		sel.CostBefore += variantCost(n, normVariant(q))
+	}
+
+	// morphable reports whether a pair may be replaced by its alternative
+	// set under the policy.
+	morphable := func(k pairKey, n *Node) bool {
+		if n.Pattern.IsClique() {
+			return false // no proper same-size superpatterns
+		}
+		switch policy {
+		case PolicyVertexOnly:
+			return k.variant == pattern.EdgeInduced
+		case PolicyEdgeOnly:
+			return k.variant == pattern.VertexInduced
+		default:
+			return true
+		}
+	}
+
+	// altSet returns the replacement pairs for pair k: the structure
+	// itself in the other (or policy-forced) variant plus its strict
+	// superpattern up-set in the policy's best variants.
+	altSet := func(k pairKey, n *Node) []member {
+		var selfVariant pattern.Induced
+		switch policy {
+		case PolicyVertexOnly:
+			selfVariant = pattern.VertexInduced
+		case PolicyEdgeOnly:
+			selfVariant = pattern.EdgeInduced
+		default:
+			if k.variant == pattern.EdgeInduced {
+				selfVariant = pattern.VertexInduced
+			} else {
+				selfVariant = pattern.EdgeInduced
+			}
+		}
+		out := []member{{node: n, key: pairKey{n.ID, selfVariant}}}
+		for _, s := range d.StrictUpSet(n) {
+			out = append(out, member{node: s, key: pairKey{s.ID, bestVariantNorm(s, bestVariant)}})
+		}
+		return out
+	}
+
+	maxSubset := opts.MaxSubset
+	if maxSubset <= 0 {
+		maxSubset = 12
+	}
+
+	if !opts.DisableMorphing {
+		// Algorithm 1 main loop. A candidate morph replaces a subset C of
+		// S with the union of its members' alternative sets; it is
+		// accepted when the total modeled mining cost of S strictly
+		// decreases (pairs already in S are free additions, removed pairs
+		// credit their full cost). Strict decrease over a finite
+		// configuration space guarantees convergence without the paper's
+		// explicit cost-zeroing bookkeeping, while preserving its effect:
+		// already-scheduled patterns make overlapping morphs cheap.
+		maxIters := 8*d.Len() + 32
+		for iter := 0; iter < maxIters; iter++ {
+			changed := false
+			// Deterministic iteration over parents of S members.
+			parentSet := map[uint64]*Node{}
+			for _, n := range S {
+				for _, p := range n.Parents {
+					parentSet[p.ID] = p
+				}
+			}
+			parents := make([]*Node, 0, len(parentSet))
+			for _, p := range parentSet {
+				parents = append(parents, p)
+			}
+			sortNodes(parents)
+
+			for _, par := range parents {
+				// Morphable S-members among par's children.
+				var kids []member
+				for _, c := range par.Children {
+					for _, v := range []pattern.Induced{pattern.EdgeInduced, pattern.VertexInduced} {
+						k := pairKey{c.ID, v}
+						if _, in := S[k]; in && morphable(k, c) {
+							kids = append(kids, member{node: c, key: k})
+						}
+					}
+				}
+				if len(kids) == 0 {
+					continue
+				}
+				if len(kids) > maxSubset {
+					kids = kids[:maxSubset]
+				}
+				sort.Slice(kids, func(i, j int) bool { return lessPair(kids[i].key, kids[j].key) })
+				// Largest subsets first: combined morphs capture overlap.
+				for mask := (1 << len(kids)) - 1; mask >= 1; mask-- {
+					var C []member
+					inC := map[pairKey]bool{}
+					dualVariant := false
+					seenStruct := map[uint64]bool{}
+					for b := range kids {
+						if mask&(1<<b) != 0 {
+							if seenStruct[kids[b].key.id] {
+								// Replacing both variants of one structure
+								// at once is never meaningful: each one's
+								// alternative set re-adds the other.
+								dualVariant = true
+								break
+							}
+							seenStruct[kids[b].key.id] = true
+							C = append(C, kids[b])
+							inC[kids[b].key] = true
+						}
+					}
+					if dualVariant {
+						continue
+					}
+					removed := 0.0
+					for _, c := range C {
+						removed += variantCost(c.node, c.key.variant)
+					}
+					spc := map[pairKey]*Node{}
+					for _, c := range C {
+						for _, m := range altSet(c.key, c.node) {
+							spc[m.key] = m.node
+						}
+					}
+					added := 0.0
+					for k, n := range spc {
+						if _, in := S[k]; in && !inC[k] {
+							continue // already scheduled and staying: free
+						}
+						added += variantCost(n, k.variant)
+					}
+					if added < removed {
+						for _, c := range C {
+							delete(S, c.key)
+						}
+						for k, n := range spc {
+							S[k] = n
+						}
+						changed = true
+						break // re-derive kids for this parent next iteration
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
+	// PolicyEdgeOnly must morph non-clique vertex-induced queries even if
+	// the model disfavors it: the engine cannot mine them at all. With
+	// morphing disabled that is a hard error, not a silent morph — the
+	// baseline for such workloads is the Filter-UDF path, which callers
+	// must request explicitly.
+	if policy == PolicyEdgeOnly {
+		for _, q := range sel.Queries {
+			k := pairKey{q.Node.ID, normVariant(q.Pattern)}
+			if k.variant != pattern.VertexInduced {
+				continue
+			}
+			if _, in := S[k]; !in {
+				continue
+			}
+			if opts.DisableMorphing {
+				return nil, fmt.Errorf("core: vertex-induced query %v cannot run under an edge-only engine without morphing; use a Filter UDF baseline instead", q.Pattern)
+			}
+			delete(S, k)
+			for _, m := range altSet(k, q.Node) {
+				S[m.key] = m.node
+			}
+		}
+	}
+
+	// Materialize the mine list and mark morphed queries.
+	var keys []pairKey
+	for k := range S {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return lessPair(keys[i], keys[j]) })
+	queryFrame := map[pairKey]*pattern.Pattern{}
+	for _, q := range sel.Queries {
+		k := pairKey{q.Node.ID, normVariant(q.Pattern)}
+		if _, ok := queryFrame[k]; !ok {
+			queryFrame[k] = q.Pattern
+		}
+	}
+	for _, k := range keys {
+		n := S[k]
+		frame := n.Pattern.Variant(k.variant)
+		if qf, ok := queryFrame[k]; ok {
+			frame = qf
+			if qf.Induced() != k.variant {
+				frame = qf.Variant(k.variant) // clique variant normalization
+			}
+		}
+		sel.byPair[k] = len(sel.Mine)
+		sel.Mine = append(sel.Mine, Choice{Node: n, Variant: k.variant, Pattern: frame})
+		sel.CostAfter += variantCost(n, k.variant)
+	}
+	for i := range sel.Queries {
+		q := &sel.Queries[i]
+		k := pairKey{q.Node.ID, normVariant(q.Pattern)}
+		if _, direct := sel.byPair[k]; !direct {
+			q.Morphed = true
+		}
+	}
+	return sel, nil
+}
+
+// normVariant normalizes clique variants (identical semantics) to
+// edge-induced so pair keys are unique.
+func normVariant(p *pattern.Pattern) pattern.Induced {
+	if p.IsClique() {
+		return pattern.EdgeInduced
+	}
+	return p.Induced()
+}
+
+func bestVariantNorm(n *Node, best func(*Node) pattern.Induced) pattern.Induced {
+	if n.Pattern.IsClique() {
+		return pattern.EdgeInduced
+	}
+	return best(n)
+}
+
+func lessPair(a, b pairKey) bool {
+	if a.id != b.id {
+		return a.id < b.id
+	}
+	return a.variant < b.variant
+}

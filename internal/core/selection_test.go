@@ -1,0 +1,342 @@
+package core
+
+import (
+	"testing"
+
+	"morphing/internal/canon"
+	"morphing/internal/pattern"
+)
+
+// appendixA2Costs reproduces the cost table of Fig. 17c: pa=4-star,
+// pb=4-path, pc=4-cycle, pd=tailed triangle, pe=diamond, pf=4-clique.
+func appendixA2Costs(t *testing.T) CostFunc {
+	t.Helper()
+	table := map[uint64]Costs{
+		canon.StructureID(pattern.FourStar()):         {E: 1, V: 20},
+		canon.StructureID(pattern.Path(4)):            {E: 3, V: 30},
+		canon.StructureID(pattern.FourCycle()):        {E: 10, V: 12},
+		canon.StructureID(pattern.TailedTriangle()):   {E: 5, V: 10},
+		canon.StructureID(pattern.ChordalFourCycle()): {E: 5, V: 9},
+		canon.StructureID(pattern.FourClique()):       {E: 7, V: 7},
+	}
+	return func(n *Node) Costs {
+		c, ok := table[n.ID]
+		if !ok {
+			t.Fatalf("cost requested for unexpected structure %v", n.Pattern)
+		}
+		return c
+	}
+}
+
+// TestSelectAppendixA2 walks the Subgraph Counting example of Appendix
+// A.2: queries {4-star, 4-path, 4-cycle} (vertex-induced) morph into the
+// all-edge-induced alternative set {pEa..pEe, pf} under the Fig. 17c
+// costs.
+func TestSelectAppendixA2(t *testing.T) {
+	queries := []*pattern.Pattern{
+		pattern.FourStar().AsVertexInduced(),
+		pattern.Path(4).AsVertexInduced(),
+		pattern.FourCycle().AsVertexInduced(),
+	}
+	d, err := BuildSDAG(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Select(d, queries, appendixA2Costs(t), PolicyAny, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Mine) != 6 {
+		t.Fatalf("alternative set has %d patterns, want 6: %v", len(sel.Mine), sel.Mine)
+	}
+	for _, c := range sel.Mine {
+		if c.Variant != pattern.EdgeInduced {
+			t.Errorf("alternative %v selected vertex-induced; appendix expects all edge-induced", c.Node.Pattern)
+		}
+	}
+	// Appendix totals: queries cost 20+30+12 = 62, alternatives
+	// 1+3+10+5+5+7 = 31.
+	if sel.CostBefore != 62 {
+		t.Errorf("CostBefore = %v, want 62", sel.CostBefore)
+	}
+	if sel.CostAfter != 31 {
+		t.Errorf("CostAfter = %v, want 31", sel.CostAfter)
+	}
+	for _, q := range sel.Queries {
+		if !q.Morphed {
+			t.Errorf("query %v not marked morphed", q.Pattern)
+		}
+	}
+}
+
+// TestSelectAppendixA2NoMorphWhenExpensive flips the table so morphing
+// never pays off: the selection must be the identity.
+func TestSelectNoMorphWhenExpensive(t *testing.T) {
+	queries := []*pattern.Pattern{pattern.FourCycle().AsVertexInduced()}
+	d, err := BuildSDAG(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheapQueries := func(n *Node) Costs { return Costs{E: 1000, V: 1} }
+	sel, err := Select(d, queries, cheapQueries, PolicyAny, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Mine) != 1 || sel.Mine[0].Variant != pattern.VertexInduced {
+		t.Fatalf("expected identity selection, got %v", sel.Mine)
+	}
+	if sel.Queries[0].Morphed {
+		t.Fatal("query wrongly marked morphed")
+	}
+	// The unmorphed query keeps its own pattern object (frame).
+	if sel.Mine[0].Pattern != queries[0] {
+		t.Fatal("unmorphed query must be mined with its original object")
+	}
+}
+
+// TestSelectAppendixA1 walks the FSM example of Appendix A.1: the labeled
+// edge-induced 4-star (center and two leaves sharing a label, one leaf
+// distinct — Fig. 16a yields six structures pa..pf) morphs into the full
+// vertex-induced up-set under Fig. 16c-style costs, with total cost 21.
+func TestSelectAppendixA1(t *testing.T) {
+	q := pattern.MustNew(4, [][2]int{{0, 1}, {0, 2}, {0, 3}},
+		pattern.WithLabels([]int32{0, 0, 0, 1}))
+	d, err := BuildSDAG([]*pattern.Pattern{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 6 {
+		t.Fatalf("S-DAG has %d nodes, want 6 (pa..pf)", d.Len())
+	}
+	// Fig. 16c costs keyed by edge count; the two structures per edge
+	// count share a row's scale (which labeling maps to pb vs pc is
+	// immaterial to the selection outcome).
+	costs := func(n *Node) Costs {
+		switch n.Pattern.EdgeCount() {
+		case 3:
+			return Costs{E: 25, V: 4} // pa
+		case 4:
+			return Costs{E: 16, V: 3} // pb, pc
+		case 5:
+			return Costs{E: 5.5, V: 2.5} // pd, pe
+		default:
+			return Costs{E: 5, V: 5} // pf
+		}
+	}
+	sel, err := Select(d, []*pattern.Pattern{q}, costs, PolicyVertexOnly, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Queries[0].Morphed {
+		t.Fatal("pEa not morphed despite cheaper V up-set")
+	}
+	if len(sel.Mine) != 6 {
+		t.Fatalf("alternative set has %d patterns, want all 6", len(sel.Mine))
+	}
+	for _, c := range sel.Mine {
+		if c.Variant != pattern.VertexInduced && !c.Node.Pattern.IsClique() {
+			t.Errorf("non-vertex-induced alternative %v", c.Node.Pattern)
+		}
+	}
+	if sel.CostBefore != 25 {
+		t.Errorf("CostBefore = %v, want 25", sel.CostBefore)
+	}
+	if sel.CostAfter != 4+3+3+2.5+2.5+5 {
+		t.Errorf("CostAfter = %v, want 20 (Fig. 16c vertex-induced totals)", sel.CostAfter)
+	}
+}
+
+func TestSelectFSMStyleVertexOnly(t *testing.T) {
+	// FSM morphs edge-induced queries into all-vertex-induced
+	// alternatives (Appendix A.1): the edge-induced 4-star with a huge
+	// match count morphs into its V up-set.
+	q := pattern.FourStar() // edge-induced
+	d, err := BuildSDAG([]*pattern.Pattern{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := func(n *Node) Costs {
+		if canon.IsIsomorphic(n.Pattern, pattern.FourStar()) {
+			return Costs{E: 25, V: 4}
+		}
+		return Costs{E: 20, V: 3}
+	}
+	sel, err := Select(d, []*pattern.Pattern{q}, costs, PolicyVertexOnly, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Mine) != 4 {
+		t.Fatalf("alternative set has %d patterns, want 4 (V up-set)", len(sel.Mine))
+	}
+	for _, c := range sel.Mine {
+		if c.Variant != pattern.VertexInduced && !c.Node.Pattern.IsClique() {
+			t.Errorf("PolicyVertexOnly selected edge-induced %v", c.Node.Pattern)
+		}
+	}
+	if !sel.Queries[0].Morphed {
+		t.Fatal("query should be morphed")
+	}
+}
+
+func TestSelectVertexOnlyNeverMorphsVertexQueries(t *testing.T) {
+	q := pattern.FourCycle().AsVertexInduced()
+	d, err := BuildSDAG([]*pattern.Pattern{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even with absurd costs, a vertex-induced query cannot morph under
+	// the additive-only policy.
+	costs := func(n *Node) Costs { return Costs{E: 0.001, V: 1e9} }
+	sel, err := Select(d, []*pattern.Pattern{q}, costs, PolicyVertexOnly, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Mine) != 1 || sel.Queries[0].Morphed {
+		t.Fatalf("vertex-induced query morphed under PolicyVertexOnly: %v", sel.Mine)
+	}
+}
+
+func TestSelectEdgeOnlyForcesMorph(t *testing.T) {
+	// GraphPi/BigJoin: vertex-induced queries must morph to edge-induced
+	// alternatives even when the cost model disfavors it.
+	q := pattern.TailedTriangle().AsVertexInduced()
+	d, err := BuildSDAG([]*pattern.Pattern{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := func(n *Node) Costs { return Costs{E: 1e9, V: 1} }
+	sel, err := Select(d, []*pattern.Pattern{q}, costs, PolicyEdgeOnly, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Queries[0].Morphed {
+		t.Fatal("vertex-induced query must morph under PolicyEdgeOnly")
+	}
+	if len(sel.Mine) != 3 { // TT, diamond, K4 — all edge-induced
+		t.Fatalf("mine list %v, want 3 edge-induced structures", sel.Mine)
+	}
+	for _, c := range sel.Mine {
+		if c.Variant != pattern.EdgeInduced {
+			t.Errorf("PolicyEdgeOnly selected vertex-induced %v", c.Node.Pattern)
+		}
+	}
+}
+
+func TestSelectDisableMorphing(t *testing.T) {
+	queries := []*pattern.Pattern{
+		pattern.FourStar().AsVertexInduced(),
+		pattern.FourCycle().AsVertexInduced(),
+	}
+	d, err := BuildSDAG(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := func(n *Node) Costs { return Costs{E: 1, V: 1e9} }
+	sel, err := Select(d, queries, costs, PolicyAny, SelectOptions{DisableMorphing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Mine) != 2 {
+		t.Fatalf("baseline selection mined %d patterns, want 2", len(sel.Mine))
+	}
+	for _, q := range sel.Queries {
+		if q.Morphed {
+			t.Fatal("morphing happened despite DisableMorphing")
+		}
+	}
+}
+
+func TestSelectMotifCountingMorphsEverything(t *testing.T) {
+	// Motif counting is the best case (§7.1): all vertex-induced motifs
+	// queried together, anti-edge differences make V expensive, so the
+	// whole set flips to edge-induced.
+	base, err := canon.AllConnectedPatterns(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]*pattern.Pattern, len(base))
+	for i, p := range base {
+		queries[i] = p.AsVertexInduced()
+	}
+	d, err := BuildSDAG(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := func(n *Node) Costs {
+		anti := n.Pattern.N()*(n.Pattern.N()-1)/2 - n.Pattern.EdgeCount()
+		return Costs{E: 10, V: 10 + 20*float64(anti)}
+	}
+	sel, err := Select(d, queries, costs, PolicyAny, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Mine) != 6 {
+		t.Fatalf("mine list has %d patterns, want 6", len(sel.Mine))
+	}
+	for _, c := range sel.Mine {
+		if c.Variant != pattern.VertexInduced {
+			continue
+		}
+		if !c.Node.Pattern.IsClique() {
+			t.Errorf("motif morphing kept vertex-induced %v", c.Node.Pattern)
+		}
+	}
+	if sel.CostAfter >= sel.CostBefore {
+		t.Errorf("morphing did not reduce modeled cost: %v >= %v", sel.CostAfter, sel.CostBefore)
+	}
+}
+
+func TestSelectEmptyQueries(t *testing.T) {
+	d, err := BuildSDAG(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Select(d, nil, func(*Node) Costs { return Costs{} }, PolicyAny, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Mine) != 0 || len(sel.Queries) != 0 {
+		t.Fatal("empty query set must produce empty selection")
+	}
+}
+
+func TestSelectQueryMissingFromSDAG(t *testing.T) {
+	d, err := BuildSDAG([]*pattern.Pattern{pattern.Triangle()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Select(d, []*pattern.Pattern{pattern.FourCycle()}, func(*Node) Costs { return Costs{} }, PolicyAny, SelectOptions{})
+	if err == nil {
+		t.Fatal("query outside the S-DAG accepted")
+	}
+}
+
+func TestConversionMapsAndCoefficients(t *testing.T) {
+	// The Fig. 7 coefficients.
+	cases := []struct {
+		name string
+		p, q *pattern.Pattern
+		want int
+	}{
+		{"C4 in K4", pattern.FourCycle(), pattern.FourClique(), 3},
+		{"C4 in diamond", pattern.FourCycle(), pattern.ChordalFourCycle(), 1},
+		{"diamond in K4", pattern.ChordalFourCycle(), pattern.FourClique(), 6},
+		{"TT in diamond", pattern.TailedTriangle(), pattern.ChordalFourCycle(), 4},
+		{"TT in K4", pattern.TailedTriangle(), pattern.FourClique(), 12},
+		{"self", pattern.House(), pattern.House(), 1},
+	}
+	for _, tc := range cases {
+		if got := CopyCoefficient(tc.p, tc.q); got != tc.want {
+			t.Errorf("%s: coefficient %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	// Idempotent mode returns all isomorphisms: copies * |Aut(p)|.
+	all := ConversionMaps(pattern.FourCycle(), pattern.FourClique(), true)
+	if len(all) != 24 {
+		t.Errorf("all-maps count %d, want 24", len(all))
+	}
+	reps := ConversionMaps(pattern.FourCycle(), pattern.FourClique(), false)
+	if len(reps) != 3 {
+		t.Errorf("rep-maps count %d, want 3", len(reps))
+	}
+}

@@ -1,0 +1,155 @@
+package dataset
+
+import (
+	"testing"
+
+	"morphing/internal/graph"
+)
+
+func TestRecipesExist(t *testing.T) {
+	names := []string{"MI", "MG", "PR", "OK", "FR"}
+	if len(All()) != len(names) {
+		t.Fatalf("All() returned %d recipes", len(All()))
+	}
+	for _, n := range names {
+		r, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Name != n || r.Vertices <= 0 || r.AvgDegree <= 0 {
+			t.Fatalf("recipe %s malformed: %+v", n, r)
+		}
+	}
+	if _, err := ByName("mi"); err != nil {
+		t.Error("ByName must be case-insensitive")
+	}
+	if _, err := ByName("XX"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestLabeledRecipesMatchPaper(t *testing.T) {
+	cases := map[string]int{"MI": 29, "MG": 349, "PR": 47, "OK": 0, "FR": 0}
+	for name, labels := range cases {
+		r, _ := ByName(name)
+		if r.Labels != labels {
+			t.Errorf("%s: %d labels, want %d", name, r.Labels, labels)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	r := MiCo().Scaled(0.01)
+	if r.Vertices != 1000 {
+		t.Fatalf("scaled vertices = %d", r.Vertices)
+	}
+	if r.Labels != 29 {
+		t.Fatal("scaling must preserve labels")
+	}
+	tiny := MiCo().Scaled(0.00001)
+	if tiny.Vertices < 64 {
+		t.Fatalf("scale floor violated: %d", tiny.Vertices)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	r := MiCo().Scaled(0.01)
+	a, err := r.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("generation is not deterministic")
+	}
+	for v := uint32(0); v < uint32(a.NumVertices()); v++ {
+		if a.Degree(v) != b.Degree(v) || a.Label(v) != b.Label(v) {
+			t.Fatalf("vertex %d differs between runs", v)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	r := MiCo().Scaled(0.02) // 2000 vertices
+	g, err := r.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != r.Vertices {
+		t.Fatalf("vertices = %d, want %d", g.NumVertices(), r.Vertices)
+	}
+	// Preferential attachment with m = avg/2 yields roughly the requested
+	// average degree; allow a wide band (dedup loses a few edges).
+	avg := g.AvgDegree()
+	if avg < r.AvgDegree*0.5 || avg > r.AvgDegree*1.2 {
+		t.Fatalf("avg degree %v far from requested %v", avg, r.AvgDegree)
+	}
+	// Degree distribution must be skewed: max degree well above average.
+	if float64(g.MaxDegree()) < 4*avg {
+		t.Fatalf("degree distribution not skewed: max %d, avg %v", g.MaxDegree(), avg)
+	}
+	if !g.Labeled() || g.NumLabels() < 2 {
+		t.Fatal("labeled recipe produced too few labels")
+	}
+	// Label skew: most frequent label clearly dominates a uniform share.
+	s := graph.Summarize(g)
+	var maxFreq float64
+	for _, f := range s.LabelFreq {
+		if f > maxFreq {
+			maxFreq = f
+		}
+	}
+	if maxFreq < 2.0/float64(r.Labels) {
+		t.Fatalf("labels not skewed: max frequency %v", maxFreq)
+	}
+}
+
+func TestGenerateUnlabeled(t *testing.T) {
+	g, err := Orkut().Scaled(0.0003).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Labeled() {
+		t.Fatal("Orkut recipe must be unlabeled")
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges generated")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := (Recipe{Name: "bad", Vertices: 1, AvgDegree: 2}).Generate(); err == nil {
+		t.Error("1-vertex recipe accepted")
+	}
+	if _, err := (Recipe{Name: "bad", Vertices: 100, AvgDegree: 0}).Generate(); err == nil {
+		t.Error("zero-degree recipe accepted")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi(500, 10, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 500 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	avg := g.AvgDegree()
+	if avg < 7 || avg > 13 {
+		t.Fatalf("avg degree %v far from 10", avg)
+	}
+	if g.NumLabels() != 5 {
+		t.Fatalf("NumLabels = %d", g.NumLabels())
+	}
+	if _, err := ErdosRenyi(1, 1, 0, 0); err == nil {
+		t.Error("1-vertex ER accepted")
+	}
+	// Determinism.
+	h, _ := ErdosRenyi(500, 10, 5, 7)
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatal("ER not deterministic")
+	}
+}

@@ -1,0 +1,333 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"morphing/internal/graph"
+	"morphing/internal/pattern"
+	"morphing/internal/plan"
+	"morphing/internal/setops"
+)
+
+// ExecOptions configures the backtracking executor.
+type ExecOptions struct {
+	// Threads is the worker count; 0 means GOMAXPROCS.
+	Threads int
+	// Instrument enables phase timings (Fig. 4 style breakdowns) at the
+	// cost of timer calls around candidate generation and UDFs.
+	Instrument bool
+	// BlockSize is the number of initial vertices per work unit; 0 picks
+	// a default balancing scheduling overhead against skew.
+	BlockSize int
+	// MatchLimit stops exploration once at least this many matches have
+	// been found (0 = unlimited). The final count may slightly exceed the
+	// limit (workers drain their current root vertex). This implements
+	// Peregrine-style early termination for existence-style queries.
+	MatchLimit uint64
+}
+
+// ThreadCount resolves the effective worker count (GOMAXPROCS when
+// Threads is zero).
+func (o ExecOptions) ThreadCount() int {
+	if o.Threads > 0 {
+		return o.Threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Backtrack explores all unique matches of the plan's pattern in g using
+// pattern-aware backtracking: per level, candidates are the intersection
+// of the adjacency lists of earlier matched neighbors, minus the adjacency
+// lists of anti-neighbors, clipped by symmetry-breaking bounds. When visit
+// is nil only the count is produced, enabling the last-level counting fast
+// path (no materialization). The root level is parallelized over vertex
+// blocks.
+func Backtrack(g *graph.Graph, pl *plan.Plan, visit Visitor, opts ExecOptions) (uint64, *Stats, error) {
+	if pl == nil || pl.Pattern == nil {
+		return 0, nil, fmt.Errorf("engine: nil plan")
+	}
+	start := time.Now()
+	threads := opts.ThreadCount()
+	n := g.NumVertices()
+	blockSize := opts.BlockSize
+	if blockSize <= 0 {
+		blockSize = 256
+		if n/threads < blockSize*8 {
+			blockSize = n/(threads*8) + 1
+		}
+	}
+	numBlocks := (n + blockSize - 1) / blockSize
+
+	var cursor int64
+	var found uint64 // shared early-termination counter (MatchLimit only)
+	var wg sync.WaitGroup
+	maxDeg := g.MaxDegree()
+	workers := make([]*btWorker, threads)
+	for t := 0; t < threads; t++ {
+		workers[t] = newBTWorker(t, g, pl, visit, opts.Instrument, maxDeg)
+		if opts.MatchLimit > 0 {
+			workers[t].limit = opts.MatchLimit
+			workers[t].found = &found
+		}
+	}
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(w *btWorker) {
+			defer wg.Done()
+			for {
+				if w.limit > 0 && atomic.LoadUint64(w.found) >= w.limit {
+					return
+				}
+				b := int(atomic.AddInt64(&cursor, 1)) - 1
+				if b >= numBlocks {
+					return
+				}
+				lo := uint32(b * blockSize)
+				hi := uint32((b + 1) * blockSize)
+				if hi > uint32(n) {
+					hi = uint32(n)
+				}
+				w.runRoot(lo, hi)
+			}
+		}(workers[t])
+	}
+	wg.Wait()
+
+	total := uint64(0)
+	st := &Stats{}
+	for _, w := range workers {
+		total += w.count
+		w.st.SetOps += w.sst.Ops
+		w.st.SetElems += w.sst.Elems
+		st.Add(&w.st)
+	}
+	st.Matches = total
+	st.TotalTime = time.Since(start)
+	return total, st, nil
+}
+
+type btWorker struct {
+	id         int
+	g          *graph.Graph
+	pl         *plan.Plan
+	visit      Visitor
+	instrument bool
+
+	st    Stats
+	sst   setops.Stats
+	count uint64
+	limit uint64  // early-termination threshold (0 = off)
+	found *uint64 // shared found-so-far counter when limit > 0
+
+	match    []uint32 // data vertex bound at each level
+	byVertex []uint32 // data vertex bound to each pattern vertex
+	bufA     [][]uint32
+	bufB     [][]uint32
+	labels   []int32 // required label per level (pattern.Unlabeled = any)
+}
+
+func newBTWorker(id int, g *graph.Graph, pl *plan.Plan, visit Visitor, instrument bool, maxDeg int) *btWorker {
+	k := pl.Pattern.N()
+	w := &btWorker{
+		id:         id,
+		g:          g,
+		pl:         pl,
+		visit:      visit,
+		instrument: instrument,
+		match:      make([]uint32, k),
+		byVertex:   make([]uint32, k),
+		bufA:       make([][]uint32, k),
+		bufB:       make([][]uint32, k),
+		labels:     make([]int32, k),
+	}
+	for i := 0; i < k; i++ {
+		w.bufA[i] = make([]uint32, 0, maxDeg)
+		w.bufB[i] = make([]uint32, 0, maxDeg)
+		w.labels[i] = pl.Pattern.Label(pl.Order[i])
+	}
+	return w
+}
+
+// runRoot explores matches whose level-0 vertex lies in [lo, hi).
+func (w *btWorker) runRoot(lo, hi uint32) {
+	k := w.pl.Pattern.N()
+	wantLabel := w.labels[0]
+	for v := lo; v < hi; v++ {
+		if w.limit > 0 && atomic.LoadUint64(w.found) >= w.limit {
+			return
+		}
+		if wantLabel != pattern.Unlabeled && w.g.Label(v) != wantLabel {
+			continue
+		}
+		before := w.count
+		if k == 1 {
+			w.emit(v, 0)
+		} else {
+			w.match[0] = v
+			w.byVertex[w.pl.Order[0]] = v
+			w.descend(1)
+		}
+		if w.limit > 0 && w.count != before {
+			atomic.AddUint64(w.found, w.count-before)
+		}
+	}
+}
+
+// descend binds level i given levels [0,i) already bound.
+func (w *btWorker) descend(i int) {
+	cands := w.candidates(i)
+	lower, upper, hasBounds := w.bounds(i)
+	if hasBounds {
+		cands = clip(cands, lower, upper)
+	}
+	k := w.pl.Pattern.N()
+	wantLabel := w.labels[i]
+	last := i == k-1
+
+	if last && w.visit == nil {
+		// Counting fast path: no recursion, no materialization.
+		for _, v := range cands {
+			if wantLabel != pattern.Unlabeled && w.g.Label(v) != wantLabel {
+				continue
+			}
+			if w.usedAt(v, i) {
+				continue
+			}
+			w.count++
+		}
+		return
+	}
+	for _, v := range cands {
+		if wantLabel != pattern.Unlabeled && w.g.Label(v) != wantLabel {
+			continue
+		}
+		if w.usedAt(v, i) {
+			continue
+		}
+		if last {
+			w.emit(v, i)
+			continue
+		}
+		w.match[i] = v
+		w.byVertex[w.pl.Order[i]] = v
+		w.descend(i + 1)
+	}
+}
+
+// candidates computes the level-i candidate set from the plan's Connect
+// and Disconnect lists. The returned slice is scratch owned by the worker.
+func (w *btWorker) candidates(i int) []uint32 {
+	var t0 time.Time
+	if w.instrument {
+		t0 = time.Now()
+	}
+	conn := w.pl.Connect[i]
+	// Base: smallest adjacency list among connected back levels.
+	base := conn[0]
+	for _, j := range conn[1:] {
+		if w.g.Degree(w.match[j]) < w.g.Degree(w.match[base]) {
+			base = j
+		}
+	}
+	cur := w.g.Neighbors(w.match[base])
+	out, spare := w.bufA[i], w.bufB[i]
+	for _, j := range conn {
+		if j == base {
+			continue
+		}
+		cur = setops.Intersect(out, cur, w.g.Neighbors(w.match[j]), &w.sst)
+		out, spare = spare, cur
+	}
+	for _, j := range w.pl.Disconnect[i] {
+		cur = setops.Difference(out, cur, w.g.Neighbors(w.match[j]), &w.sst)
+		out, spare = spare, cur
+	}
+	w.bufA[i], w.bufB[i] = out, spare
+	if w.instrument {
+		w.st.SetOpTime += time.Since(t0)
+	}
+	return cur
+}
+
+// bounds returns the exclusive symmetry-breaking window for level i:
+// candidates must satisfy lower < v < upper.
+func (w *btWorker) bounds(i int) (lower, upper uint32, has bool) {
+	lower, upper = 0, ^uint32(0)
+	for _, j := range w.pl.Greater[i] {
+		if w.match[j] >= lower {
+			lower = w.match[j]
+			has = true
+		}
+	}
+	for _, j := range w.pl.Smaller[i] {
+		if w.match[j] <= upper {
+			upper = w.match[j]
+			has = true
+		}
+	}
+	return lower, upper, has
+}
+
+// clip narrows a sorted candidate list to the exclusive window
+// (lower, upper) by binary search. When has==false callers skip clipping,
+// so lower/upper of 0/max mean "from the start" / "to the end".
+func clip(cands []uint32, lower, upper uint32) []uint32 {
+	lo, hi := 0, len(cands)
+	for lo < hi { // first index with cands[i] > lower
+		mid := (lo + hi) / 2
+		if cands[mid] <= lower {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start := lo
+	lo, hi = start, len(cands)
+	for lo < hi { // first index with cands[i] >= upper
+		mid := (lo + hi) / 2
+		if cands[mid] < upper {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return cands[start:lo]
+}
+
+// usedAt reports whether v is already bound at a level below i.
+func (w *btWorker) usedAt(v uint32, i int) bool {
+	for j := 0; j < i; j++ {
+		if w.match[j] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// emit completes the match with v at the last level and delivers it.
+func (w *btWorker) emit(v uint32, i int) {
+	w.count++
+	if w.visit == nil {
+		return
+	}
+	var t0 time.Time
+	if w.instrument {
+		t0 = time.Now()
+	}
+	w.match[i] = v
+	w.byVertex[w.pl.Order[i]] = v
+	w.st.Materialized += uint64(len(w.byVertex))
+	if w.instrument {
+		w.st.MaterializeTime += time.Since(t0)
+		t0 = time.Now()
+	}
+	w.st.UDFCalls++
+	w.visit(w.id, w.byVertex)
+	if w.instrument {
+		w.st.UDFTime += time.Since(t0)
+	}
+}

@@ -1,0 +1,265 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"morphing/internal/canon"
+	"morphing/internal/dataset"
+	"morphing/internal/graph"
+	"morphing/internal/pattern"
+	"morphing/internal/plan"
+	"morphing/internal/refmatch"
+)
+
+func completeGraph(n int) *graph.Graph {
+	var edges [][2]uint32
+	for u := uint32(0); u < uint32(n); u++ {
+		for v := u + 1; v < uint32(n); v++ {
+			edges = append(edges, [2]uint32{u, v})
+		}
+	}
+	return graph.MustFromEdges(n, edges, nil)
+}
+
+func countBT(t *testing.T, g *graph.Graph, p *pattern.Pattern, threads int) uint64 {
+	t.Helper()
+	pl, err := plan.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := Backtrack(g, pl, nil, ExecOptions{Threads: threads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Matches != got {
+		t.Fatalf("Stats.Matches=%d, count=%d", st.Matches, got)
+	}
+	return got
+}
+
+func TestBacktrackKnownCounts(t *testing.T) {
+	k5 := completeGraph(5)
+	cases := []struct {
+		name string
+		p    *pattern.Pattern
+		want uint64
+	}{
+		{"triangles in K5", pattern.Triangle(), 10},
+		{"4-cliques in K5", pattern.FourClique(), 5},
+		{"E 4-cycles in K5", pattern.FourCycle(), 15},
+		{"V 4-cycles in K5", pattern.FourCycle().AsVertexInduced(), 0},
+		{"5-clique in K5", pattern.FiveClique(), 1},
+		{"edges in K5", pattern.Edge(), 10},
+		{"E wedges in K5", pattern.Wedge(), 30},
+		{"V wedges in K5", pattern.Wedge().AsVertexInduced(), 0},
+	}
+	for _, tc := range cases {
+		if got := countBT(t, k5, tc.p, 2); got != tc.want {
+			t.Errorf("%s: got %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestBacktrackSingleVertexPattern(t *testing.T) {
+	g := graph.MustFromEdges(4, [][2]uint32{{0, 1}, {2, 3}}, []int32{1, 2, 1, 1})
+	one := pattern.MustNew(1, nil)
+	if got := countBT(t, g, one, 1); got != 4 {
+		t.Fatalf("unlabeled single vertex: %d, want 4", got)
+	}
+	labeled := pattern.MustNew(1, nil, pattern.WithLabels([]int32{1}))
+	if got := countBT(t, g, labeled, 1); got != 3 {
+		t.Fatalf("labeled single vertex: %d, want 3", got)
+	}
+}
+
+func TestBacktrackMatchesOracleOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g, err := dataset.ErdosRenyi(40, 7, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 2; k <= 5; k++ {
+			if k == 5 && testing.Short() {
+				continue
+			}
+			ps, err := canon.AllConnectedPatterns(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, base := range ps {
+				for _, iv := range []pattern.Induced{pattern.EdgeInduced, pattern.VertexInduced} {
+					p := base.Variant(iv)
+					want := refmatch.Count(g, p)
+					got := countBT(t, g, p, 3)
+					if got != want {
+						t.Errorf("seed=%d pattern=%v: backtrack=%d oracle=%d", seed, p, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBacktrackLabeledMatchesOracle(t *testing.T) {
+	g, err := dataset.ErdosRenyi(50, 8, 3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := []*pattern.Pattern{
+		pattern.Triangle(), pattern.Wedge(), pattern.TailedTriangle(),
+		pattern.FourCycle(), pattern.ChordalFourCycle(), pattern.FourStar(),
+	}
+	labelings := [][]int32{
+		{0, 0, 0, 0}, {0, 1, 2, 1}, {2, 2, 1, pattern.Unlabeled},
+	}
+	for _, shape := range shapes {
+		for _, lab := range labelings {
+			labels := lab[:shape.N()]
+			p := pattern.MustNew(shape.N(), shape.Edges(), pattern.WithLabels(labels))
+			for _, iv := range []pattern.Induced{pattern.EdgeInduced, pattern.VertexInduced} {
+				q := p.Variant(iv)
+				want := refmatch.Count(g, q)
+				got := countBT(t, g, q, 2)
+				if got != want {
+					t.Errorf("pattern=%v: backtrack=%d oracle=%d", q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBacktrackStreamsUniqueCanonicalMatches(t *testing.T) {
+	g, err := dataset.ErdosRenyi(30, 6, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*pattern.Pattern{
+		pattern.Triangle(),
+		pattern.TailedTriangle(),
+		pattern.FourCycle().AsVertexInduced(),
+		pattern.ChordalFourCycle(),
+	} {
+		pl, err := plan.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auts := canon.Automorphisms(p)
+		var mu sync.Mutex
+		got := map[string]bool{}
+		dups := 0
+		_, st, err := Backtrack(g, pl, func(worker int, m []uint32) {
+			c := canon.CanonicalMatch(p, m, auts)
+			k := fmt.Sprint(c)
+			mu.Lock()
+			if got[k] {
+				dups++
+			}
+			got[k] = true
+			mu.Unlock()
+		}, ExecOptions{Threads: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dups != 0 {
+			t.Errorf("pattern %v: %d duplicate subgraphs emitted (symmetry breaking broken)", p, dups)
+		}
+		want := refmatch.Matches(g, p)
+		if len(got) != len(want) {
+			t.Errorf("pattern %v: %d unique matches, oracle has %d", p, len(got), len(want))
+		}
+		for _, m := range want {
+			if !got[fmt.Sprint(m)] {
+				t.Errorf("pattern %v: oracle match %v missing", p, m)
+			}
+		}
+		if st.UDFCalls != uint64(len(got))+uint64(dups) {
+			t.Errorf("UDFCalls=%d, want %d", st.UDFCalls, len(got))
+		}
+	}
+}
+
+func TestBacktrackMatchVertexOrder(t *testing.T) {
+	// Path graph 0-1-2: the only wedge has center 1. Emitted matches must
+	// be indexed by pattern vertex: wedge = path 0-1-2 with center 1.
+	g := graph.MustFromEdges(3, [][2]uint32{{0, 1}, {1, 2}}, nil)
+	p := pattern.Wedge() // edges 0-1, 1-2: center is pattern vertex 1
+	pl, err := plan.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var seen [][]uint32
+	_, _, err = Backtrack(g, pl, func(_ int, m []uint32) {
+		mu.Lock()
+		seen = append(seen, append([]uint32(nil), m...))
+		mu.Unlock()
+	}, ExecOptions{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 {
+		t.Fatalf("got %d matches, want 1", len(seen))
+	}
+	if seen[0][1] != 1 {
+		t.Fatalf("center of wedge bound to %d, want data vertex 1 (m=%v)", seen[0][1], seen[0])
+	}
+}
+
+func TestBacktrackThreadCountInvariance(t *testing.T) {
+	g, err := dataset.MiCo().Scaled(0.005).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pattern.TailedTriangle().AsVertexInduced()
+	want := countBT(t, g, p, 1)
+	for _, threads := range []int{2, 4, 8} {
+		if got := countBT(t, g, p, threads); got != want {
+			t.Errorf("threads=%d: count %d, want %d", threads, got, want)
+		}
+	}
+}
+
+func TestBacktrackInstrumentation(t *testing.T) {
+	g, err := dataset.ErdosRenyi(100, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pattern.FourCycle().AsVertexInduced()
+	pl, err := plan.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := Backtrack(g, pl, nil, ExecOptions{Threads: 2, Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SetOps == 0 || st.SetElems == 0 {
+		t.Error("set operations not counted")
+	}
+	if st.SetOpTime <= 0 {
+		t.Error("instrumented run has zero SetOpTime")
+	}
+	if st.TotalTime <= 0 {
+		t.Error("TotalTime missing")
+	}
+	// Counting runs must not materialize matches.
+	if st.Materialized != 0 || st.UDFCalls != 0 {
+		t.Errorf("counting run materialized %d, UDF %d", st.Materialized, st.UDFCalls)
+	}
+}
+
+func TestBacktrackNilPlan(t *testing.T) {
+	if _, _, err := Backtrack(completeGraph(3), nil, nil, ExecOptions{}); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := &Stats{SetOps: 1, Matches: 2, UDFCalls: 3}
+	a.Add(&Stats{SetOps: 10, Matches: 20, UDFCalls: 30, Branches: 5})
+	if a.SetOps != 11 || a.Matches != 22 || a.UDFCalls != 33 || a.Branches != 5 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+}

@@ -1,0 +1,82 @@
+// Package engine defines the contract shared by the four matching engines
+// (Peregrine, AutoZero, GraphPi, BigJoin models) plus the instrumented
+// statistics the paper's evaluation reports, and a parallel backtracking
+// executor that pattern-aware engines build on.
+package engine
+
+import (
+	"errors"
+	"time"
+
+	"morphing/internal/graph"
+	"morphing/internal/pattern"
+)
+
+// ErrInducedUnsupported is returned by engines asked to natively match
+// semantics they do not support (vertex-induced patterns on the GraphPi
+// and BigJoin models). Callers fall back to a Filter UDF or to Subgraph
+// Morphing.
+var ErrInducedUnsupported = errors.New("engine: induced semantics not supported natively; use a Filter UDF or Subgraph Morphing")
+
+// Visitor receives one match per call: m[i] is the data vertex bound to
+// pattern vertex i. Matches are unique per subgraph (symmetry breaking
+// selects one embedding per automorphism class). Visitors may be invoked
+// concurrently from different workers; worker identifies the caller and
+// should be treated as a sharding hint (take it modulo your shard count —
+// pipeline engines may use more worker IDs than configured threads). The
+// slice is reused after the call returns — copy it to retain it.
+type Visitor func(worker int, m []uint32)
+
+// Engine is a pattern matching engine. Implementations differ in matching
+// strategy, multi-pattern handling and which induced semantics they
+// support natively — the very differences Subgraph Morphing exploits
+// (§3.4).
+type Engine interface {
+	// Name returns the short system name used in figures.
+	Name() string
+	// SupportsInduced reports whether the engine natively matches
+	// patterns with the given semantics. Engines without native
+	// vertex-induced support (GraphPi and BigJoin models) need Filter
+	// UDFs or Subgraph Morphing for those queries.
+	SupportsInduced(iv pattern.Induced) bool
+	// Count returns the number of unique matches of p in g.
+	Count(g *graph.Graph, p *pattern.Pattern) (uint64, *Stats, error)
+	// CountAll counts several patterns, letting engines share work across
+	// them (AutoZero merges schedules).
+	CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *Stats, error)
+	// Match streams every unique match of p to visit.
+	Match(g *graph.Graph, p *pattern.Pattern, visit Visitor) (*Stats, error)
+}
+
+// Stats instruments one engine execution. The counters mirror the
+// quantities the paper's profiling (Fig. 4) and evaluation figures report:
+// set-operation work, match materialization, UDF invocations, and the
+// data-dependent branches that Filter UDFs burn (Fig. 14c-d). Timings are
+// only collected when instrumentation is enabled; counters are always on.
+type Stats struct {
+	SetOps       uint64 // sorted-set operations executed
+	SetElems     uint64 // elements scanned by set operations
+	Materialized uint64 // vertices written into emitted matches
+	UDFCalls     uint64 // user-defined-function invocations
+	Branches     uint64 // data-dependent branches (edge probes, filters)
+	Matches      uint64 // unique matches found
+
+	SetOpTime       time.Duration // candidate-generation time
+	MaterializeTime time.Duration // match assembly and emission time
+	UDFTime         time.Duration // time inside user callbacks
+	TotalTime       time.Duration // wall-clock for the whole operation
+}
+
+// Add merges other into s.
+func (s *Stats) Add(other *Stats) {
+	s.SetOps += other.SetOps
+	s.SetElems += other.SetElems
+	s.Materialized += other.Materialized
+	s.UDFCalls += other.UDFCalls
+	s.Branches += other.Branches
+	s.Matches += other.Matches
+	s.SetOpTime += other.SetOpTime
+	s.MaterializeTime += other.MaterializeTime
+	s.UDFTime += other.UDFTime
+	s.TotalTime += other.TotalTime
+}

@@ -1,0 +1,316 @@
+// Package enginetest cross-validates the four engine models against the
+// brute-force oracle and against each other: identical counts and
+// identical unique-match streams on seeded random graphs across every
+// connected pattern up to 5 vertices, labeled and unlabeled, both
+// semantics where supported.
+package enginetest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"morphing/internal/autozero"
+	"morphing/internal/bigjoin"
+	"morphing/internal/canon"
+	"morphing/internal/dataset"
+	"morphing/internal/engine"
+	"morphing/internal/graph"
+	"morphing/internal/graphpi"
+	"morphing/internal/pattern"
+	"morphing/internal/peregrine"
+	"morphing/internal/refmatch"
+)
+
+func allEngines() []engine.Engine {
+	return []engine.Engine{
+		peregrine.New(3),
+		autozero.New(3),
+		graphpi.New(3),
+		bigjoin.New(3),
+	}
+}
+
+func testGraph(t *testing.T, seed int64, labels int) *graph.Graph {
+	t.Helper()
+	g, err := dataset.ErdosRenyi(45, 7, labels, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEngineNamesAndCapabilities(t *testing.T) {
+	caps := map[string]bool{ // native vertex-induced support
+		"Peregrine": true,
+		"AutoZero":  true,
+		"GraphPi":   false,
+		"BigJoin":   false,
+	}
+	for _, e := range allEngines() {
+		want, ok := caps[e.Name()]
+		if !ok {
+			t.Fatalf("unexpected engine name %q", e.Name())
+		}
+		if e.SupportsInduced(pattern.VertexInduced) != want {
+			t.Errorf("%s: SupportsInduced(V) = %v, want %v", e.Name(), !want, want)
+		}
+		if !e.SupportsInduced(pattern.EdgeInduced) {
+			t.Errorf("%s: must support edge-induced", e.Name())
+		}
+	}
+}
+
+func TestAllEnginesMatchOracleCounts(t *testing.T) {
+	g := testGraph(t, 21, 0)
+	maxK := 5
+	if testing.Short() {
+		maxK = 4
+	}
+	for k := 2; k <= maxK; k++ {
+		ps, err := canon.AllConnectedPatterns(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, base := range ps {
+			for _, iv := range []pattern.Induced{pattern.EdgeInduced, pattern.VertexInduced} {
+				p := base.Variant(iv)
+				want := refmatch.Count(g, p)
+				for _, e := range allEngines() {
+					if !e.SupportsInduced(iv) && !p.IsClique() {
+						if _, _, err := e.Count(g, p); !errors.Is(err, engine.ErrInducedUnsupported) {
+							t.Errorf("%s: expected ErrInducedUnsupported for %v, got %v", e.Name(), p, err)
+						}
+						continue
+					}
+					got, _, err := e.Count(g, p)
+					if err != nil {
+						t.Fatalf("%s: %v", e.Name(), err)
+					}
+					if got != want {
+						t.Errorf("%s pattern=%v: count %d, oracle %d", e.Name(), p, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllEnginesLabeled(t *testing.T) {
+	g := testGraph(t, 33, 3)
+	shapes := []*pattern.Pattern{pattern.Triangle(), pattern.TailedTriangle(), pattern.FourCycle()}
+	for _, shape := range shapes {
+		labels := make([]int32, shape.N())
+		for i := range labels {
+			labels[i] = int32(i % 2)
+		}
+		p := pattern.MustNew(shape.N(), shape.Edges(), pattern.WithLabels(labels))
+		want := refmatch.Count(g, p)
+		for _, e := range allEngines() {
+			got, _, err := e.Count(g, p)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name(), err)
+			}
+			if got != want {
+				t.Errorf("%s labeled %v: count %d, oracle %d", e.Name(), p, got, want)
+			}
+		}
+	}
+}
+
+func TestAllEnginesStreamIdenticalMatchSets(t *testing.T) {
+	g := testGraph(t, 8, 0)
+	for _, p := range []*pattern.Pattern{
+		pattern.Triangle(),
+		pattern.TailedTriangle(),
+		pattern.ChordalFourCycle(),
+	} {
+		auts := canon.Automorphisms(p)
+		oracle := refmatch.Matches(g, p)
+		wantSet := map[string]bool{}
+		for _, m := range oracle {
+			wantSet[fmt.Sprint(m)] = true
+		}
+		for _, e := range allEngines() {
+			var mu sync.Mutex
+			got := map[string]bool{}
+			dups := 0
+			_, err := e.Match(g, p, func(_ int, m []uint32) {
+				c := canon.CanonicalMatch(p, m, auts)
+				k := fmt.Sprint(c)
+				mu.Lock()
+				if got[k] {
+					dups++
+				}
+				got[k] = true
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name(), err)
+			}
+			if dups != 0 {
+				t.Errorf("%s pattern %v: %d duplicate matches", e.Name(), p, dups)
+			}
+			if len(got) != len(wantSet) {
+				t.Errorf("%s pattern %v: %d matches, oracle %d", e.Name(), p, len(got), len(wantSet))
+				continue
+			}
+			for k := range wantSet {
+				if !got[k] {
+					t.Errorf("%s pattern %v: missing oracle match %s", e.Name(), p, k)
+				}
+			}
+		}
+	}
+}
+
+func TestCountAllConsistentWithCount(t *testing.T) {
+	g := testGraph(t, 55, 0)
+	ps := []*pattern.Pattern{
+		pattern.Triangle(),
+		pattern.FourCycle(),
+		pattern.TailedTriangle().AsVertexInduced(),
+		pattern.ChordalFourCycle(),
+		pattern.FourClique(),
+	}
+	for _, e := range allEngines() {
+		var supported []*pattern.Pattern
+		for _, p := range ps {
+			if e.SupportsInduced(p.Induced()) || p.IsClique() {
+				supported = append(supported, p)
+			}
+		}
+		counts, _, err := e.CountAll(g, supported)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		for i, p := range supported {
+			want, _, err := e.Count(g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if counts[i] != want {
+				t.Errorf("%s: CountAll[%v]=%d, Count=%d", e.Name(), p, counts[i], want)
+			}
+		}
+	}
+}
+
+func TestAutoZeroMergedScheduleSharesWork(t *testing.T) {
+	g, err := dataset.MiCo().Scaled(0.01).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	az := autozero.New(2)
+	// The six 4-vertex motifs share deep loop prefixes; a merged schedule
+	// must do less set-operation work than six independent runs.
+	base, err := canon.AllConnectedPatterns(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := make([]*pattern.Pattern, len(base))
+	for i, p := range base {
+		ps[i] = p.AsVertexInduced()
+	}
+	_, merged, err := az.CountAll(g, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var separate engine.Stats
+	for _, p := range ps {
+		_, st, err := az.Count(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		separate.Add(st)
+	}
+	if merged.SetElems >= separate.SetElems {
+		t.Errorf("merged schedule scanned %d set elements, separate %d — merging saved nothing",
+			merged.SetElems, separate.SetElems)
+	}
+}
+
+func TestFilterUDFCountsMatchNativeVertexInduced(t *testing.T) {
+	g := testGraph(t, 77, 0)
+	per := peregrine.New(2)
+	gp := graphpi.New(2)
+	bj := bigjoin.New(2)
+	for _, base := range []*pattern.Pattern{
+		pattern.TailedTriangle(),
+		pattern.FourCycle(),
+		pattern.ChordalFourCycle(),
+		pattern.FourStar(),
+	} {
+		pV := base.AsVertexInduced()
+		want, _, err := per.Count(g, pV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotGP, stGP, err := gp.CountVertexInducedViaFilter(g, pV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotGP != want {
+			t.Errorf("GraphPi filter count for %v = %d, want %d", pV, gotGP, want)
+		}
+		if stGP.Branches == 0 || stGP.UDFCalls == 0 {
+			t.Errorf("GraphPi filter did not record UDF work: %+v", stGP)
+		}
+		gotBJ, stBJ, err := bj.CountVertexInducedViaFilter(g, pV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotBJ != want {
+			t.Errorf("BigJoin filter count for %v = %d, want %d", pV, gotBJ, want)
+		}
+		if stBJ.Branches == 0 {
+			t.Errorf("BigJoin filter did not record branches")
+		}
+	}
+}
+
+func TestVertexInducedCliqueAcceptedEverywhere(t *testing.T) {
+	g := testGraph(t, 91, 0)
+	p := pattern.FourClique().AsVertexInduced()
+	want := refmatch.Count(g, p)
+	for _, e := range allEngines() {
+		got, _, err := e.Count(g, p)
+		if err != nil {
+			t.Fatalf("%s rejected vertex-induced clique: %v", e.Name(), err)
+		}
+		if got != want {
+			t.Errorf("%s: clique count %d, want %d", e.Name(), got, want)
+		}
+	}
+}
+
+func TestEnginesOnSkewedGraph(t *testing.T) {
+	// Power-law graphs exercise the high-degree paths (hub-heavy
+	// adjacency lists, deep intersections).
+	g, err := dataset.MiCo().Scaled(0.008).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*pattern.Pattern{
+		pattern.Triangle(),
+		pattern.FourCycle().AsVertexInduced(),
+		pattern.ChordalFourCycle(),
+	} {
+		var want uint64
+		for i, e := range allEngines() {
+			if !e.SupportsInduced(p.Induced()) && !p.IsClique() {
+				continue
+			}
+			got, _, err := e.Count(g, p)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name(), err)
+			}
+			if i == 0 {
+				want = got
+			} else if got != want {
+				t.Errorf("%s disagrees on %v: %d vs %d", e.Name(), p, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSortByDegree(t *testing.T) {
+	// Star with center 0: the hub must end up with the largest ID.
+	g := MustFromEdges(5, [][2]uint32{{0, 1}, {0, 2}, {0, 3}, {0, 4}}, []int32{9, 1, 1, 1, 1})
+	sorted, remap := SortByDegree(g)
+	if sorted.NumVertices() != 5 || sorted.NumEdges() != 4 {
+		t.Fatalf("shape changed: %d vertices, %d edges", sorted.NumVertices(), sorted.NumEdges())
+	}
+	hub := remap[0]
+	if hub != 4 {
+		t.Fatalf("hub relabeled to %d, want 4 (largest ID)", hub)
+	}
+	if sorted.Degree(hub) != 4 {
+		t.Fatalf("hub degree %d after relabeling", sorted.Degree(hub))
+	}
+	if sorted.Label(hub) != 9 {
+		t.Fatalf("hub label %d, want 9", sorted.Label(hub))
+	}
+	// Degrees must be non-decreasing in the new numbering.
+	for v := 1; v < sorted.NumVertices(); v++ {
+		if sorted.Degree(uint32(v-1)) > sorted.Degree(uint32(v)) {
+			t.Fatalf("degrees not ascending at %d", v)
+		}
+	}
+	// Adjacency preserved under the mapping.
+	for old := uint32(0); old < 5; old++ {
+		for _, u := range g.Neighbors(old) {
+			if !sorted.HasEdge(remap[old], remap[u]) {
+				t.Fatalf("edge {%d,%d} lost", old, u)
+			}
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{
+		MustFromEdges(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}, nil),
+		MustFromEdges(3, [][2]uint32{{0, 1}}, []int32{5, -1, 9}),
+		MustFromEdges(2, nil, nil), // edgeless
+	} {
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		h, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.NumVertices() != g.NumVertices() || h.NumEdges() != g.NumEdges() {
+			t.Fatalf("shape changed: %d/%d vs %d/%d",
+				h.NumVertices(), h.NumEdges(), g.NumVertices(), g.NumEdges())
+		}
+		for v := uint32(0); v < uint32(g.NumVertices()); v++ {
+			if g.Label(v) != h.Label(v) {
+				t.Fatalf("label of %d changed", v)
+			}
+			a, b := g.Neighbors(v), h.Neighbors(v)
+			if len(a) != len(b) {
+				t.Fatalf("degree of %d changed", v)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("adjacency of %d changed", v)
+				}
+			}
+		}
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	g := MustFromEdges(4, [][2]uint32{{0, 1}, {1, 2}}, nil)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"bad version", func(b []byte) []byte { b[4] = 99; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-6] }},
+		{"absurd vertex count", func(b []byte) []byte {
+			for i := 8; i < 16; i++ {
+				b[i] = 0xFF
+			}
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		mutated := tc.mutate(append([]byte(nil), good...))
+		if _, err := ReadBinary(bytes.NewReader(mutated)); err == nil {
+			t.Errorf("%s: corrupt input accepted", tc.name)
+		}
+	}
+}
+
+func TestBinaryValidatesStructure(t *testing.T) {
+	g := MustFromEdges(3, [][2]uint32{{0, 1}, {1, 2}}, nil)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// The adjacency section starts after magic(4)+version(4)+nv(8)+ne(8)+
+	// labeled(1)+offsets(4*8). Smash a neighbor to an out-of-range vertex.
+	adjStart := 4 + 4 + 8 + 8 + 1 + 4*8
+	b[adjStart] = 0xEE
+	b[adjStart+1] = 0xEE
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("out-of-range neighbor accepted")
+	}
+}

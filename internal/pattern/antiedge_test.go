@@ -1,0 +1,141 @@
+package pattern
+
+import (
+	"reflect"
+	"testing"
+)
+
+// tailedSquare returns the 4-cycle with one explicit anti-edge across the
+// {0,2} diagonal: matches may have the {1,3} diagonal present but never
+// {0,2} — a pattern neither variant can express.
+func tailedSquare(t *testing.T) *Pattern {
+	t.Helper()
+	p, err := New(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+		WithAntiEdges([][2]int{{0, 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestExplicitAntiEdgeBasics(t *testing.T) {
+	p := tailedSquare(t)
+	if !p.HasExplicitAntiEdges() {
+		t.Fatal("explicit anti-edge flag lost")
+	}
+	if p.AntiEdgeCount() != 1 {
+		t.Fatalf("AntiEdgeCount = %d", p.AntiEdgeCount())
+	}
+	if !p.IsAntiEdge(0, 2) || !p.IsAntiEdge(2, 0) {
+		t.Fatal("declared anti-edge not reported")
+	}
+	if p.IsAntiEdge(1, 3) {
+		t.Fatal("undeclared pair reported as anti-edge")
+	}
+	if got := p.AntiEdgePairs(); !reflect.DeepEqual(got, [][2]int{{0, 2}}) {
+		t.Fatalf("AntiEdgePairs = %v", got)
+	}
+	if p.Induced() != EdgeInduced {
+		t.Fatal("explicit-anti pattern must report edge-induced base semantics")
+	}
+}
+
+func TestAntiEdgeValidation(t *testing.T) {
+	base := [][2]int{{0, 1}, {1, 2}}
+	cases := []struct {
+		name string
+		anti [][2]int
+	}{
+		{"out of range", [][2]int{{0, 5}}},
+		{"self pair", [][2]int{{1, 1}}},
+		{"overlaps edge", [][2]int{{0, 1}}},
+		{"duplicate", [][2]int{{0, 2}, {2, 0}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(3, base, WithAntiEdges(tc.anti)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Conflicts with vertex-induced semantics, in both option orders.
+	if _, err := New(3, base, WithInduced(VertexInduced), WithAntiEdges([][2]int{{0, 2}})); err == nil {
+		t.Error("anti-edges after vertex-induced accepted")
+	}
+	if _, err := New(3, base, WithAntiEdges([][2]int{{0, 2}}), WithInduced(VertexInduced)); err == nil {
+		t.Error("vertex-induced after anti-edges accepted")
+	}
+}
+
+func TestVariantDropsExplicitAnti(t *testing.T) {
+	p := tailedSquare(t)
+	v := p.AsVertexInduced()
+	if v.HasExplicitAntiEdges() {
+		t.Fatal("Variant must drop the explicit anti set")
+	}
+	if v.AntiEdgeCount() != 2 { // both diagonals under vertex-induced
+		t.Fatalf("vertex-induced variant AntiEdgeCount = %d", v.AntiEdgeCount())
+	}
+}
+
+func TestWithExtraEdgeRespectsAnti(t *testing.T) {
+	p := tailedSquare(t)
+	if _, err := p.WithExtraEdge(0, 2); err == nil {
+		t.Fatal("extension across an anti-edge accepted")
+	}
+	q, err := p.WithExtraEdge(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.HasExplicitAntiEdges() || !q.IsAntiEdge(0, 2) {
+		t.Fatal("extension lost the anti set")
+	}
+}
+
+func TestPermuteCarriesAntiEdges(t *testing.T) {
+	p := tailedSquare(t)
+	q, err := p.Permute([]int{1, 2, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old anti pair {0,2} maps to new positions holding old vertices 0,2:
+	// new vertex 3 holds old 0, new vertex 1 holds old 2.
+	if !q.IsAntiEdge(3, 1) {
+		t.Fatalf("anti-edge did not follow permutation: %v", q.AntiEdgePairs())
+	}
+	if q.AntiEdgeCount() != 1 {
+		t.Fatalf("AntiEdgeCount after permute = %d", q.AntiEdgeCount())
+	}
+}
+
+func TestAntiEdgeCodecRoundTrip(t *testing.T) {
+	p := tailedSquare(t)
+	s := p.String()
+	q, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	if !p.Equal(q) {
+		t.Fatalf("round trip changed pattern: %q -> %q", s, q)
+	}
+	if _, err := Parse("n=3;e=0-1;a=0:2"); err == nil {
+		t.Error("bad anti-edge syntax accepted")
+	}
+	if _, err := Parse("n=3;e=0-1;a=0-1"); err == nil {
+		t.Error("anti-edge over an edge accepted")
+	}
+	if _, err := Parse("n=3;e=0-1;a=0-2;v"); err == nil {
+		t.Error("anti-edges plus vertex-induced accepted")
+	}
+}
+
+func TestEqualDistinguishesAntiSets(t *testing.T) {
+	a := tailedSquare(t)
+	b := MustNew(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if a.Equal(b) {
+		t.Fatal("explicit-anti pattern equal to its plain edge-induced base")
+	}
+	c := MustNew(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+		WithAntiEdges([][2]int{{1, 3}}))
+	if a.Equal(c) {
+		t.Fatal("different anti sets compared equal")
+	}
+}

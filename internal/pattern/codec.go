@@ -1,0 +1,132 @@
+package pattern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The textual pattern format is a single line of semicolon-separated
+// fields, stable enough for CLI flags and golden files:
+//
+//	n=4;e=0-1,1-2,2-3,3-0;l=5,5,-1,-1;v
+//	n=4;e=0-1,1-2,2-3,3-0;a=0-2
+//
+// Fields: n (vertex count, required), e (edge list, may be empty for the
+// one-vertex pattern), l (per-vertex labels, optional), a (explicit
+// anti-edges, optional), and a trailing "v" for vertex-induced semantics
+// (edge-induced if absent; mutually exclusive with "a").
+
+// String renders the pattern in the textual format accepted by Parse.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d;e=", p.n)
+	for i, e := range p.Edges() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d-%d", e[0], e[1])
+	}
+	if p.Labeled() {
+		b.WriteString(";l=")
+		for i := 0; i < p.n; i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatInt(int64(p.labels[i]), 10))
+		}
+	}
+	if p.explicitAnti {
+		b.WriteString(";a=")
+		for i, e := range p.AntiEdgePairs() {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d-%d", e[0], e[1])
+		}
+	}
+	if p.induced == VertexInduced {
+		b.WriteString(";v")
+	}
+	return b.String()
+}
+
+// Parse decodes the textual pattern format produced by String.
+func Parse(s string) (*Pattern, error) {
+	var (
+		n       = -1
+		edges   [][2]int
+		antis   [][2]int
+		labels  []int32
+		induced = EdgeInduced
+	)
+	for _, field := range strings.Split(strings.TrimSpace(s), ";") {
+		switch {
+		case strings.HasPrefix(field, "n="):
+			v, err := strconv.Atoi(field[2:])
+			if err != nil {
+				return nil, fmt.Errorf("pattern: bad vertex count %q: %v", field, err)
+			}
+			n = v
+		case strings.HasPrefix(field, "e="):
+			body := field[2:]
+			if body == "" {
+				continue
+			}
+			for _, es := range strings.Split(body, ",") {
+				uv := strings.SplitN(es, "-", 2)
+				if len(uv) != 2 {
+					return nil, fmt.Errorf("pattern: bad edge %q", es)
+				}
+				u, err1 := strconv.Atoi(uv[0])
+				v, err2 := strconv.Atoi(uv[1])
+				if err1 != nil || err2 != nil {
+					return nil, fmt.Errorf("pattern: bad edge %q", es)
+				}
+				edges = append(edges, [2]int{u, v})
+			}
+		case strings.HasPrefix(field, "a="):
+			body := field[2:]
+			if body == "" {
+				continue
+			}
+			for _, es := range strings.Split(body, ",") {
+				uv := strings.SplitN(es, "-", 2)
+				if len(uv) != 2 {
+					return nil, fmt.Errorf("pattern: bad anti-edge %q", es)
+				}
+				u, err1 := strconv.Atoi(uv[0])
+				v, err2 := strconv.Atoi(uv[1])
+				if err1 != nil || err2 != nil {
+					return nil, fmt.Errorf("pattern: bad anti-edge %q", es)
+				}
+				antis = append(antis, [2]int{u, v})
+			}
+		case strings.HasPrefix(field, "l="):
+			for _, ls := range strings.Split(field[2:], ",") {
+				v, err := strconv.ParseInt(ls, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("pattern: bad label %q: %v", ls, err)
+				}
+				labels = append(labels, int32(v))
+			}
+		case field == "v":
+			induced = VertexInduced
+		case field == "":
+			// tolerate trailing separators
+		default:
+			return nil, fmt.Errorf("pattern: unknown field %q", field)
+		}
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("pattern: missing n= field in %q", s)
+	}
+	opts := []Option{WithInduced(induced)}
+	if labels != nil {
+		opts = append(opts, WithLabels(labels))
+	}
+	if antis != nil {
+		opts = append(opts, WithAntiEdges(antis))
+	}
+	return New(n, edges, opts...)
+}

@@ -1,0 +1,345 @@
+package pattern
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+		opts  []Option
+	}{
+		{"zero vertices", 0, nil, nil},
+		{"too many vertices", MaxVertices + 1, nil, nil},
+		{"edge out of range", 3, [][2]int{{0, 3}}, nil},
+		{"negative endpoint", 3, [][2]int{{-1, 0}}, nil},
+		{"self loop", 3, [][2]int{{1, 1}}, nil},
+		{"duplicate edge", 3, [][2]int{{0, 1}, {1, 0}}, nil},
+		{"label count mismatch", 3, [][2]int{{0, 1}}, []Option{WithLabels([]int32{1})}},
+		{"bad induced mode", 2, [][2]int{{0, 1}}, []Option{WithInduced(Induced(9))}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.n, tc.edges, tc.opts...); err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+		}
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	p := MustNew(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+		WithLabels([]int32{7, 8, 7, 8}), WithInduced(VertexInduced))
+	if p.N() != 4 || p.EdgeCount() != 4 {
+		t.Fatalf("got n=%d e=%d, want 4,4", p.N(), p.EdgeCount())
+	}
+	if !p.HasEdge(0, 1) || !p.HasEdge(1, 0) || p.HasEdge(0, 2) || p.HasEdge(1, 1) {
+		t.Fatal("HasEdge is wrong")
+	}
+	if p.Degree(0) != 2 || p.Degree(2) != 2 {
+		t.Fatal("Degree is wrong")
+	}
+	if p.Label(0) != 7 || p.Label(3) != 8 || !p.Labeled() {
+		t.Fatal("labels are wrong")
+	}
+	if p.Induced() != VertexInduced {
+		t.Fatal("induced mode lost")
+	}
+	wantEdges := [][2]int{{0, 1}, {0, 3}, {1, 2}, {2, 3}}
+	if got := p.Edges(); !reflect.DeepEqual(got, wantEdges) {
+		t.Fatalf("Edges() = %v, want %v", got, wantEdges)
+	}
+	wantAnti := [][2]int{{0, 2}, {1, 3}}
+	if got := p.AntiEdgePairs(); !reflect.DeepEqual(got, wantAnti) {
+		t.Fatalf("AntiEdgePairs() = %v, want %v", got, wantAnti)
+	}
+	if got := p.AsEdgeInduced().AntiEdgePairs(); got != nil {
+		t.Fatalf("edge-induced variant has anti-edges %v", got)
+	}
+}
+
+func TestVariantsShareStructure(t *testing.T) {
+	p := TailedTriangle()
+	v := p.AsVertexInduced()
+	if v.Induced() != VertexInduced || p.Induced() != EdgeInduced {
+		t.Fatal("Variant must not mutate the receiver")
+	}
+	if !reflect.DeepEqual(p.Edges(), v.Edges()) {
+		t.Fatal("variants must share edges")
+	}
+}
+
+func TestConnectivityAndClique(t *testing.T) {
+	if !Triangle().IsConnected() || !Triangle().IsClique() {
+		t.Fatal("triangle misclassified")
+	}
+	disconnected := MustNew(4, [][2]int{{0, 1}, {2, 3}})
+	if disconnected.IsConnected() {
+		t.Fatal("two disjoint edges reported connected")
+	}
+	if FourCycle().IsClique() {
+		t.Fatal("4-cycle is not a clique")
+	}
+	if !MustNew(1, nil).IsConnected() {
+		t.Fatal("single vertex is connected")
+	}
+}
+
+func TestWithExtraEdge(t *testing.T) {
+	p := FourCycle()
+	q, err := p.WithExtraEdge(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.EdgeCount() != 5 || !q.HasEdge(0, 2) {
+		t.Fatal("extension edge missing")
+	}
+	if p.EdgeCount() != 4 || p.HasEdge(0, 2) {
+		t.Fatal("WithExtraEdge mutated receiver")
+	}
+	if _, err := p.WithExtraEdge(0, 1); err == nil {
+		t.Fatal("expected error for existing edge")
+	}
+	if _, err := p.WithExtraEdge(0, 0); err == nil {
+		t.Fatal("expected error for self loop")
+	}
+	if _, err := p.WithExtraEdge(0, 9); err == nil {
+		t.Fatal("expected error for out-of-range endpoint")
+	}
+}
+
+func TestPermute(t *testing.T) {
+	p := MustNew(3, [][2]int{{0, 1}, {1, 2}}, WithLabels([]int32{10, 20, 30}))
+	q, err := p.Permute([]int{2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Label(0) != 30 || q.Label(2) != 10 {
+		t.Fatalf("labels did not follow permutation: %v", q.Labels())
+	}
+	if !q.HasEdge(0, 1) || !q.HasEdge(1, 2) || q.HasEdge(0, 2) {
+		t.Fatal("edges did not follow permutation")
+	}
+	if _, err := p.Permute([]int{0, 0, 1}); err == nil {
+		t.Fatal("expected error for non-permutation")
+	}
+	if _, err := p.Permute([]int{0, 1}); err == nil {
+		t.Fatal("expected error for short permutation")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := TailedTriangle()
+	b := TailedTriangle()
+	if !a.Equal(b) {
+		t.Fatal("identical constructions must be Equal")
+	}
+	if a.Equal(a.AsVertexInduced()) {
+		t.Fatal("variants must not be Equal")
+	}
+	// Isomorphic but differently numbered: tail on vertex 1 instead of 0.
+	c := MustNew(4, [][2]int{{0, 1}, {0, 2}, {1, 2}, {1, 3}})
+	if a.Equal(c) {
+		t.Fatal("Equal must be exact, not isomorphism")
+	}
+}
+
+func TestNamedPatternShapes(t *testing.T) {
+	checks := []struct {
+		p       *Pattern
+		n, e    int
+		clique  bool
+		degrees []int
+	}{
+		{Edge(), 2, 1, true, []int{1, 1}},
+		{Wedge(), 3, 2, false, []int{2, 1, 1}},
+		{Triangle(), 3, 3, true, []int{2, 2, 2}},
+		{FourStar(), 4, 3, false, []int{3, 1, 1, 1}},
+		{TailedTriangle(), 4, 4, false, []int{3, 2, 2, 1}},
+		{FourCycle(), 4, 4, false, []int{2, 2, 2, 2}},
+		{ChordalFourCycle(), 4, 5, false, []int{3, 3, 2, 2}},
+		{FourClique(), 4, 6, true, []int{3, 3, 3, 3}},
+		{House(), 5, 6, false, []int{3, 3, 2, 2, 2}},
+		{Bowtie(), 5, 6, false, []int{4, 2, 2, 2, 2}},
+		{FiveCliqueMinusEdge(), 5, 9, false, []int{4, 4, 4, 3, 3}},
+		{FiveClique(), 5, 10, true, []int{4, 4, 4, 4, 4}},
+		{DoubleDiamond(), 7, 12, false, []int{6, 3, 3, 3, 3, 3, 3}},
+		{TriangleChain(), 7, 9, false, []int{4, 4, 2, 2, 2, 2, 2}},
+		{PenTriClique(), 7, 13, false, []int{6, 4, 4, 4, 4, 2, 2}},
+	}
+	for i, c := range checks {
+		if c.p.N() != c.n || c.p.EdgeCount() != c.e {
+			t.Errorf("case %d: got (%d,%d) vertices/edges, want (%d,%d)", i, c.p.N(), c.p.EdgeCount(), c.n, c.e)
+		}
+		if c.p.IsClique() != c.clique {
+			t.Errorf("case %d: IsClique=%v, want %v", i, c.p.IsClique(), c.clique)
+		}
+		if got := c.p.DegreeSequence(); !reflect.DeepEqual(got, c.degrees) {
+			t.Errorf("case %d: degree sequence %v, want %v", i, got, c.degrees)
+		}
+		if !c.p.IsConnected() {
+			t.Errorf("case %d: named pattern must be connected", i)
+		}
+	}
+}
+
+func TestParametricFamilies(t *testing.T) {
+	for k := 3; k <= 7; k++ {
+		if c := Cycle(k); c.EdgeCount() != k {
+			t.Errorf("Cycle(%d) has %d edges", k, c.EdgeCount())
+		}
+		if s := Star(k); s.Degree(0) != k-1 {
+			t.Errorf("Star(%d) center degree %d", k, s.Degree(0))
+		}
+		if q := Clique(k); !q.IsClique() {
+			t.Errorf("Clique(%d) is not a clique", k)
+		}
+		if p := Path(k); p.EdgeCount() != k-1 || !p.IsConnected() {
+			t.Errorf("Path(%d) malformed", k)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("chordal-4-cycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(ChordalFourCycle()) {
+		t.Fatal("ByName returned wrong pattern")
+	}
+	if p9, err := ByName("p9"); err != nil || p9.N() != 7 {
+		t.Fatalf("ByName(p9) = %v, %v", p9, err)
+	}
+	if _, err := ByName("nonagon"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	patterns := []*Pattern{
+		MustNew(1, nil),
+		Edge(),
+		TailedTriangle().AsVertexInduced(),
+		MustNew(4, [][2]int{{0, 1}, {1, 2}}, WithLabels([]int32{3, Unlabeled, 5, 3})),
+		FiveClique(),
+	}
+	for _, p := range patterns {
+		s := p.String()
+		q, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if !p.Equal(q) {
+			t.Fatalf("round trip changed pattern: %q -> %q", s, q.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"e=0-1",           // missing n
+		"n=x;e=",          // bad count
+		"n=3;e=0:1",       // bad edge separator
+		"n=3;e=0-z",       // bad endpoint
+		"n=3;e=0-1;l=a,b", // bad label
+		"n=3;e=0-1;zz=1",  // unknown field
+		"n=3;e=0-5",       // edge out of range (caught by New)
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error", s)
+		}
+	}
+}
+
+// randomPattern builds a connected random pattern for property tests.
+func randomPattern(r *rand.Rand, maxN int) *Pattern {
+	n := 2 + r.Intn(maxN-1)
+	var edges [][2]int
+	// Random spanning tree for connectivity, then extra random edges.
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{r.Intn(v), v})
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Intn(3) == 0 {
+				dup := false
+				for _, e := range edges {
+					if (e[0] == u && e[1] == v) || (e[0] == v && e[1] == u) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					edges = append(edges, [2]int{u, v})
+				}
+			}
+		}
+	}
+	labels := make([]int32, n)
+	for i := range labels {
+		if r.Intn(2) == 0 {
+			labels[i] = Unlabeled
+		} else {
+			labels[i] = int32(r.Intn(4))
+		}
+	}
+	iv := EdgeInduced
+	if r.Intn(2) == 0 {
+		iv = VertexInduced
+	}
+	return MustNew(n, edges, WithLabels(labels), WithInduced(iv))
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		_ = seed
+		p := randomPattern(r, 7)
+		q, err := Parse(p.String())
+		return err == nil && p.Equal(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEdgesPlusNonEdgesComplete(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		_ = seed
+		p := randomPattern(r, 7)
+		total := p.N() * (p.N() - 1) / 2
+		return len(p.Edges())+len(p.NonEdges()) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPermuteIsInvolutionUnderInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		_ = seed
+		p := randomPattern(r, 7)
+		perm := r.Perm(p.N())
+		q, err := p.Permute(perm)
+		if err != nil {
+			return false
+		}
+		inv := make([]int, len(perm))
+		for i, v := range perm {
+			inv[v] = i
+		}
+		back, err := q.Permute(inv)
+		return err == nil && p.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package plan turns patterns into exploration plans: a matching order
+// plus, per level, the earlier levels to intersect (regular edges), the
+// earlier levels to subtract (anti-edges, whether variant-derived or
+// explicit), and the symmetry-breaking partial orders that guarantee each
+// subgraph is found exactly once. Every engine consumes these plans; what differs per
+// engine is how orders are chosen and how the plan is executed.
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"morphing/internal/canon"
+	"morphing/internal/pattern"
+)
+
+// Plan is an executable exploration plan for one pattern. Level i binds
+// pattern vertex Order[i]; all index slices refer to levels, not pattern
+// vertices.
+type Plan struct {
+	Pattern *pattern.Pattern
+	Order   []int // Order[i] = pattern vertex bound at level i
+
+	// Connect[i] lists the levels j < i whose bound vertex is a pattern
+	// neighbor of Order[i]: candidates are the intersection of their
+	// adjacency lists. Connect[0] is empty; Connect[i] is non-empty for
+	// i > 0 because orders are connected.
+	Connect [][]int
+
+	// Disconnect[i] lists the levels j < i whose bound vertex is an
+	// anti-neighbor of Order[i] (variant-derived or explicit anti-edges):
+	// their adjacency lists are subtracted from the candidates.
+	Disconnect [][]int
+
+	// Greater[i] / Smaller[i] list levels j < i whose bound data vertex
+	// the level-i candidate must exceed / stay below. They encode the
+	// symmetry-breaking conditions, each enforced at the later endpoint's
+	// level.
+	Greater [][]int
+	Smaller [][]int
+
+	// Conditions are the raw symmetry-breaking pairs (a,b) in pattern-
+	// vertex terms, meaning match[a] < match[b].
+	Conditions [][2]int
+}
+
+// Build creates a plan using the default degree-greedy connected order.
+func Build(p *pattern.Pattern) (*Plan, error) {
+	return BuildWithOrder(p, DefaultOrder(p))
+}
+
+// BuildWithOrder creates a plan for an explicit matching order, which must
+// be a permutation of the pattern vertices with every non-initial vertex
+// adjacent to an earlier one.
+func BuildWithOrder(p *pattern.Pattern, order []int) (*Plan, error) {
+	return BuildWithConditions(p, order, SymmetryConditions(p))
+}
+
+// BuildWithConditions is BuildWithOrder with precomputed symmetry-breaking
+// conditions, for callers that evaluate many orders of the same pattern
+// (the conditions depend only on the pattern, not the order).
+func BuildWithConditions(p *pattern.Pattern, order []int, conds [][2]int) (*Plan, error) {
+	n := p.N()
+	if !p.IsConnected() {
+		return nil, fmt.Errorf("plan: pattern %v is disconnected", p)
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("plan: order length %d for %d vertices", len(order), n)
+	}
+	seen := make([]bool, n)
+	for i, u := range order {
+		if u < 0 || u >= n || seen[u] {
+			return nil, fmt.Errorf("plan: order %v is not a permutation", order)
+		}
+		seen[u] = true
+		if i > 0 {
+			connected := false
+			for j := 0; j < i; j++ {
+				if p.HasEdge(u, order[j]) {
+					connected = true
+					break
+				}
+			}
+			if !connected {
+				return nil, fmt.Errorf("plan: order %v disconnects at position %d", order, i)
+			}
+		}
+	}
+
+	pl := &Plan{
+		Pattern:    p,
+		Order:      append([]int(nil), order...),
+		Connect:    make([][]int, n),
+		Disconnect: make([][]int, n),
+		Greater:    make([][]int, n),
+		Smaller:    make([][]int, n),
+		Conditions: conds,
+	}
+	levelOf := make([]int, n)
+	for i, u := range order {
+		levelOf[u] = i
+	}
+	for i, u := range order {
+		for j := 0; j < i; j++ {
+			if p.HasEdge(u, order[j]) {
+				pl.Connect[i] = append(pl.Connect[i], j)
+			} else if p.IsAntiEdge(u, order[j]) {
+				pl.Disconnect[i] = append(pl.Disconnect[i], j)
+			}
+		}
+	}
+	for _, c := range pl.Conditions {
+		la, lb := levelOf[c[0]], levelOf[c[1]] // require match[c0] < match[c1]
+		if la < lb {
+			pl.Greater[lb] = append(pl.Greater[lb], la)
+		} else {
+			pl.Smaller[la] = append(pl.Smaller[la], lb)
+		}
+	}
+	return pl, nil
+}
+
+// DefaultOrder returns the degree-greedy connected matching order: start
+// at a maximum-degree vertex, then repeatedly bind the vertex with the
+// most edges to already-bound vertices (ties broken by degree, then
+// index). This is the classic pattern-aware heuristic: dense prefixes
+// shrink candidate sets early.
+func DefaultOrder(p *pattern.Pattern) []int {
+	n := p.N()
+	order := make([]int, 0, n)
+	placed := make([]bool, n)
+	start := 0
+	for v := 1; v < n; v++ {
+		if p.Degree(v) > p.Degree(start) {
+			start = v
+		}
+	}
+	order = append(order, start)
+	placed[start] = true
+	for len(order) < n {
+		best, bestKey := -1, -1
+		for v := 0; v < n; v++ {
+			if placed[v] {
+				continue
+			}
+			back := 0
+			for _, u := range order {
+				if p.HasEdge(v, u) {
+					back++
+				}
+			}
+			key := back*1000 + p.Degree(v)*10 + (n - v)
+			if key > bestKey {
+				best, bestKey = v, key
+			}
+		}
+		order = append(order, best)
+		placed[best] = true
+	}
+	return order
+}
+
+// ConnectedOrders enumerates up to max connected matching orders of p
+// (all of them if max <= 0). Engines that pick orders by cost model
+// (GraphPi) evaluate these.
+func ConnectedOrders(p *pattern.Pattern, max int) [][]int {
+	n := p.N()
+	var out [][]int
+	cur := make([]int, 0, n)
+	used := make([]bool, n)
+	var dfs func()
+	dfs = func() {
+		if max > 0 && len(out) >= max {
+			return
+		}
+		if len(cur) == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			if len(cur) > 0 {
+				connected := false
+				for _, u := range cur {
+					if p.HasEdge(v, u) {
+						connected = true
+						break
+					}
+				}
+				if !connected {
+					continue
+				}
+			}
+			used[v] = true
+			cur = append(cur, v)
+			dfs()
+			cur = cur[:len(cur)-1]
+			used[v] = false
+		}
+	}
+	dfs()
+	return out
+}
+
+// SymmetryConditions computes Grochow-Kellis symmetry-breaking partial
+// orders [18]: a set of pairs (a,b) requiring match[a] < match[b] such
+// that exactly one embedding per automorphism class of each subgraph
+// satisfies all pairs. The empty set is returned for asymmetric patterns.
+func SymmetryConditions(p *pattern.Pattern) [][2]int {
+	auts := canon.Automorphisms(p)
+	var conds [][2]int
+	for len(auts) > 1 {
+		// Smallest vertex moved by any remaining automorphism.
+		v := -1
+		for u := 0; u < p.N() && v == -1; u++ {
+			for _, a := range auts {
+				if a[u] != u {
+					v = u
+					break
+				}
+			}
+		}
+		if v == -1 {
+			break
+		}
+		inOrbit := make(map[int]struct{})
+		for _, a := range auts {
+			inOrbit[a[v]] = struct{}{}
+		}
+		orbit := make([]int, 0, len(inOrbit))
+		for w := range inOrbit {
+			orbit = append(orbit, w)
+		}
+		sort.Ints(orbit)
+		for _, w := range orbit {
+			if w != v {
+				conds = append(conds, [2]int{v, w})
+			}
+		}
+		// Restrict to the stabilizer of v.
+		var stab [][]int
+		for _, a := range auts {
+			if a[v] == v {
+				stab = append(stab, a)
+			}
+		}
+		auts = stab
+	}
+	return conds
+}

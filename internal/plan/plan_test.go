@@ -1,0 +1,163 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+
+	"morphing/internal/canon"
+	"morphing/internal/pattern"
+)
+
+func TestDefaultOrderIsConnectedPermutation(t *testing.T) {
+	for _, np := range pattern.Fig11Patterns() {
+		p := np.Pattern
+		order := DefaultOrder(p)
+		if _, err := BuildWithOrder(p, order); err != nil {
+			t.Errorf("%s: default order rejected: %v", np.Name, err)
+		}
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	p := pattern.FourCycle()
+	if _, err := BuildWithOrder(p, []int{0, 1, 2}); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := BuildWithOrder(p, []int{0, 0, 1, 2}); err == nil {
+		t.Error("non-permutation accepted")
+	}
+	if _, err := BuildWithOrder(p, []int{0, 2, 1, 3}); err == nil {
+		t.Error("disconnected order accepted (0 and 2 are not adjacent in C4)")
+	}
+	disconnected := pattern.MustNew(4, [][2]int{{0, 1}, {2, 3}})
+	if _, err := Build(disconnected); err == nil {
+		t.Error("disconnected pattern accepted")
+	}
+}
+
+func TestConnectAndDisconnectPartitionBackEdges(t *testing.T) {
+	// Vertex-induced 4-cycle: every earlier level is either intersected or
+	// subtracted; edge-induced: never subtracted.
+	for _, iv := range []pattern.Induced{pattern.EdgeInduced, pattern.VertexInduced} {
+		p := pattern.FourCycle().Variant(iv)
+		pl, err := Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < p.N(); i++ {
+			got := len(pl.Connect[i]) + len(pl.Disconnect[i])
+			if iv == pattern.VertexInduced && got != i {
+				t.Errorf("vertex-induced level %d covers %d of %d back levels", i, got, i)
+			}
+			if iv == pattern.EdgeInduced && len(pl.Disconnect[i]) != 0 {
+				t.Errorf("edge-induced plan has Disconnect at level %d", i)
+			}
+			if len(pl.Connect[i]) == 0 {
+				t.Errorf("level %d has no connection", i)
+			}
+		}
+	}
+}
+
+func TestSymmetryConditionCounts(t *testing.T) {
+	// A full condition chain on a clique yields a total order: k-1 + k-2
+	// + ... conditions collapse to C(k,2) pairs via orbits of decreasing
+	// size. Verify the counting property instead of exact pairs: the
+	// number of automorphisms satisfying all conditions must be 1.
+	for _, np := range []pattern.Named{
+		{Name: "triangle", Pattern: pattern.Triangle()},
+		{Name: "4-star", Pattern: pattern.FourStar()},
+		{Name: "4-cycle", Pattern: pattern.FourCycle()},
+		{Name: "4-clique", Pattern: pattern.FourClique()},
+		{Name: "tailed-triangle", Pattern: pattern.TailedTriangle()},
+		{Name: "bowtie", Pattern: pattern.Bowtie()},
+		{Name: "house", Pattern: pattern.House()},
+	} {
+		p := np.Pattern
+		conds := SymmetryConditions(p)
+		auts := canon.Automorphisms(p)
+		// Apply conditions to the "embedding" that maps vertex i to value
+		// a[i]: exactly one automorphic reordering of any injective tuple
+		// must satisfy all conditions.
+		tuple := make([]int, p.N())
+		for i := range tuple {
+			tuple[i] = i * 10
+		}
+		satisfied := 0
+		for _, a := range auts {
+			ok := true
+			for _, c := range conds {
+				if tuple[a[c[0]]] >= tuple[a[c[1]]] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				satisfied++
+			}
+		}
+		if satisfied != 1 {
+			t.Errorf("%s: %d automorphic embeddings satisfy conditions, want exactly 1", np.Name, satisfied)
+		}
+	}
+}
+
+func TestAsymmetricPatternHasNoConditions(t *testing.T) {
+	// Tailed triangle with distinct labels everywhere is asymmetric.
+	p := pattern.MustNew(4, [][2]int{{0, 1}, {0, 2}, {1, 2}, {0, 3}},
+		pattern.WithLabels([]int32{1, 2, 3, 4}))
+	if conds := SymmetryConditions(p); len(conds) != 0 {
+		t.Fatalf("asymmetric pattern got conditions %v", conds)
+	}
+}
+
+func TestConditionsEnforcedOnceEach(t *testing.T) {
+	p := pattern.FourClique()
+	pl, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enforced := 0
+	for i := range pl.Greater {
+		enforced += len(pl.Greater[i]) + len(pl.Smaller[i])
+	}
+	if enforced != len(pl.Conditions) {
+		t.Fatalf("%d enforcement points for %d conditions", enforced, len(pl.Conditions))
+	}
+}
+
+func TestConnectedOrders(t *testing.T) {
+	// Triangle: all 3! = 6 orders are connected.
+	got := ConnectedOrders(pattern.Triangle(), 0)
+	if len(got) != 6 {
+		t.Fatalf("triangle connected orders = %d, want 6", len(got))
+	}
+	// 3-path 0-1-2: orders starting 0,2 or 2,0 are disconnected; valid:
+	// [0 1 2], [1 0 2], [1 2 0], [2 1 0] = 4.
+	got = ConnectedOrders(pattern.Path(3), 0)
+	if len(got) != 4 {
+		t.Fatalf("path connected orders = %d, want 4", len(got))
+	}
+	for _, o := range got {
+		if _, err := BuildWithOrder(pattern.Path(3), o); err != nil {
+			t.Fatalf("enumerated order %v rejected: %v", o, err)
+		}
+	}
+	// Cap respected.
+	if got := ConnectedOrders(pattern.FiveClique(), 7); len(got) != 7 {
+		t.Fatalf("cap ignored: %d orders", len(got))
+	}
+}
+
+func TestPlanOrderIsCopied(t *testing.T) {
+	p := pattern.Triangle()
+	order := []int{0, 1, 2}
+	pl, err := BuildWithOrder(p, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order[0] = 99
+	if !reflect.DeepEqual(pl.Order, []int{0, 1, 2}) {
+		t.Fatal("plan aliases caller's order slice")
+	}
+}

@@ -1,0 +1,183 @@
+// Package refmatch is the correctness oracle: a deliberately simple,
+// single-threaded subgraph matcher with no symmetry breaking, no set
+// operations and no shared code with the production engines. Tests compare
+// every engine and every morphing conversion against it. It is exponential
+// and unoptimized by design — use it only on small graphs.
+package refmatch
+
+import (
+	"sort"
+
+	"morphing/internal/canon"
+	"morphing/internal/graph"
+	"morphing/internal/pattern"
+)
+
+// Count returns the number of unique matches (subgraphs, one per
+// automorphism class) of p in g.
+func Count(g *graph.Graph, p *pattern.Pattern) uint64 {
+	embeddings := uint64(0)
+	enumerate(g, p, func(m []uint32) {
+		embeddings++
+	})
+	return embeddings / uint64(len(canon.Automorphisms(p)))
+}
+
+// Matches returns every unique match of p in g in canonical form
+// (lexicographically smallest automorphic reordering), sorted. m[i] is the
+// data vertex bound to pattern vertex i.
+func Matches(g *graph.Graph, p *pattern.Pattern) [][]uint32 {
+	auts := canon.Automorphisms(p)
+	seen := map[string][]uint32{}
+	enumerate(g, p, func(m []uint32) {
+		c := canon.CanonicalMatch(p, m, auts)
+		seen[key(c)] = c
+	})
+	out := make([][]uint32, 0, len(seen))
+	for _, m := range seen {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessTuple(out[i], out[j]) })
+	return out
+}
+
+func key(m []uint32) string {
+	b := make([]byte, 0, 4*len(m))
+	for _, v := range m {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func lessTuple(a, b []uint32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// enumerate invokes visit for every embedding (injective map) of p into g,
+// including all automorphic variants of each subgraph.
+func enumerate(g *graph.Graph, p *pattern.Pattern, visit func(m []uint32)) {
+	n := p.N()
+	order := bindOrder(p)
+	m := make([]uint32, n)
+	used := map[uint32]bool{}
+
+	var dfs func(level int)
+	dfs = func(level int) {
+		if level == n {
+			visit(m)
+			return
+		}
+		u := order[level]
+		cands := candidatePool(g, p, order, m, level)
+		for _, v := range cands {
+			if used[v] {
+				continue
+			}
+			if p.Label(u) != pattern.Unlabeled && g.Label(v) != p.Label(u) {
+				continue
+			}
+			if !consistent(g, p, order, m, level, v) {
+				continue
+			}
+			m[u] = v
+			used[v] = true
+			dfs(level + 1)
+			used[v] = false
+		}
+	}
+	dfs(0)
+}
+
+// candidatePool returns the vertices worth trying at this level: all of g
+// for the first vertex, otherwise the adjacency of some earlier-bound
+// pattern neighbor (orders are connected, so one exists).
+func candidatePool(g *graph.Graph, p *pattern.Pattern, order []int, m []uint32, level int) []uint32 {
+	if level == 0 {
+		all := make([]uint32, g.NumVertices())
+		for i := range all {
+			all[i] = uint32(i)
+		}
+		return all
+	}
+	u := order[level]
+	for j := 0; j < level; j++ {
+		if p.HasEdge(u, order[j]) {
+			return g.Neighbors(m[order[j]])
+		}
+	}
+	// Unreachable for connected patterns; fall back to everything.
+	all := make([]uint32, g.NumVertices())
+	for i := range all {
+		all[i] = uint32(i)
+	}
+	return all
+}
+
+// consistent checks every constraint between the candidate v for pattern
+// vertex u=order[level] and the already-bound vertices: pattern edges must
+// exist in g, and anti-edges (variant-derived or explicit) must be absent
+// in g.
+func consistent(g *graph.Graph, p *pattern.Pattern, order []int, m []uint32, level int, v uint32) bool {
+	u := order[level]
+	for j := 0; j < level; j++ {
+		w := order[j]
+		dataEdge := g.HasEdge(v, m[w])
+		if p.HasEdge(u, w) {
+			if !dataEdge {
+				return false
+			}
+		} else if p.IsAntiEdge(u, w) && dataEdge {
+			return false
+		}
+	}
+	return true
+}
+
+// bindOrder returns a connected vertex order (first vertex of maximum
+// degree), independent of the plan package.
+func bindOrder(p *pattern.Pattern) []int {
+	n := p.N()
+	order := make([]int, 0, n)
+	placed := make([]bool, n)
+	start := 0
+	for v := 1; v < n; v++ {
+		if p.Degree(v) > p.Degree(start) {
+			start = v
+		}
+	}
+	order = append(order, start)
+	placed[start] = true
+	for len(order) < n {
+		pick := -1
+		for v := 0; v < n; v++ {
+			if placed[v] {
+				continue
+			}
+			for _, u := range order {
+				if p.HasEdge(v, u) {
+					pick = v
+					break
+				}
+			}
+			if pick != -1 {
+				break
+			}
+		}
+		if pick == -1 {
+			for v := 0; v < n; v++ {
+				if !placed[v] {
+					pick = v
+					break
+				}
+			}
+		}
+		order = append(order, pick)
+		placed[pick] = true
+	}
+	return order
+}

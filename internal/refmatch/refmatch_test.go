@@ -1,0 +1,119 @@
+package refmatch
+
+import (
+	"testing"
+
+	"morphing/internal/graph"
+	"morphing/internal/pattern"
+)
+
+// The oracle is validated on hand-countable graphs only — everything else
+// in the repository is validated against it, so its own tests must not
+// depend on any other matcher.
+
+func k4() *graph.Graph {
+	return graph.MustFromEdges(4, [][2]uint32{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+	}, nil)
+}
+
+func TestCountOnCompleteGraph(t *testing.T) {
+	g := k4()
+	cases := []struct {
+		name string
+		p    *pattern.Pattern
+		want uint64
+	}{
+		{"edges", pattern.Edge(), 6},
+		{"wedges-E", pattern.Wedge(), 12},
+		{"wedges-V", pattern.Wedge().AsVertexInduced(), 0},
+		{"triangles", pattern.Triangle(), 4},
+		{"C4-E", pattern.FourCycle(), 3},
+		{"C4-V", pattern.FourCycle().AsVertexInduced(), 0},
+		{"K4", pattern.FourClique(), 1},
+	}
+	for _, tc := range cases {
+		if got := Count(g, tc.p); got != tc.want {
+			t.Errorf("%s: %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCountOnPath(t *testing.T) {
+	// Path 0-1-2-3: wedges at 1 and 2; no triangles.
+	g := graph.MustFromEdges(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}}, nil)
+	if got := Count(g, pattern.Wedge()); got != 2 {
+		t.Fatalf("wedges on path = %d, want 2", got)
+	}
+	if got := Count(g, pattern.Wedge().AsVertexInduced()); got != 2 {
+		t.Fatalf("V-wedges on path = %d, want 2", got)
+	}
+	if got := Count(g, pattern.Triangle()); got != 0 {
+		t.Fatalf("triangles on path = %d, want 0", got)
+	}
+	if got := Count(g, pattern.Path(4)); got != 1 {
+		t.Fatalf("4-paths = %d, want 1", got)
+	}
+}
+
+func TestCountLabeled(t *testing.T) {
+	// Triangle with labels 1,1,2: the labeled wedge (1-2-1 centered on
+	// the 2) occurs once; wedge 2-1-1 centered on a 1 occurs twice.
+	g := graph.MustFromEdges(3, [][2]uint32{{0, 1}, {1, 2}, {0, 2}}, []int32{1, 1, 2})
+	centered2 := pattern.MustNew(3, [][2]int{{0, 1}, {1, 2}},
+		pattern.WithLabels([]int32{1, 2, 1}))
+	if got := Count(g, centered2); got != 1 {
+		t.Fatalf("1-2-1 wedges = %d, want 1", got)
+	}
+	centered1 := pattern.MustNew(3, [][2]int{{0, 1}, {1, 2}},
+		pattern.WithLabels([]int32{2, 1, 1}))
+	if got := Count(g, centered1); got != 2 {
+		t.Fatalf("2-1-1 wedges = %d, want 2", got)
+	}
+}
+
+func TestMatchesAreCanonicalAndSorted(t *testing.T) {
+	g := k4()
+	ms := Matches(g, pattern.Triangle())
+	if len(ms) != 4 {
+		t.Fatalf("%d triangle matches, want 4", len(ms))
+	}
+	for i, m := range ms {
+		// Canonical triangle matches are sorted tuples.
+		if !(m[0] < m[1] && m[1] < m[2]) {
+			t.Errorf("match %v not canonical", m)
+		}
+		if i > 0 && !lessTuple(ms[i-1], m) {
+			t.Errorf("matches not sorted at %d", i)
+		}
+	}
+}
+
+func TestMatchesAntiEdgePattern(t *testing.T) {
+	// Diamond graph (C4 + one diagonal): the open wedge (anti-edge on the
+	// endpoints) excludes wedges whose endpoints are adjacent.
+	g := graph.MustFromEdges(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}, nil)
+	open := pattern.MustNew(3, [][2]int{{0, 1}, {1, 2}},
+		pattern.WithAntiEdges([][2]int{{0, 2}}))
+	// Wedges: centers 0 (pairs 12,13,23->adjacency among {1,2,3}: 1-2 e,
+	// 2-3 e, 1-3 no), etc. Hand count open wedges: endpoints non-adjacent.
+	// Center 0: {1,3}; center 1: {0,2}? 0-2 adjacent -> no; {2,0} same.
+	// center 1 pairs from {0,2}: only {0,2} adjacent -> none.
+	// center 2: pairs {1,3}: non-adjacent -> one.
+	// center 3: pairs {0,2}: adjacent -> none.
+	// center 0 pairs from {1,2,3}: {1,3} non-adj -> one. {1,2} adj, {2,3} adj.
+	if got := Count(g, open); got != 2 {
+		t.Fatalf("open wedges = %d, want 2", got)
+	}
+}
+
+func TestSingleVertexPattern(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]uint32{{0, 1}}, []int32{7, 7, 9})
+	if got := Count(g, pattern.MustNew(1, nil)); got != 3 {
+		t.Fatalf("vertices = %d, want 3", got)
+	}
+	lab := pattern.MustNew(1, nil, pattern.WithLabels([]int32{9}))
+	if got := Count(g, lab); got != 1 {
+		t.Fatalf("label-9 vertices = %d, want 1", got)
+	}
+}

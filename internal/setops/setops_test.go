@@ -1,0 +1,170 @@
+package setops
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntersect(t *testing.T) {
+	var st Stats
+	cases := []struct{ a, b, want []uint32 }{
+		{[]uint32{1, 3, 5, 7}, []uint32{3, 4, 5, 9}, []uint32{3, 5}},
+		{[]uint32{}, []uint32{1, 2}, []uint32{}},
+		{[]uint32{1, 2}, []uint32{}, []uint32{}},
+		{[]uint32{1, 2, 3}, []uint32{1, 2, 3}, []uint32{1, 2, 3}},
+		{[]uint32{1, 2}, []uint32{3, 4}, []uint32{}},
+	}
+	for i, c := range cases {
+		got := Intersect(nil, c.a, c.b, &st)
+		if !reflect.DeepEqual(append([]uint32{}, got...), c.want) {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+	if st.Ops != uint64(len(cases)) {
+		t.Errorf("Ops = %d, want %d", st.Ops, len(cases))
+	}
+}
+
+func TestIntersectAbove(t *testing.T) {
+	var st Stats
+	got := IntersectAbove(nil, []uint32{1, 3, 5, 7}, []uint32{3, 5, 7}, 4, &st)
+	if want := []uint32{5, 7}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestDifference(t *testing.T) {
+	var st Stats
+	cases := []struct{ a, b, want []uint32 }{
+		{[]uint32{1, 3, 5, 7}, []uint32{3, 4, 7}, []uint32{1, 5}},
+		{[]uint32{1, 2}, []uint32{}, []uint32{1, 2}},
+		{[]uint32{}, []uint32{1}, []uint32{}},
+		{[]uint32{1, 2}, []uint32{1, 2}, []uint32{}},
+	}
+	for i, c := range cases {
+		got := Difference(nil, c.a, c.b, &st)
+		if !reflect.DeepEqual(append([]uint32{}, got...), c.want) {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestFilterAbove(t *testing.T) {
+	var st Stats
+	a := []uint32{2, 4, 6, 8}
+	cases := []struct {
+		lower uint32
+		want  []uint32
+	}{
+		{0, []uint32{2, 4, 6, 8}},
+		{4, []uint32{6, 8}},
+		{5, []uint32{6, 8}},
+		{8, []uint32{}},
+		{100, []uint32{}},
+	}
+	for i, c := range cases {
+		got := FilterAbove(nil, a, c.lower, &st)
+		if !reflect.DeepEqual(append([]uint32{}, got...), c.want) {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var st Stats
+	got := Remove(nil, []uint32{1, 2, 3}, 2, &st)
+	if want := []uint32{1, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	got = Remove(got, []uint32{1, 3}, 9, &st)
+	if want := []uint32{1, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("absent element: got %v, want %v", got, want)
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := []uint32{1, 4, 9, 16}
+	for _, x := range a {
+		if !Contains(a, x) {
+			t.Errorf("Contains(%v, %d) = false", a, x)
+		}
+	}
+	for _, x := range []uint32{0, 2, 17} {
+		if Contains(a, x) {
+			t.Errorf("Contains(%v, %d) = true", a, x)
+		}
+	}
+	if Contains(nil, 1) {
+		t.Error("Contains(nil, 1) = true")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Ops: 2, Elems: 10}
+	a.Add(Stats{Ops: 3, Elems: 7})
+	if a.Ops != 5 || a.Elems != 17 {
+		t.Fatalf("got %+v", a)
+	}
+}
+
+func sortedSet(r *rand.Rand, max int) []uint32 {
+	n := r.Intn(20)
+	m := map[uint32]struct{}{}
+	for i := 0; i < n; i++ {
+		m[uint32(r.Intn(max))] = struct{}{}
+	}
+	out := make([]uint32, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestQuickAgainstMaps(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var st Stats
+	f := func(seed int64) bool {
+		_ = seed
+		a, b := sortedSet(r, 30), sortedSet(r, 30)
+		inB := map[uint32]bool{}
+		for _, v := range b {
+			inB[v] = true
+		}
+		var wantI, wantD []uint32
+		for _, v := range a {
+			if inB[v] {
+				wantI = append(wantI, v)
+			} else {
+				wantD = append(wantD, v)
+			}
+		}
+		gotI := Intersect(nil, a, b, &st)
+		gotD := Difference(nil, a, b, &st)
+		return reflect.DeepEqual(append([]uint32{}, gotI...), append([]uint32{}, wantI...)) &&
+			reflect.DeepEqual(append([]uint32{}, gotD...), append([]uint32{}, wantD...))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectAboveMatchesFilter(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	var st Stats
+	f := func(seed int64) bool {
+		_ = seed
+		a, b := sortedSet(r, 30), sortedSet(r, 30)
+		lower := uint32(r.Intn(30))
+		plain := Intersect(nil, a, b, &st)
+		filtered := FilterAbove(nil, plain, lower, &st)
+		fused := IntersectAbove(nil, a, b, lower, &st)
+		return reflect.DeepEqual(append([]uint32{}, filtered...), append([]uint32{}, fused...))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
