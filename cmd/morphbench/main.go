@@ -6,9 +6,17 @@
 //	morphbench -fig 12a,13c -scale 0.01     # bigger graphs
 //	morphbench -all -quick                  # everything, quick variants
 //	morphbench -list                        # available experiments
+//	morphbench -fig 4a -trace out.json      # capture a Chrome trace
+//	morphbench -fig 12a -listen :8080       # live /metrics + /vars + pprof
 //
 // Scale 1.0 corresponds to the paper's full-size graphs (do not attempt
 // FR at 1.0 on a laptop). Output goes to stdout; progress to stderr.
+//
+// -trace writes every phase span (experiment/<id>, transform, select,
+// mine/<pattern>, convert, aggregate) as a Chrome trace_event JSON file
+// loadable in chrome://tracing or Perfetto — a Fig. 4-style breakdown of
+// where each figure run spent its time. A .jsonl suffix switches to one
+// JSON object per line for scripting.
 package main
 
 import (
@@ -19,18 +27,23 @@ import (
 	"time"
 
 	"morphing/internal/bench"
+	"morphing/internal/engine"
+	"morphing/internal/obs"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "comma-separated experiment IDs (e.g. 12a,13c)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		scale   = flag.Float64("scale", 0.004, "dataset scale factor (1.0 = paper size)")
-		threads = flag.Int("threads", 0, "engine worker threads (0 = GOMAXPROCS)")
-		seed    = flag.Int64("seed", 1, "random seed for datasets and workloads")
-		quick   = flag.Bool("quick", true, "restrict to the cheaper graphs/patterns")
-		samples = flag.Int("samples", 0, "alternative-set samples for fig 15e (0 = paper's 250, or 40 in quick mode)")
+		fig      = flag.String("fig", "", "comma-separated experiment IDs (e.g. 12a,13c)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		scale    = flag.Float64("scale", 0.004, "dataset scale factor (1.0 = paper size)")
+		threads  = flag.Int("threads", 0, "engine worker threads (0 = GOMAXPROCS)")
+		seed     = flag.Int64("seed", 1, "random seed for datasets and workloads")
+		quick    = flag.Bool("quick", true, "restrict to the cheaper graphs/patterns")
+		samples  = flag.Int("samples", 0, "alternative-set samples for fig 15e (0 = paper's 250, or 40 in quick mode)")
+		traceOut = flag.String("trace", "", "write phase spans to this file (Chrome trace_event JSON; .jsonl for JSON lines)")
+		listen   = flag.String("listen", "", "serve /metrics, /vars and /debug/pprof on this address while running")
+		progress = flag.Bool("progress", false, "report live matches/sec to stderr during experiments")
 	)
 	flag.Parse()
 
@@ -40,6 +53,22 @@ func main() {
 		}
 		return
 	}
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		obs.SetDefaultTracer(tracer)
+	}
+	if *listen != "" {
+		ln, err := obs.Serve(*listen, obs.DefaultRegistry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "morphbench: -listen:", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "== observability endpoint on http://%s (/metrics, /vars, /debug/pprof)\n", ln.Addr())
+	}
+
 	cfg := bench.Config{
 		Scale:   *scale,
 		Threads: *threads,
@@ -68,10 +97,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "== fig %s: %s (scale=%v quick=%v)\n", e.ID, e.Title, cfg.Scale, cfg.Quick)
 		fmt.Printf("# experiment %s: %s\n", e.ID, e.Title)
 		start := time.Now()
-		if err := e.Run(cfg, os.Stdout); err != nil {
+		var prog *obs.Progress
+		if *progress {
+			prog = obs.StartProgress(os.Stderr, "fig "+e.ID,
+				obs.DefaultRegistry().Counter(engine.MetricMatches), 0, time.Second)
+		}
+		err = e.RunTraced(cfg, os.Stdout)
+		prog.Stop()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "morphbench: experiment %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "== fig %s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+
+	if tracer != nil {
+		if err := writeTrace(tracer, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "morphbench: -trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "== wrote %d trace events to %s\n", tracer.Len(), *traceOut)
+	}
+}
+
+func writeTrace(tracer *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tracer.WriteJSONL(f)
+	} else {
+		err = tracer.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

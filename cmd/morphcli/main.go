@@ -1,7 +1,7 @@
 // Command morphcli inspects the morphing machinery interactively:
 // patterns, their matching plans, their S-DAGs, the Fig. 7 conversion
-// identities, and the alternative set the cost model would select for a
-// query on a given dataset.
+// identities, the alternative set the cost model would select for a
+// query on a given dataset, and full pipeline executions.
 //
 // Usage:
 //
@@ -9,6 +9,9 @@
 //	morphcli equation tailed-triangle        # the SM-E / SM-V identities
 //	morphcli sdag p4 p5                      # superpattern lattice
 //	morphcli transform -graph MI -scale .01 4-cycle:v 4-star:v
+//	morphcli count -graph MI -engine peregrine 4-cycle:v 4-star:v
+//	morphcli count -stats json 4-clique      # machine-readable run stats
+//	morphcli -listen :8080 count ...         # live /metrics, /vars, pprof
 //
 // Patterns are named (see `morphcli names`) or written in the codec form
 // "n=4;e=0-1,1-2,2-3,3-0;v"; a ":v" suffix on a name selects the
@@ -16,26 +19,46 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"morphing/internal/autozero"
+	"morphing/internal/bigjoin"
 	"morphing/internal/canon"
 	"morphing/internal/core"
 	"morphing/internal/costmodel"
 	"morphing/internal/dataset"
+	"morphing/internal/engine"
 	"morphing/internal/graph"
+	"morphing/internal/graphpi"
+	"morphing/internal/obs"
 	"morphing/internal/pattern"
+	"morphing/internal/peregrine"
 	"morphing/internal/plan"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	listen := flag.String("listen", "", "serve /metrics, /vars and /debug/pprof on this address while running")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	if *listen != "" {
+		ln, err := obs.Serve(*listen, obs.DefaultRegistry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "morphcli: -listen:", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s (/metrics, /vars, /debug/pprof)\n", ln.Addr())
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
 	switch cmd {
 	case "pattern":
@@ -46,6 +69,8 @@ func main() {
 		err = cmdSDAG(args)
 	case "transform":
 		err = cmdTransform(args)
+	case "count":
+		err = cmdCount(args)
 	case "names":
 		cmdNames()
 	default:
@@ -59,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: morphcli <pattern|equation|sdag|transform|names> [args]`)
+	fmt.Fprintln(os.Stderr, `usage: morphcli [-listen addr] <pattern|equation|sdag|transform|count|names> [args]`)
 }
 
 func cmdNames() {
@@ -171,6 +196,166 @@ func cmdSDAG(args []string) error {
 		fmt.Printf("  %-40s edges=%-2d parents=%d children=%d\n",
 			n.Pattern, n.Pattern.EdgeCount(), len(n.Parents), len(n.Children))
 	}
+	return nil
+}
+
+// countEngine constructs the named engine with observability wired in.
+func countEngine(name string, threads int) (engine.Engine, error) {
+	o := obs.Default()
+	switch strings.ToLower(name) {
+	case "peregrine":
+		return &peregrine.Engine{Threads: threads, Obs: o}, nil
+	case "autozero":
+		return &autozero.Engine{Threads: threads, Obs: o}, nil
+	case "graphpi":
+		return &graphpi.Engine{Threads: threads, Obs: o}, nil
+	case "bigjoin":
+		return &bigjoin.Engine{Threads: threads, Obs: o}, nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q (peregrine, autozero, graphpi, bigjoin)", name)
+	}
+}
+
+// countReport is the -stats json document: the answer, where the time
+// went, what the cost model decided, and the process-wide metric registry
+// snapshot — everything a script needs from one pipeline execution.
+type countReport struct {
+	Graph       string        `json:"graph"`
+	Scale       float64       `json:"scale"`
+	Engine      string        `json:"engine"`
+	Morphing    bool          `json:"morphing"`
+	Queries     []countQuery  `json:"queries"`
+	MinedSet    []string      `json:"mined_set"`
+	CostBefore  float64       `json:"modeled_cost_before"`
+	CostAfter   float64       `json:"modeled_cost_after"`
+	TransformNS int64         `json:"transform_ns"`
+	ConvertNS   int64         `json:"convert_ns"`
+	Mining      *engine.Stats `json:"mining"`
+	Registry    obs.Snapshot  `json:"registry"`
+}
+
+type countQuery struct {
+	Pattern string `json:"pattern"`
+	Count   uint64 `json:"count"`
+	Morphed bool   `json:"morphed"`
+}
+
+func cmdCount(args []string) error {
+	fs := flag.NewFlagSet("count", flag.ContinueOnError)
+	graphName := fs.String("graph", "MI", "dataset recipe (MI, MG, PR, OK, FR)")
+	scale := fs.Float64("scale", 0.01, "dataset scale factor")
+	engineName := fs.String("engine", "peregrine", "matching engine (peregrine, autozero, graphpi, bigjoin)")
+	threads := fs.Int("threads", 0, "engine worker threads (0 = GOMAXPROCS)")
+	baseline := fs.Bool("baseline", false, "disable morphing and run the queries as-is")
+	statsMode := fs.String("stats", "text", "output mode: text, or json for a merged RunStats + registry snapshot")
+	traceOut := fs.String("trace", "", "write phase spans to this file (Chrome trace_event JSON; .jsonl for JSON lines)")
+	progress := fs.Bool("progress", false, "report live matches/sec to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("count needs at least one pattern")
+	}
+	if *statsMode != "text" && *statsMode != "json" {
+		return fmt.Errorf("-stats must be text or json, got %q", *statsMode)
+	}
+	queries := make([]*pattern.Pattern, 0, fs.NArg())
+	for _, a := range fs.Args() {
+		p, err := resolve(a)
+		if err != nil {
+			return err
+		}
+		queries = append(queries, p)
+	}
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		obs.SetDefaultTracer(tracer)
+	}
+	eng, err := countEngine(*engineName, *threads)
+	if err != nil {
+		return err
+	}
+	rec, err := dataset.ByName(*graphName)
+	if err != nil {
+		return err
+	}
+	g, err := rec.Scaled(*scale).Generate()
+	if err != nil {
+		return err
+	}
+
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.StartProgress(os.Stderr, "count",
+			obs.DefaultRegistry().Counter(engine.MetricMatches), 0, time.Second)
+	}
+	r := &core.Runner{Engine: eng, DisableMorphing: *baseline}
+	counts, st, err := r.Counts(g, queries)
+	prog.Stop()
+	if err != nil {
+		return err
+	}
+
+	if tracer != nil {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			return ferr
+		}
+		if strings.HasSuffix(*traceOut, ".jsonl") {
+			ferr = tracer.WriteJSONL(f)
+		} else {
+			ferr = tracer.WriteChromeTrace(f)
+		}
+		if cerr := f.Close(); ferr == nil {
+			ferr = cerr
+		}
+		if ferr != nil {
+			return ferr
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tracer.Len(), *traceOut)
+	}
+
+	if *statsMode == "json" {
+		rep := countReport{
+			Graph:       *graphName,
+			Scale:       *scale,
+			Engine:      eng.Name(),
+			Morphing:    !*baseline,
+			TransformNS: st.Transform.Nanoseconds(),
+			ConvertNS:   st.Convert.Nanoseconds(),
+			Mining:      st.Mining,
+			Registry:    obs.DefaultRegistry().Snapshot(),
+		}
+		for i, q := range st.Selection.Queries {
+			rep.Queries = append(rep.Queries, countQuery{
+				Pattern: q.Pattern.String(), Count: counts[i], Morphed: q.Morphed,
+			})
+		}
+		for _, c := range st.Selection.Mine {
+			rep.MinedSet = append(rep.MinedSet, c.Pattern.String())
+		}
+		rep.CostBefore = st.Selection.CostBefore
+		rep.CostAfter = st.Selection.CostAfter
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+
+	fmt.Printf("graph %s at scale %v: %d vertices, %d edges\n",
+		*graphName, *scale, g.NumVertices(), g.NumEdges())
+	fmt.Printf("engine %s, morphing %v\n", eng.Name(), !*baseline)
+	for i, q := range st.Selection.Queries {
+		status := "as-is"
+		if q.Morphed {
+			status = "morphed"
+		}
+		fmt.Printf("%-40s %12d  [%s]\n", q.Pattern.String(), counts[i], status)
+	}
+	fmt.Printf("transform %v  mine %v  convert %v  (%d matches, %d set ops)\n",
+		st.Transform, st.Mining.TotalTime, st.Convert,
+		st.Mining.Matches, st.Mining.SetOps)
 	return nil
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"morphing/internal/engine"
 	"morphing/internal/graph"
+	"morphing/internal/obs"
 	"morphing/internal/pattern"
 	"morphing/internal/plan"
 	"morphing/internal/setops"
@@ -32,6 +33,8 @@ type Engine struct {
 	Threads int
 	// Instrument enables phase timings.
 	Instrument bool
+	// Obs receives metrics and mine spans (nil = obs.Default()).
+	Obs *obs.Observer
 }
 
 var _ engine.Engine = (*Engine)(nil)
@@ -106,7 +109,8 @@ func (e *Engine) Match(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor)
 	if err != nil {
 		return nil, fmt.Errorf("autozero: %w", err)
 	}
-	_, st, err := engine.Backtrack(g, pl, visit, engine.ExecOptions{Threads: e.Threads, Instrument: e.Instrument})
+	defer obs.Or(e.Obs).StartSpan("mine/"+p.String(), obs.Str("engine", e.Name())).End()
+	_, st, err := engine.Backtrack(g, pl, visit, engine.ExecOptions{Threads: e.Threads, Instrument: e.Instrument}, e.Obs)
 	return st, err
 }
 
@@ -119,6 +123,9 @@ func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *eng
 	if len(ps) == 0 {
 		return nil, &engine.Stats{}, nil
 	}
+	o := obs.Or(e.Obs)
+	defer o.StartSpan("mine/merged", obs.Str("engine", e.Name()), obs.Int("patterns", len(ps))).End()
+	liveMatches := o.Counter(engine.MetricMatches)
 	var tr trie
 	maxDepth := 0
 	for idx, p := range ps {
@@ -149,7 +156,7 @@ func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *eng
 	}
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
-		go func(w *azWorker) {
+		go func(id int, w *azWorker) {
 			defer wg.Done()
 			for {
 				b := int(atomic.AddInt64(&cursor, 1)) - 1
@@ -161,9 +168,11 @@ func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *eng
 				if hi > uint32(n) {
 					hi = uint32(n)
 				}
+				before := w.total()
 				w.runRoot(&tr, lo, hi)
+				liveMatches.Add(id, w.total()-before)
 			}
-		}(workers[t])
+		}(t, workers[t])
 	}
 	wg.Wait()
 
@@ -181,6 +190,7 @@ func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *eng
 		st.Matches += c
 	}
 	st.TotalTime = time.Since(start)
+	engine.PublishStats(o, st)
 	return counts, st, nil
 }
 
@@ -270,6 +280,16 @@ type azWorker struct {
 	match      []uint32
 	bufA       [][]uint32
 	bufB       [][]uint32
+}
+
+// total sums the worker's per-pattern counts (the executor flushes the
+// delta to the live matches counter after each block).
+func (w *azWorker) total() uint64 {
+	var t uint64
+	for _, c := range w.counts {
+		t += c
+	}
+	return t
 }
 
 func newAZWorker(g *graph.Graph, patterns, maxDepth, maxDeg int, instrument bool) *azWorker {

@@ -37,7 +37,7 @@ func ablateDegreeOrdering(cfg Config, w io.Writer) error {
 		return err
 	}
 	ordered, _ := graph.SortByDegree(g)
-	eng := peregrine.New(cfg.Threads)
+	eng := &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}
 	for _, np := range []pattern.Named{
 		{Name: "triangle", Pattern: pattern.Triangle()},
 		{Name: "4-clique", Pattern: pattern.FourClique()},
@@ -85,7 +85,7 @@ func ablateCostModelRestriction(cfg Config, w io.Writer) error {
 	for _, b := range bases {
 		patterns = append(patterns, b.AsEdgeInduced(), b.AsVertexInduced())
 	}
-	eng := peregrine.New(cfg.Threads)
+	eng := &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}
 	measured := make([]float64, len(patterns))
 	for i, p := range patterns {
 		_, _, s, err := timedCount(eng, g, p)

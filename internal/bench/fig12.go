@@ -16,11 +16,11 @@ import (
 // (12c/12d): the latter are the *_setop_elems columns.
 
 func runFig12Peregrine(cfg Config, w io.Writer) error {
-	return runFig12(cfg, w, func() engine.Engine { return peregrine.New(cfg.Threads) })
+	return runFig12(cfg, w, func() engine.Engine { return &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs} })
 }
 
 func runFig12AutoZero(cfg Config, w io.Writer) error {
-	return runFig12(cfg, w, func() engine.Engine { return autozero.New(cfg.Threads) })
+	return runFig12(cfg, w, func() engine.Engine { return &autozero.Engine{Threads: cfg.Threads, Obs: cfg.Obs} })
 }
 
 func runFig12(cfg Config, w io.Writer, mk func() engine.Engine) error {

@@ -55,7 +55,7 @@ func runFig13SC(cfg Config, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			eng := peregrine.New(cfg.Threads)
+			eng := &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}
 			start := time.Now()
 			base, bst, err := sc.Count(g, queries, eng, false)
 			if err != nil {
@@ -109,7 +109,7 @@ func runFig13FSM(cfg Config, w io.Writer) error {
 			}
 			opts := fsm.Options{MaxEdges: wl.maxEdges, MinSupport: minSup}
 			start := time.Now()
-			base, _, err := fsm.Mine(g, peregrine.New(cfg.Threads), opts)
+			base, _, err := fsm.Mine(g, &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}, opts)
 			if err != nil {
 				return err
 			}
@@ -117,7 +117,7 @@ func runFig13FSM(cfg Config, w io.Writer) error {
 
 			opts.Morph = true
 			start = time.Now()
-			morphed, _, err := fsm.Mine(g, peregrine.New(cfg.Threads), opts)
+			morphed, _, err := fsm.Mine(g, &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}, opts)
 			if err != nil {
 				return err
 			}

@@ -23,14 +23,14 @@ func runFig14GraphPi(cfg Config, w io.Writer) error {
 	workloads := fig14Workloads(cfg, [][]string{
 		{"p1"}, {"p1", "p2"}, {"p4"}, {"p5"}, {"p4", "p5"},
 	})
-	return runFig14(cfg, w, workloads, func() fig14Engine { return graphpi.New(cfg.Threads) })
+	return runFig14(cfg, w, workloads, func() fig14Engine { return &graphpi.Engine{Threads: cfg.Threads, Obs: cfg.Obs} })
 }
 
 func runFig14BigJoin(cfg Config, w io.Writer) error {
 	workloads := fig14Workloads(cfg, [][]string{
 		{"p1"}, {"p2"}, {"p1", "p2"},
 	})
-	return runFig14(cfg, w, workloads, func() fig14Engine { return bigjoin.New(cfg.Threads) })
+	return runFig14(cfg, w, workloads, func() fig14Engine { return &bigjoin.Engine{Threads: cfg.Threads, Obs: cfg.Obs} })
 }
 
 type fig14Engine interface {

@@ -52,7 +52,7 @@ func runFig15OnTheFly(cfg Config, w io.Writer) error {
 				return err
 			}
 			weights := se.NewWeights(g, 0, 1, cfg.Seed)
-			eng := peregrine.New(cfg.Threads)
+			eng := &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}
 			start := time.Now()
 			base, err := se.Enumerate(g, eng, wl.queries, weights.WithinOneStd, nil, se.Options{})
 			if err != nil {
@@ -151,7 +151,7 @@ func runLargeOnPartition(cfg Config, engineName string, g *graph.Graph, p *patte
 	queries := []*pattern.Pattern{p}
 	switch engineName {
 	case "Peregrine":
-		eng := peregrine.New(cfg.Threads)
+		eng := &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}
 		start := time.Now()
 		base, _, err := sc.Count(g, queries, eng, false)
 		if err != nil {
@@ -169,7 +169,7 @@ func runLargeOnPartition(cfg Config, engineName string, g *graph.Graph, p *patte
 		}
 		return baseS, morphS, nil
 	case "GraphPi":
-		eng := graphpi.New(cfg.Threads)
+		eng := &graphpi.Engine{Threads: cfg.Threads, Obs: cfg.Obs}
 		start := time.Now()
 		base, _, err := sc.CountBaselineWithFilter(g, queries, eng)
 		if err != nil {
@@ -233,7 +233,7 @@ func runFig15CostModel(cfg Config, w io.Writer) error {
 	}
 	chosenKey := assignmentKey(sel.Mine)
 
-	eng := autozero.New(cfg.Threads)
+	eng := &autozero.Engine{Threads: cfg.Threads, Obs: cfg.Obs}
 	var ref []uint64
 	times := make([]float64, 0, samples)
 	var chosenTime, queryTime float64
@@ -327,7 +327,7 @@ func runTransformOverhead(cfg Config, w io.Writer) error {
 		for i, b := range bases {
 			queries[i] = b.AsVertexInduced()
 		}
-		r := &core.Runner{Engine: peregrine.New(cfg.Threads)}
+		r := &core.Runner{Engine: &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}}
 		start := time.Now()
 		counts, stats, err := r.Counts(g, queries)
 		if err != nil {

@@ -36,7 +36,7 @@ func runFig4a(cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		eng := &peregrine.Engine{Threads: cfg.Threads, Instrument: true}
+		eng := &peregrine.Engine{Threads: cfg.Threads, Instrument: true, Obs: cfg.Obs}
 		start := time.Now()
 		_, stats, err := fsm.Mine(g, eng, fsm.Options{MaxEdges: 3, MinSupport: g.NumVertices() / 20, Morph: false})
 		if err != nil {
@@ -57,7 +57,7 @@ func runFig4b(cfg Config, w io.Writer) error {
 		return err
 	}
 	for _, np := range fig4Patterns() {
-		eng := &peregrine.Engine{Threads: cfg.Threads, Instrument: true}
+		eng := &peregrine.Engine{Threads: cfg.Threads, Instrument: true, Obs: cfg.Obs}
 		var sink uint64
 		start := time.Now()
 		st, err := eng.Match(g, np.Pattern, func(_ int, m []uint32) {
@@ -86,7 +86,7 @@ func runFig4c(cfg Config, w io.Writer) error {
 		return err
 	}
 	for _, np := range fig4Patterns() {
-		eng := &peregrine.Engine{Threads: cfg.Threads, Instrument: true}
+		eng := &peregrine.Engine{Threads: cfg.Threads, Instrument: true, Obs: cfg.Obs}
 		start := time.Now()
 		_, st, err := eng.Count(g, np.Pattern)
 		if err != nil {
@@ -103,14 +103,14 @@ func runFig4c(cfg Config, w io.Writer) error {
 // dominates the -V rows.
 func runFig4d(cfg Config, w io.Writer) error {
 	return runFilterProfile(cfg, w, func() filterEngine {
-		return &graphpi.Engine{Threads: cfg.Threads, Instrument: true}
+		return &graphpi.Engine{Threads: cfg.Threads, Instrument: true, Obs: cfg.Obs}
 	})
 }
 
 // runFig4e is Fig. 4d for the BigJoin model.
 func runFig4e(cfg Config, w io.Writer) error {
 	return runFilterProfile(cfg, w, func() filterEngine {
-		return &bigjoin.Engine{Threads: cfg.Threads, Instrument: true}
+		return &bigjoin.Engine{Threads: cfg.Threads, Instrument: true, Obs: cfg.Obs}
 	})
 }
 
@@ -164,7 +164,7 @@ func runFig4f(cfg Config, w io.Writer) error {
 			{Name: "TT", Pattern: pattern.TailedTriangle().AsVertexInduced()},
 			{Name: "4S", Pattern: pattern.FourStar().AsVertexInduced()},
 		} {
-			eng := &peregrine.Engine{Threads: cfg.Threads}
+			eng := &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}
 			start := time.Now()
 			if _, _, err := eng.Count(g, np.Pattern); err != nil {
 				return err

@@ -34,7 +34,7 @@ func runSanity(cfg Config, w io.Writer) error {
 	pass := func(name string) { fmt.Fprintf(w, "PASS %s\n", name) }
 
 	// Motif counting on the anti-edge-capable engines.
-	for _, eng := range []engine.Engine{peregrine.New(tiny.Threads), autozero.New(tiny.Threads)} {
+	for _, eng := range []engine.Engine{&peregrine.Engine{Threads: tiny.Threads, Obs: tiny.Obs}, &autozero.Engine{Threads: tiny.Threads, Obs: tiny.Obs}} {
 		base, err := mc.Count(g, 4, eng, false)
 		if err != nil {
 			return err
@@ -61,7 +61,7 @@ func runSanity(cfg Config, w io.Writer) error {
 	for _, eng := range []interface {
 		engine.Engine
 		sc.FilterEngine
-	}{graphpi.New(tiny.Threads), bigjoin.New(tiny.Threads)} {
+	}{&graphpi.Engine{Threads: tiny.Threads, Obs: tiny.Obs}, &bigjoin.Engine{Threads: tiny.Threads, Obs: tiny.Obs}} {
 		viaFilter, _, err := sc.CountBaselineWithFilter(g, queries, eng)
 		if err != nil {
 			return err
@@ -84,11 +84,11 @@ func runSanity(cfg Config, w io.Writer) error {
 	if minSup < 2 {
 		minSup = 2
 	}
-	baseFreq, _, err := fsm.Mine(g, peregrine.New(tiny.Threads), fsm.Options{MaxEdges: 2, MinSupport: minSup})
+	baseFreq, _, err := fsm.Mine(g, &peregrine.Engine{Threads: tiny.Threads, Obs: tiny.Obs}, fsm.Options{MaxEdges: 2, MinSupport: minSup})
 	if err != nil {
 		return err
 	}
-	morphFreq, _, err := fsm.Mine(g, peregrine.New(tiny.Threads), fsm.Options{MaxEdges: 2, MinSupport: minSup, Morph: true})
+	morphFreq, _, err := fsm.Mine(g, &peregrine.Engine{Threads: tiny.Threads, Obs: tiny.Obs}, fsm.Options{MaxEdges: 2, MinSupport: minSup, Morph: true})
 	if err != nil {
 		return err
 	}
@@ -100,7 +100,7 @@ func runSanity(cfg Config, w io.Writer) error {
 	// Subgraph enumeration with on-the-fly conversion.
 	weights := se.NewWeights(g, 0, 1, tiny.Seed)
 	seQueries := []*pattern.Pattern{pattern.FourCycle(), pattern.Path(4)}
-	eng := peregrine.New(tiny.Threads)
+	eng := &peregrine.Engine{Threads: tiny.Threads, Obs: tiny.Obs}
 	baseEnum, err := se.Enumerate(g, eng, seQueries, weights.WithinOneStd, nil, se.Options{})
 	if err != nil {
 		return err

@@ -19,6 +19,7 @@ import (
 
 	"morphing/internal/engine"
 	"morphing/internal/graph"
+	"morphing/internal/obs"
 	"morphing/internal/pattern"
 	"morphing/internal/plan"
 	"morphing/internal/setops"
@@ -33,6 +34,8 @@ type Engine struct {
 	BatchSize int
 	// Instrument enables phase timings.
 	Instrument bool
+	// Obs receives metrics and mine/<pattern> spans (nil = obs.Default()).
+	Obs *obs.Observer
 }
 
 var _ engine.Engine = (*Engine)(nil)
@@ -111,11 +114,16 @@ func (e *Engine) CountVertexInducedViaFilter(g *graph.Graph, p *pattern.Pattern)
 		return 0, nil, err
 	}
 	var kept uint64
+	var filterBranches uint64
 	for i := range shards {
 		kept += shards[i].kept
-		st.Branches += shards[i].branches
+		filterBranches += shards[i].branches
 	}
+	st.Branches += filterBranches
 	st.Matches = kept
+	// run already published its own counters; only the filter UDF's probe
+	// branches are new.
+	obs.Or(e.Obs).Counter(engine.MetricBranches).Add(0, filterBranches)
 	return kept, st, nil
 }
 
@@ -130,6 +138,9 @@ func (b *batch) tuples() int { return len(b.data) / b.width }
 
 func (e *Engine) run(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (uint64, *engine.Stats, error) {
 	start := time.Now()
+	o := obs.Or(e.Obs)
+	defer o.StartSpan("mine/"+p.String(), obs.Str("engine", e.Name())).End()
+	liveMatches := o.Counter(engine.MetricMatches)
 	if p.HasExplicitAntiEdges() {
 		return 0, nil, fmt.Errorf("bigjoin: %w", engine.ErrInducedUnsupported)
 	}
@@ -169,6 +180,8 @@ func (e *Engine) run(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (
 		}
 		st.Matches = total
 		st.TotalTime = time.Since(start)
+		liveMatches.Add(0, total)
+		engine.PublishStats(o, st)
 		return total, st, nil
 	}
 
@@ -200,7 +213,11 @@ func (e *Engine) run(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (
 			go func(w *bjWorker, in chan *batch, level int) {
 				defer stageWGs[level].Done()
 				for b := range in {
+					before := w.count
 					w.process(b)
+					if w.last {
+						liveMatches.Add(w.id, w.count-before)
+					}
 				}
 				w.flush()
 			}(w, chans[level], level)
@@ -241,6 +258,7 @@ func (e *Engine) run(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (
 	}
 	st.Matches = total
 	st.TotalTime = time.Since(start)
+	engine.PublishStats(o, st)
 	return total, st, nil
 }
 

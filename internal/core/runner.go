@@ -9,6 +9,7 @@ import (
 	"morphing/internal/costmodel"
 	"morphing/internal/engine"
 	"morphing/internal/graph"
+	"morphing/internal/obs"
 	"morphing/internal/pattern"
 )
 
@@ -29,6 +30,11 @@ type Runner struct {
 	PerMatchCost float64
 	// SelectOptions tunes Algorithm 1.
 	SelectOptions SelectOptions
+	// Obs is the observability sink: the runner opens phase spans
+	// (transform, select, mine, convert, aggregate) on its tracer and
+	// publishes RunStats through its registry. nil falls back to
+	// obs.Default().
+	Obs *obs.Observer
 }
 
 // RunStats reports where the time of a morphed execution went, matching
@@ -58,9 +64,16 @@ func (r *Runner) policyFor(agg aggr.Aggregation) (Policy, error) {
 	}
 }
 
+// obs resolves the runner's observability sink.
+func (r *Runner) obs() *obs.Observer { return obs.Or(r.Obs) }
+
 // Transform runs pattern transformation for a query set: S-DAG build plus
 // Algorithm 1 under the policy derived for agg.
 func (r *Runner) Transform(g *graph.Graph, queries []*pattern.Pattern, agg aggr.Aggregation) (*Selection, error) {
+	o := r.obs()
+	sp := o.StartSpan("transform",
+		obs.Str("engine", r.Engine.Name()), obs.Int("queries", len(queries)))
+	defer sp.End()
 	policy, err := r.policyFor(agg)
 	if err != nil {
 		return nil, err
@@ -73,6 +86,7 @@ func (r *Runner) Transform(g *graph.Graph, queries []*pattern.Pattern, agg aggr.
 				}
 			}
 		}
+		sp.Set(obs.Str("morphing", "disabled"))
 		return IdentitySelection(queries)
 	}
 	d, err := BuildSDAG(queries)
@@ -80,7 +94,14 @@ func (r *Runner) Transform(g *graph.Graph, queries []*pattern.Pattern, agg aggr.
 		return nil, err
 	}
 	model := costmodel.New(graph.Summarize(g), r.weights())
-	return Select(d, queries, DefaultCostFunc(model, r.PerMatchCost), policy, r.SelectOptions)
+	spSel := o.StartSpan("select", obs.Int("sdag_nodes", d.Len()))
+	sel, err := Select(d, queries, DefaultCostFunc(model, r.PerMatchCost), policy, r.SelectOptions)
+	spSel.End()
+	if err != nil {
+		return nil, err
+	}
+	sp.Set(obs.Int("mine_patterns", len(sel.Mine)))
+	return sel, nil
 }
 
 // TransformForStreaming runs pattern transformation for match-stream
@@ -91,7 +112,13 @@ func (r *Runner) TransformForStreaming(g *graph.Graph, queries []*pattern.Patter
 	if !r.Engine.SupportsInduced(pattern.VertexInduced) {
 		return nil, fmt.Errorf("core: engine %q cannot mine vertex-induced patterns; on-the-fly conversion unavailable", r.Engine.Name())
 	}
+	o := r.obs()
+	sp := o.StartSpan("transform",
+		obs.Str("engine", r.Engine.Name()), obs.Int("queries", len(queries)),
+		obs.Str("mode", "streaming"))
+	defer sp.End()
 	if r.DisableMorphing || r.SelectOptions.DisableMorphing {
+		sp.Set(obs.Str("morphing", "disabled"))
 		return IdentitySelection(queries)
 	}
 	d, err := BuildSDAG(queries)
@@ -99,7 +126,14 @@ func (r *Runner) TransformForStreaming(g *graph.Graph, queries []*pattern.Patter
 		return nil, err
 	}
 	model := costmodel.New(graph.Summarize(g), r.weights())
-	return Select(d, queries, DefaultCostFunc(model, r.PerMatchCost), PolicyVertexOnly, r.SelectOptions)
+	spSel := o.StartSpan("select", obs.Int("sdag_nodes", d.Len()))
+	sel, err := Select(d, queries, DefaultCostFunc(model, r.PerMatchCost), PolicyVertexOnly, r.SelectOptions)
+	spSel.End()
+	if err != nil {
+		return nil, err
+	}
+	sp.Set(obs.Int("mine_patterns", len(sel.Mine)))
+	return sel, nil
 }
 
 func (r *Runner) weights() costmodel.Weights {
@@ -109,9 +143,44 @@ func (r *Runner) weights() costmodel.Weights {
 	return r.Weights
 }
 
+// Registry metric names published by the runner, one set per pipeline
+// execution. The *_last_* gauges snapshot the most recent selection so a
+// live /vars poll shows what the cost model just decided.
+const (
+	MetricRuns        = "run_total"
+	MetricTransformNS = "run_transform_time_ns_total"
+	MetricConvertNS   = "run_convert_time_ns_total"
+
+	GaugeMinePatterns   = "run_last_mine_patterns"
+	GaugeMorphedQueries = "run_last_morphed_queries"
+	GaugeCostBefore     = "run_last_modeled_cost_before"
+	GaugeCostAfter      = "run_last_modeled_cost_after"
+)
+
+// publishRunStats routes a completed pipeline execution's RunStats into
+// the observer's registry (the engine publishes the Mining leg itself).
+func publishRunStats(o *obs.Observer, st *RunStats) {
+	o.Counter(MetricRuns).Inc(0)
+	o.Counter(MetricTransformNS).Add(0, uint64(st.Transform))
+	o.Counter(MetricConvertNS).Add(0, uint64(st.Convert))
+	if sel := st.Selection; sel != nil {
+		morphed := 0
+		for _, q := range sel.Queries {
+			if q.Morphed {
+				morphed++
+			}
+		}
+		o.Gauge(GaugeMinePatterns).Set(float64(len(sel.Mine)))
+		o.Gauge(GaugeMorphedQueries).Set(float64(morphed))
+		o.Gauge(GaugeCostBefore).Set(sel.CostBefore)
+		o.Gauge(GaugeCostAfter).Set(sel.CostAfter)
+	}
+}
+
 // Counts answers subgraph counting queries (SC/MC): the count of each
 // query pattern, computed through morphing unless disabled.
 func (r *Runner) Counts(g *graph.Graph, queries []*pattern.Pattern) ([]uint64, *RunStats, error) {
+	o := r.obs()
 	agg := aggr.Count{}
 	t0 := time.Now()
 	sel, err := r.Transform(g, queries, agg)
@@ -124,18 +193,25 @@ func (r *Runner) Counts(g *graph.Graph, queries []*pattern.Pattern) ([]uint64, *
 	for i, c := range sel.Mine {
 		minePatterns[i] = c.Pattern
 	}
+	spM := o.StartSpan("mine",
+		obs.Str("engine", r.Engine.Name()), obs.Int("patterns", len(minePatterns)))
 	counts, mst, err := r.Engine.CountAll(g, minePatterns)
+	spM.End()
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.Mining = mst
+	// Clone: the snapshot in RunStats must not alias a struct the engine
+	// may keep touching (see the single-merger invariant on engine.Stats).
+	stats.Mining = mst.Clone()
 
 	t1 := time.Now()
+	spC := o.StartSpan("convert", obs.Int("queries", len(queries)))
 	mined := make([]aggr.Value, len(counts))
 	for i, c := range counts {
 		mined[i] = c
 	}
 	vals, err := sel.Convert(agg, mined)
+	spC.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -144,6 +220,7 @@ func (r *Runner) Counts(g *graph.Graph, queries []*pattern.Pattern) ([]uint64, *
 	for i, v := range vals {
 		out[i] = v.(uint64)
 	}
+	publishRunStats(o, stats)
 	return out, stats, nil
 }
 
@@ -151,6 +228,7 @@ func (r *Runner) Counts(g *graph.Graph, queries []*pattern.Pattern) ([]uint64, *
 // query pattern (every embedding inserted, Bringmann-Nijssen semantics).
 // Morphing uses the additive direction only (PolicyVertexOnly).
 func (r *Runner) MNITables(g *graph.Graph, queries []*pattern.Pattern) ([]*aggr.Table, *RunStats, error) {
+	o := r.obs()
 	agg := aggr.MNI{}
 	t0 := time.Now()
 	sel, err := r.Transform(g, queries, agg)
@@ -160,18 +238,24 @@ func (r *Runner) MNITables(g *graph.Graph, queries []*pattern.Pattern) ([]*aggr.
 	stats := &RunStats{Selection: sel, Transform: time.Since(t0)}
 
 	stats.Mining = &engine.Stats{}
+	spM := o.StartSpan("mine",
+		obs.Str("engine", r.Engine.Name()), obs.Int("patterns", len(sel.Mine)))
 	mined := make([]aggr.Value, len(sel.Mine))
 	for i, c := range sel.Mine {
-		tbl, st, err := MineMNITable(r.Engine, g, c.Pattern)
+		tbl, st, err := mineMNITable(o, r.Engine, g, c.Pattern)
 		if err != nil {
+			spM.End()
 			return nil, nil, err
 		}
 		stats.Mining.Add(st)
 		mined[i] = tbl
 	}
+	spM.End()
 
 	t1 := time.Now()
+	spC := o.StartSpan("convert", obs.Int("queries", len(queries)))
 	vals, err := sel.Convert(agg, mined)
+	spC.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -180,6 +264,7 @@ func (r *Runner) MNITables(g *graph.Graph, queries []*pattern.Pattern) ([]*aggr.
 	for i, v := range vals {
 		out[i] = v.(*aggr.Table)
 	}
+	publishRunStats(o, stats)
 	return out, stats, nil
 }
 
@@ -187,6 +272,10 @@ func (r *Runner) MNITables(g *graph.Graph, queries []*pattern.Pattern) ([]*aggr.
 // per-worker shards merged at the end (the map-reduce structure of the
 // FSM UDF in Fig. 9).
 func MineMNITable(eng engine.Engine, g *graph.Graph, p *pattern.Pattern) (*aggr.Table, *engine.Stats, error) {
+	return mineMNITable(obs.Or(nil), eng, g, p)
+}
+
+func mineMNITable(o *obs.Observer, eng engine.Engine, g *graph.Graph, p *pattern.Pattern) (*aggr.Table, *engine.Stats, error) {
 	auts := canon.Automorphisms(p)
 	// Worker IDs from any engine stay far below this (see engine.Visitor);
 	// distinct IDs never share a shard, so no locking is needed.
@@ -201,9 +290,12 @@ func MineMNITable(eng engine.Engine, g *graph.Graph, p *pattern.Pattern) (*aggr.
 	if err != nil {
 		return nil, nil, err
 	}
+	// The shard merge is the UDF-side aggregation leg of the pipeline.
+	spA := o.StartSpan("aggregate", obs.Str("pattern", p.String()))
 	out := aggr.NewTable(p.N())
 	for _, s := range shards {
 		out.Merge(s)
 	}
+	spA.End()
 	return out, st, nil
 }

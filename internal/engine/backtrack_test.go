@@ -29,7 +29,7 @@ func countBT(t *testing.T, g *graph.Graph, p *pattern.Pattern, threads int) uint
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, st, err := Backtrack(g, pl, nil, ExecOptions{Threads: threads})
+	got, st, err := Backtrack(g, pl, nil, ExecOptions{Threads: threads}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestBacktrackStreamsUniqueCanonicalMatches(t *testing.T) {
 			}
 			got[k] = true
 			mu.Unlock()
-		}, ExecOptions{Threads: 4})
+		}, ExecOptions{Threads: 4}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,7 +195,7 @@ func TestBacktrackMatchVertexOrder(t *testing.T) {
 		mu.Lock()
 		seen = append(seen, append([]uint32(nil), m...))
 		mu.Unlock()
-	}, ExecOptions{Threads: 1})
+	}, ExecOptions{Threads: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestBacktrackInstrumentation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, st, err := Backtrack(g, pl, nil, ExecOptions{Threads: 2, Instrument: true})
+	_, st, err := Backtrack(g, pl, nil, ExecOptions{Threads: 2, Instrument: true}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestBacktrackInstrumentation(t *testing.T) {
 }
 
 func TestBacktrackNilPlan(t *testing.T) {
-	if _, _, err := Backtrack(completeGraph(3), nil, nil, ExecOptions{}); err == nil {
+	if _, _, err := Backtrack(completeGraph(3), nil, nil, ExecOptions{}, nil); err == nil {
 		t.Fatal("nil plan accepted")
 	}
 }

@@ -53,6 +53,18 @@ type Engine interface {
 // set-operation work, match materialization, UDF invocations, and the
 // data-dependent branches that Filter UDFs burn (Fig. 14c-d). Timings are
 // only collected when instrumentation is enabled; counters are always on.
+//
+// Concurrency contract (the single-merger invariant): a Stats value has
+// no internal synchronization. Although visitors may be invoked
+// concurrently, each executor worker accumulates into its own private
+// Stats, and exactly one goroutine merges them with Add after the workers
+// have joined. Callers must follow the same discipline: never call Add on
+// a Stats that another goroutine may still be writing, and never share
+// one *Stats between concurrent executions. To keep a snapshot that
+// outlives (or is decoupled from) the producer, use Clone instead of
+// aliasing the returned pointer. For counters that must be readable while
+// workers are still running (progress, /metrics), engines publish into
+// the sharded cells of an obs.Registry instead.
 type Stats struct {
 	SetOps       uint64 // sorted-set operations executed
 	SetElems     uint64 // elements scanned by set operations
@@ -67,7 +79,20 @@ type Stats struct {
 	TotalTime       time.Duration // wall-clock for the whole operation
 }
 
-// Add merges other into s.
+// Clone returns an independent copy of s, for callers that want to
+// retain a snapshot without aliasing a struct the producer may keep
+// reusing (see the single-merger invariant above).
+func (s *Stats) Clone() *Stats {
+	if s == nil {
+		return nil
+	}
+	cp := *s
+	return &cp
+}
+
+// Add merges other into s. It is not safe to call while any worker may
+// still be writing to either side; merge only after execution completes,
+// from a single goroutine.
 func (s *Stats) Add(other *Stats) {
 	s.SetOps += other.SetOps
 	s.SetElems += other.SetElems

@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"morphing/internal/obs"
+)
+
+// Registry metric names shared by every engine model. Counters are
+// cumulative over the process lifetime (Prometheus convention); the
+// per-execution snapshot remains the Stats struct.
+const (
+	// MetricMatches is streamed live: executors flush each worker's match
+	// delta at block/batch granularity so progress reporters and the HTTP
+	// endpoint see movement mid-run. PublishStats therefore excludes it.
+	MetricMatches = "engine_matches_total"
+
+	MetricSetOps       = "engine_set_ops_total"
+	MetricSetElems     = "engine_set_elems_total"
+	MetricMaterialized = "engine_materialized_total"
+	MetricUDFCalls     = "engine_udf_calls_total"
+	MetricBranches     = "engine_branches_total"
+
+	MetricSetOpTimeNS       = "engine_setop_time_ns_total"
+	MetricMaterializeTimeNS = "engine_materialize_time_ns_total"
+	MetricUDFTimeNS         = "engine_udf_time_ns_total"
+	MetricRunTimeNS         = "engine_run_time_ns_total"
+
+	// MetricMineDurationNS is a log-scale histogram of per-execution
+	// wall-clock, one observation per Count/Match/CountAll.
+	MetricMineDurationNS = "engine_mine_duration_ns"
+)
+
+// PublishStats adds a completed execution's Stats snapshot to the
+// observer's registry — every counter except Matches, which executors
+// stream live through MetricMatches while running (publishing it again
+// here would double count). Call once per execution, after the workers
+// have joined. Nil-safe in both arguments.
+func PublishStats(o *obs.Observer, st *Stats) {
+	if st == nil {
+		return
+	}
+	o.Counter(MetricSetOps).Add(0, st.SetOps)
+	o.Counter(MetricSetElems).Add(0, st.SetElems)
+	o.Counter(MetricMaterialized).Add(0, st.Materialized)
+	o.Counter(MetricUDFCalls).Add(0, st.UDFCalls)
+	o.Counter(MetricBranches).Add(0, st.Branches)
+	o.Counter(MetricSetOpTimeNS).Add(0, uint64(st.SetOpTime))
+	o.Counter(MetricMaterializeTimeNS).Add(0, uint64(st.MaterializeTime))
+	o.Counter(MetricUDFTimeNS).Add(0, uint64(st.UDFTime))
+	o.Counter(MetricRunTimeNS).Add(0, uint64(st.TotalTime))
+	o.Histogram(MetricMineDurationNS).Observe(0, uint64(st.TotalTime))
+}

@@ -16,6 +16,7 @@ import (
 	"morphing/internal/costmodel"
 	"morphing/internal/engine"
 	"morphing/internal/graph"
+	"morphing/internal/obs"
 	"morphing/internal/pattern"
 	"morphing/internal/plan"
 )
@@ -26,6 +27,8 @@ type Engine struct {
 	Threads int
 	// Instrument enables phase timings.
 	Instrument bool
+	// Obs receives metrics and mine/<pattern> spans (nil = obs.Default()).
+	Obs *obs.Observer
 	// MaxOrders caps how many connected matching orders the performance
 	// model evaluates per pattern (0 = 120; exhaustive for patterns up to
 	// 5 vertices, a broad sample beyond).
@@ -51,6 +54,11 @@ func (e *Engine) SupportsInduced(iv pattern.Induced) bool {
 
 func (e *Engine) opts() engine.ExecOptions {
 	return engine.ExecOptions{Threads: e.Threads, Instrument: e.Instrument}
+}
+
+// span opens a mine/<pattern> phase span on the engine's observer.
+func (e *Engine) span(p *pattern.Pattern) *obs.Span {
+	return obs.Or(e.Obs).StartSpan("mine/"+p.String(), obs.Str("engine", e.Name()))
 }
 
 func (e *Engine) summary(g *graph.Graph) graph.Summary {
@@ -107,7 +115,8 @@ func (e *Engine) Count(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stat
 	if err != nil {
 		return 0, nil, err
 	}
-	return engine.Backtrack(g, pl, nil, e.opts())
+	defer e.span(p).End()
+	return engine.Backtrack(g, pl, nil, e.opts(), e.Obs)
 }
 
 // CountAll counts each pattern independently.
@@ -131,7 +140,8 @@ func (e *Engine) Match(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor)
 	if err != nil {
 		return nil, err
 	}
-	_, st, err := engine.Backtrack(g, pl, visit, e.opts())
+	defer e.span(p).End()
+	_, st, err := engine.Backtrack(g, pl, visit, e.opts(), e.Obs)
 	return st, err
 }
 
@@ -147,13 +157,15 @@ func (e *Engine) CountVertexInducedViaFilter(g *graph.Graph, p *pattern.Pattern)
 	if err != nil {
 		return 0, nil, err
 	}
-	return CountViaFilter(g, pl, p.NonEdges(), e.opts())
+	defer obs.Or(e.Obs).StartSpan("mine/"+p.String(),
+		obs.Str("engine", e.Name()), obs.Str("mode", "filter-udf")).End()
+	return CountViaFilter(g, pl, p.NonEdges(), e.opts(), e.Obs)
 }
 
 // CountViaFilter runs an edge-induced plan and counts the matches that
 // survive the extra-edge Filter UDF over nonEdges. Exposed for reuse by
 // the BigJoin model's benchmarks and by tests.
-func CountViaFilter(g *graph.Graph, pl *plan.Plan, nonEdges [][2]int, opts engine.ExecOptions) (uint64, *engine.Stats, error) {
+func CountViaFilter(g *graph.Graph, pl *plan.Plan, nonEdges [][2]int, opts engine.ExecOptions, o *obs.Observer) (uint64, *engine.Stats, error) {
 	threads := opts.Threads
 	if threads <= 0 {
 		threads = 64 // upper bound for shard allocation; executor caps at GOMAXPROCS
@@ -184,15 +196,20 @@ func CountViaFilter(g *graph.Graph, pl *plan.Plan, nonEdges [][2]int, opts engin
 		if keep {
 			s.kept++
 		}
-	}, opts)
+	}, opts, o)
 	if err != nil {
 		return 0, nil, err
 	}
 	var kept uint64
+	var filterBranches uint64
 	for i := range shards {
 		kept += shards[i].kept
-		st.Branches += shards[i].branches
+		filterBranches += shards[i].branches
 	}
+	st.Branches += filterBranches
 	st.Matches = kept
+	// Backtrack already published its own counters; only the filter UDF's
+	// probe branches are new.
+	obs.Or(o).Counter(engine.MetricBranches).Add(0, filterBranches)
 	return kept, st, nil
 }

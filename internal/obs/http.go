@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the runtime observability surface for a registry:
+//
+//	/vars          merged registry snapshot as JSON (expvar-style)
+//	/metrics       Prometheus text exposition
+//	/debug/pprof/  the standard pprof index, profile, trace, symbol
+//
+// A nil registry serves the process default.
+func Handler(reg *Registry) *http.ServeMux {
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability endpoint on addr in a background
+// goroutine and returns the listener (close it to stop serving; its Addr
+// reports the bound address when addr used port 0). This is what the
+// binaries' -listen flag calls.
+func Serve(addr string, reg *Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go srv.Serve(ln)
+	return ln, nil
+}

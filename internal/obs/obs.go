@@ -1,0 +1,87 @@
+// Package obs is the unified observability substrate for the morphing
+// pipeline and the four engine models: a metrics registry backed by
+// per-worker sharded atomic cells (allocation-free and contention-free on
+// engine hot paths), span-based tracing with Chrome trace_event and JSONL
+// export, an HTTP debug endpoint (expvar-style JSON, Prometheus text
+// exposition, net/http/pprof), and a progress reporter for long
+// enumeration runs.
+//
+// Every layer emits into an *Observer. A nil Observer, Registry, Tracer,
+// metric or Span is valid and inert, so instrumentation call sites are
+// unconditional — there is no "is observability on?" branching in engine
+// code. The process-wide Default observer always carries a live registry;
+// tracing is off until a Tracer is installed (SetDefaultTracer or a
+// per-component Observer).
+//
+// Span taxonomy (see DESIGN.md): experiment/<id> > transform > select,
+// mine > mine/<pattern-id>, convert, aggregate.
+package obs
+
+// Observer bundles the two observability sinks a component emits into.
+// Either field may be nil: a nil Metrics drops measurements, a nil Tracer
+// drops spans. The zero value observes nothing.
+type Observer struct {
+	// Metrics receives counters, gauges and histograms.
+	Metrics *Registry
+	// Tracer receives phase spans.
+	Tracer *Tracer
+}
+
+// defaultObserver is the process-wide sink components fall back to when
+// they were not handed an explicit Observer. Its registry is always live
+// (counters are cheap); its tracer is nil until SetDefaultTracer.
+var defaultObserver = &Observer{Metrics: NewRegistry()}
+
+// Default returns the process-wide observer.
+func Default() *Observer { return defaultObserver }
+
+// DefaultRegistry returns the process-wide metrics registry.
+func DefaultRegistry() *Registry { return defaultObserver.Metrics }
+
+// SetDefaultTracer installs t as the process-wide tracer. Call it before
+// starting work that should be traced (typically from main, right after
+// flag parsing); it is not synchronized against concurrent span starts.
+func SetDefaultTracer(t *Tracer) { defaultObserver.Tracer = t }
+
+// Or returns o when non-nil and the process-wide default otherwise. It is
+// how engines and the runner resolve their optional Obs field.
+func Or(o *Observer) *Observer {
+	if o != nil {
+		return o
+	}
+	return defaultObserver
+}
+
+// Counter returns the named counter from the observer's registry (nil
+// when the observer or its registry is nil).
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name)
+}
+
+// Gauge returns the named gauge from the observer's registry.
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name)
+}
+
+// Histogram returns the named histogram from the observer's registry.
+func (o *Observer) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name)
+}
+
+// StartSpan opens a span on the observer's tracer (nil and inert when the
+// observer or its tracer is nil).
+func (o *Observer) StartSpan(name string, attrs ...Attr) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer.Start(name, attrs...)
+}

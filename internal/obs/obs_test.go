@@ -1,0 +1,326 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterShardedConcurrentAdds(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total")
+	const workers = 32
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc(w)
+			}
+		}(w)
+	}
+	// Concurrent merged reads must be safe while writers are running.
+	for i := 0; i < 100; i++ {
+		_ = c.Value()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if r.Counter("test_total") != c {
+		t.Fatal("registry did not return the same counter instance")
+	}
+}
+
+func TestCounterWorkerIDsBeyondShardCount(t *testing.T) {
+	var c Counter
+	c.Add(0, 1)
+	c.Add(shardCount, 1)      // wraps onto shard 0
+	c.Add(17*shardCount+3, 5) // wraps onto shard 3
+	if got := c.Value(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+}
+
+func TestNilMetricsAreInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(0, 5)
+	c.Inc(1)
+	if c.Value() != 0 || c.Name() != "" {
+		t.Fatal("nil counter not inert")
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge not inert")
+	}
+	h := r.Histogram("z")
+	h.Observe(0, 9)
+	if h.Snapshot().Count != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var o *Observer
+	o.StartSpan("a").Set(Str("k", "v")).End() // must not panic
+	o.Counter("c").Inc(0)
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("cost")
+	g.Set(12.5)
+	if g.Value() != 12.5 {
+		t.Fatalf("gauge = %v, want 12.5", g.Value())
+	}
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Fatalf("gauge = %v, want -3", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns")
+	h.Observe(0, 0)   // bucket 0
+	h.Observe(1, 1)   // bucket 1
+	h.Observe(2, 2)   // bucket 2
+	h.Observe(3, 3)   // bucket 2
+	h.Observe(70, 16) // bucket 5, worker beyond shard count
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 22 {
+		t.Fatalf("count=%d sum=%d, want 5/22", s.Count, s.Sum)
+	}
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 5: 1}
+	for i, n := range s.Buckets {
+		if n != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+	if BucketUpperBound(0) != 0 || BucketUpperBound(2) != 3 || BucketUpperBound(5) != 31 {
+		t.Fatal("bucket upper bounds wrong")
+	}
+}
+
+func TestSnapshotPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine_matches_total").Add(0, 42)
+	r.Gauge("run_last_cost").Set(1.5)
+	r.Histogram("mine_ns").Observe(0, 100)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE engine_matches_total counter",
+		"engine_matches_total 42",
+		"# TYPE run_last_cost gauge",
+		"run_last_cost 1.5",
+		"# TYPE mine_ns histogram",
+		`mine_ns_bucket{le="+Inf"} 1`,
+		"mine_ns_sum 100",
+		"mine_ns_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTracerChromeTraceValid(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("transform", Str("engine", "Peregrine"), Int("queries", 6))
+	inner := tr.Start("select")
+	inner.End()
+	sp.Set(Int("mine_patterns", 4)).End()
+	sp.End() // double End must not duplicate
+	tr.Instant("marker")
+	if tr.Len() != 3 {
+		t.Fatalf("events = %d, want 3", tr.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("trace has %d events, want 3", len(doc.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, e := range doc.TraceEvents {
+		byName[e.Name] = i
+	}
+	tf := doc.TraceEvents[byName["transform"]]
+	if tf.Ph != "X" || tf.Pid != 1 {
+		t.Fatalf("transform event malformed: %+v", tf)
+	}
+	if tf.Args["engine"] != "Peregrine" || tf.Args["mine_patterns"] != float64(4) {
+		t.Fatalf("transform args wrong: %v", tf.Args)
+	}
+	sel := doc.TraceEvents[byName["select"]]
+	if sel.Ts < tf.Ts || sel.Ts+sel.Dur > tf.Ts+tf.Dur+1 {
+		t.Fatalf("select span not nested in transform: %+v vs %+v", sel, tf)
+	}
+	if doc.TraceEvents[byName["marker"]].Ph != "i" {
+		t.Fatal("instant event not recorded as ph=i")
+	}
+}
+
+func TestTracerJSONL(t *testing.T) {
+	tr := NewTracer()
+	tr.Start("mine/p1").End()
+	tr.Start("convert").End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl lines = %d, want 2", len(lines))
+	}
+	for _, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("line %q not JSON: %v", l, err)
+		}
+	}
+}
+
+func TestNilTracerWritesEmptyChromeTrace(t *testing.T) {
+	var tr *Tracer
+	tr.Start("x").End()
+	tr.Instant("y")
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Fatalf("empty trace malformed: %s", buf.String())
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				tr.Start(fmt.Sprintf("mine/p%d", i)).SetTID(i).End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if tr.Len() != 400 {
+		t.Fatalf("events = %d, want 400", tr.Len())
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("engine_matches_total").Add(0, 7)
+	ln, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/vars")), &snap); err != nil {
+		t.Fatalf("/vars not JSON: %v", err)
+	}
+	if snap.Counters["engine_matches_total"] != 7 {
+		t.Fatalf("/vars counter = %d, want 7", snap.Counters["engine_matches_total"])
+	}
+	if !strings.Contains(get("/metrics"), "engine_matches_total 7") {
+		t.Fatal("/metrics missing counter")
+	}
+	if !strings.Contains(get("/debug/pprof/"), "profile") {
+		t.Fatal("/debug/pprof/ index missing")
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("progress_total")
+	var buf bytes.Buffer
+	p := StartProgress(&buf, "mine p1", c, 200, 10*time.Millisecond)
+	c.Add(0, 100)
+	time.Sleep(35 * time.Millisecond)
+	p.Stop()
+	p.Stop() // idempotent
+	out := buf.String()
+	if !strings.Contains(out, "mine p1: 100 matches") {
+		t.Fatalf("progress output missing count: %q", out)
+	}
+	if !strings.Contains(out, "50.0%") || !strings.Contains(out, "ETA") {
+		t.Fatalf("progress output missing pct/ETA: %q", out)
+	}
+	// Nil sinks are inert.
+	StartProgress(nil, "x", c, 0, 0).Stop()
+	StartProgress(&buf, "x", nil, 0, 0).Stop()
+	var np *Progress
+	np.Stop()
+	np.SetTotal(5)
+}
+
+func TestObserverOrAndDefault(t *testing.T) {
+	if Or(nil) != Default() {
+		t.Fatal("Or(nil) is not the default observer")
+	}
+	custom := &Observer{Metrics: NewRegistry()}
+	if Or(custom) != custom {
+		t.Fatal("Or(custom) did not pass through")
+	}
+	if Default().Metrics == nil {
+		t.Fatal("default observer has no registry")
+	}
+	// Default tracer starts nil: spans are inert until installed.
+	if Default().Tracer != nil {
+		t.Fatal("default tracer unexpectedly set")
+	}
+	Default().StartSpan("x").End()
+}

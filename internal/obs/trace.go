@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Attr is one span attribute (engine name, pattern ID, selection size).
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Str builds a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int) Attr { return Attr{Key: key, Value: value} }
+
+// U64 builds an unsigned attribute.
+func U64(key string, value uint64) Attr { return Attr{Key: key, Value: value} }
+
+// F64 builds a float attribute.
+func F64(key string, value float64) Attr { return Attr{Key: key, Value: value} }
+
+// Tracer records phase spans. Span starts allocate one small struct; End
+// appends one event under a mutex — tracing is meant for phase-granular
+// spans (transform, mine/<pattern>, convert), not per-match events, so
+// the lock is never contended on a hot path. A nil *Tracer is valid and
+// records nothing.
+type Tracer struct {
+	mu     sync.Mutex
+	origin time.Time
+	events []traceEvent
+}
+
+type traceEvent struct {
+	name  string
+	phase byte          // 'X' complete, 'i' instant
+	tid   int64         // lane in the Chrome trace viewer
+	start time.Duration // offset from origin
+	dur   time.Duration
+	attrs []Attr
+}
+
+// NewTracer returns a tracer whose timestamps are relative to now.
+func NewTracer() *Tracer { return &Tracer{origin: time.Now()} }
+
+// Start opens a span. End it (usually via defer) to record it; spans
+// never ended are dropped. Nil-safe: a nil tracer returns a nil (inert)
+// span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, attrs: attrs, begin: time.Now()}
+}
+
+// Instant records a zero-duration marker event.
+func (t *Tracer) Instant(name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{name: name, phase: 'i', start: now.Sub(t.origin), attrs: attrs})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Span is one in-flight phase. All methods are nil-safe so call sites
+// need no tracer-enabled checks.
+type Span struct {
+	t     *Tracer
+	name  string
+	tid   int64
+	attrs []Attr
+	begin time.Time
+	ended bool
+}
+
+// Set appends attributes to the span (for values only known mid-phase,
+// like the selection size after Algorithm 1 ran). Returns the span for
+// chaining.
+func (s *Span) Set(attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, attrs...)
+	return s
+}
+
+// SetTID assigns the span to a viewer lane (defaults to lane 0, where
+// nesting is inferred from timestamp containment).
+func (s *Span) SetTID(tid int) *Span {
+	if s == nil {
+		return nil
+	}
+	s.tid = int64(tid)
+	return s
+}
+
+// End records the span. Safe to call more than once; only the first
+// counts.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	end := time.Now()
+	t := s.t
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{
+		name:  s.name,
+		phase: 'X',
+		tid:   s.tid,
+		start: s.begin.Sub(t.origin),
+		dur:   end.Sub(s.begin),
+		attrs: s.attrs,
+	})
+	t.mu.Unlock()
+}
+
+// chromeEvent is one Chrome trace_event JSON object. Timestamps and
+// durations are microseconds, per the trace event format spec.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func (t *Tracer) chromeEvents() []chromeEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]chromeEvent, 0, len(t.events))
+	for _, e := range t.events {
+		ce := chromeEvent{
+			Name: e.name,
+			Ph:   string(rune(e.phase)),
+			Ts:   float64(e.start.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  e.tid,
+		}
+		if e.phase == 'X' {
+			ce.Dur = float64(e.dur.Nanoseconds()) / 1e3
+		}
+		if e.phase == 'i' {
+			ce.S = "p" // process-scoped instant
+		}
+		if len(e.attrs) > 0 {
+			ce.Args = make(map[string]any, len(e.attrs))
+			for _, a := range e.attrs {
+				ce.Args[a.Key] = a.Value
+			}
+		}
+		out = append(out, ce)
+	}
+	return out
+}
+
+// WriteChromeTrace writes the recorded spans as a Chrome trace_event
+// JSON document ({"traceEvents": [...]}), loadable in chrome://tracing
+// and Perfetto.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{DisplayTimeUnit: "ms"}
+	if t != nil {
+		doc.TraceEvents = t.chromeEvents()
+	}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteJSONL writes the recorded spans as one JSON object per line, for
+// jq-style scripting.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range t.chromeEvents() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 
 	"morphing/internal/engine"
 	"morphing/internal/graph"
+	"morphing/internal/obs"
 	"morphing/internal/pattern"
 	"morphing/internal/plan"
 )
@@ -24,6 +25,8 @@ type Engine struct {
 	Threads int
 	// Instrument enables phase timings for profiling figures.
 	Instrument bool
+	// Obs receives metrics and mine/<pattern> spans (nil = obs.Default()).
+	Obs *obs.Observer
 }
 
 var _ engine.Engine = (*Engine)(nil)
@@ -42,13 +45,19 @@ func (e *Engine) opts() engine.ExecOptions {
 	return engine.ExecOptions{Threads: e.Threads, Instrument: e.Instrument}
 }
 
+// span opens a mine/<pattern> phase span on the engine's observer.
+func (e *Engine) span(p *pattern.Pattern) *obs.Span {
+	return obs.Or(e.Obs).StartSpan("mine/"+p.String(), obs.Str("engine", e.Name()))
+}
+
 // Count returns the number of unique matches of p in g.
 func (e *Engine) Count(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	pl, err := plan.Build(p)
 	if err != nil {
 		return 0, nil, fmt.Errorf("peregrine: %w", err)
 	}
-	return engine.Backtrack(g, pl, nil, e.opts())
+	defer e.span(p).End()
+	return engine.Backtrack(g, pl, nil, e.opts(), e.Obs)
 }
 
 // CountAll counts each pattern independently; Peregrine matches patterns
@@ -74,7 +83,8 @@ func (e *Engine) Match(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor)
 	if err != nil {
 		return nil, fmt.Errorf("peregrine: %w", err)
 	}
-	_, st, err := engine.Backtrack(g, pl, visit, e.opts())
+	defer e.span(p).End()
+	_, st, err := engine.Backtrack(g, pl, visit, e.opts(), e.Obs)
 	return st, err
 }
 
@@ -94,7 +104,8 @@ func (e *Engine) CountUpTo(g *graph.Graph, p *pattern.Pattern, limit uint64) (ui
 	if err != nil {
 		return 0, nil, fmt.Errorf("peregrine: %w", err)
 	}
+	defer e.span(p).End()
 	opts := e.opts()
 	opts.MatchLimit = limit
-	return engine.Backtrack(g, pl, nil, opts)
+	return engine.Backtrack(g, pl, nil, opts, e.Obs)
 }

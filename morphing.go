@@ -40,6 +40,7 @@ import (
 	"morphing/internal/engine"
 	"morphing/internal/graph"
 	"morphing/internal/graphpi"
+	"morphing/internal/obs"
 	"morphing/internal/pattern"
 	"morphing/internal/peregrine"
 )
@@ -80,6 +81,12 @@ type (
 	Weights = se.Weights
 	// DatasetRecipe describes a synthetic evaluation graph.
 	DatasetRecipe = dataset.Recipe
+	// Tracer records phase spans (transform, select, mine/<pattern>,
+	// convert, aggregate) and exports them as a Chrome trace_event file.
+	Tracer = obs.Tracer
+	// MetricsSnapshot is a merged point-in-time view of every counter,
+	// gauge and histogram in the process-wide metrics registry.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Options toggles Subgraph Morphing for the counting applications.
@@ -210,6 +217,32 @@ func MaxCliqueSize(g *Graph, maxK int) (int, error) {
 // bench experiment). Returns the relabeled graph and the old-to-new map.
 func SortGraphByDegree(g *Graph) (*Graph, []uint32) {
 	return graph.SortByDegree(g)
+}
+
+// NewTracer returns an empty span recorder. Install it with
+// EnableTracing to capture the pipeline's phase spans.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// EnableTracing installs t as the process-wide tracer: every Runner,
+// engine and bench experiment without an explicit observability sink
+// records its phase spans there. Pass nil to disable tracing again.
+func EnableTracing(t *Tracer) { obs.SetDefaultTracer(t) }
+
+// Metrics returns a merged snapshot of the process-wide metrics
+// registry: engine counters (matches, set operations, branches, UDF
+// calls), runner phase timings, and the mine-duration histogram.
+func Metrics() MetricsSnapshot { return obs.DefaultRegistry().Snapshot() }
+
+// ServeDebug exposes the observability endpoint — /vars (JSON metrics),
+// /metrics (Prometheus text) and /debug/pprof — on addr in a background
+// goroutine, returning the bound address (useful with ":0"). Close the
+// returned Closer to stop serving.
+func ServeDebug(addr string) (string, io.Closer, error) {
+	ln, err := obs.Serve(addr, obs.DefaultRegistry())
+	if err != nil {
+		return "", nil, err
+	}
+	return ln.Addr().String(), ln, nil
 }
 
 // MorphingEquations renders the Fig. 7 conversion identities for a
