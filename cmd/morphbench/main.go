@@ -20,6 +20,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +46,7 @@ func main() {
 		traceOut = flag.String("trace", "", "write phase spans to this file (Chrome trace_event JSON; .jsonl for JSON lines)")
 		listen   = flag.String("listen", "", "serve /metrics, /vars and /debug/pprof on this address while running")
 		progress = flag.Bool("progress", false, "report live matches/sec to stderr during experiments")
+		timeout  = flag.Duration("timeout", 0, "overall deadline for the whole run; expired experiments abort at the next work-block boundary (0 = none)")
 	)
 	flag.Parse()
 
@@ -69,12 +72,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "== observability endpoint on http://%s (/metrics, /vars, /debug/pprof)\n", ln.Addr())
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	cfg := bench.Config{
 		Scale:   *scale,
 		Threads: *threads,
 		Seed:    *seed,
 		Quick:   *quick,
 		Samples: *samples,
+		Ctx:     ctx,
 	}
 	var ids []string
 	switch {
@@ -105,6 +115,15 @@ func main() {
 		err = e.RunTraced(cfg, os.Stdout)
 		prog.Stop()
 		if err != nil {
+			if engine.Interrupted(err) {
+				marker := "RUN INTERRUPTED"
+				if errors.Is(err, engine.ErrDeadlineExceeded) {
+					marker = "DEADLINE EXCEEDED"
+				}
+				fmt.Printf("# %s: experiment %s aborted — rows above are PARTIAL\n", marker, e.ID)
+				fmt.Fprintf(os.Stderr, "morphbench: experiment %s: %s: %v\n", e.ID, marker, err)
+				os.Exit(1)
+			}
 			fmt.Fprintf(os.Stderr, "morphbench: experiment %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}

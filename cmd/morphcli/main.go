@@ -19,7 +19,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -250,6 +252,7 @@ func cmdCount(args []string) error {
 	statsMode := fs.String("stats", "text", "output mode: text, or json for a merged RunStats + registry snapshot")
 	traceOut := fs.String("trace", "", "write phase spans to this file (Chrome trace_event JSON; .jsonl for JSON lines)")
 	progress := fs.Bool("progress", false, "report live matches/sec to stderr")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration, printing partial per-alternative counts (0 = no deadline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -291,10 +294,19 @@ func cmdCount(args []string) error {
 		prog = obs.StartProgress(os.Stderr, "count",
 			obs.DefaultRegistry().Counter(engine.MetricMatches), 0, time.Second)
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	r := &core.Runner{Engine: eng, DisableMorphing: *baseline}
-	counts, st, err := r.Counts(g, queries)
+	counts, st, err := r.CountsCtx(ctx, g, queries)
 	prog.Stop()
 	if err != nil {
+		if engine.Interrupted(err) && st != nil {
+			printPartial(os.Stdout, *statsMode, st, err)
+		}
 		return err
 	}
 
@@ -357,6 +369,49 @@ func cmdCount(args []string) error {
 		st.Transform, st.Mining.TotalTime, st.Convert,
 		st.Mining.Matches, st.Mining.SetOps)
 	return nil
+}
+
+// printPartial reports an interrupted run: which deadline/cancellation
+// fired, the pipeline phase it stopped in, and the per-alternative
+// partial counts mined before the abort (query-level results cannot be
+// soundly converted from an incomplete mined set).
+func printPartial(w *os.File, statsMode string, st *core.RunStats, err error) {
+	marker := "RUN INTERRUPTED"
+	switch {
+	case errors.Is(err, engine.ErrDeadlineExceeded):
+		marker = "DEADLINE EXCEEDED"
+	case errors.Is(err, engine.ErrCanceled):
+		marker = "CANCELED"
+	}
+	if statsMode == "json" {
+		type partialRow struct {
+			Pattern string `json:"pattern"`
+			Count   uint64 `json:"count"`
+		}
+		rep := struct {
+			Interrupted bool          `json:"interrupted"`
+			Marker      string        `json:"marker"`
+			Error       string        `json:"error"`
+			Phase       string        `json:"phase"`
+			Partial     []partialRow  `json:"partial_counts"`
+			Mining      *engine.Stats `json:"mining"`
+		}{Interrupted: true, Marker: marker, Error: err.Error(), Phase: st.Phase, Mining: st.Mining}
+		for _, p := range st.Partial {
+			rep.Partial = append(rep.Partial, partialRow{Pattern: p.Pattern.String(), Count: p.Count})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+		return
+	}
+	fmt.Fprintf(w, "*** %s — results below are PARTIAL (stopped in phase %q) ***\n", marker, st.Phase)
+	for _, p := range st.Partial {
+		fmt.Fprintf(w, "%-40s %12d  [partial, mined alternative]\n", p.Pattern.String(), p.Count)
+	}
+	if st.Mining != nil {
+		fmt.Fprintf(w, "mined %d matches, %d set ops before the abort\n",
+			st.Mining.Matches, st.Mining.SetOps)
+	}
 }
 
 func cmdTransform(args []string) error {

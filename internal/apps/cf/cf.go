@@ -7,6 +7,7 @@
 package cf
 
 import (
+	"context"
 	"fmt"
 
 	"morphing/internal/engine"
@@ -17,10 +18,16 @@ import (
 
 // Count returns the number of k-cliques in g.
 func Count(g *graph.Graph, k int, eng engine.Engine) (uint64, *engine.Stats, error) {
+	return CountCtx(context.Background(), g, k, eng)
+}
+
+// CountCtx is Count under a context: on interruption the partial count
+// is returned alongside the typed error.
+func CountCtx(ctx context.Context, g *graph.Graph, k int, eng engine.Engine) (uint64, *engine.Stats, error) {
 	if k < 2 || k > pattern.MaxVertices {
 		return 0, nil, fmt.Errorf("cf: clique size %d outside [2,%d]", k, pattern.MaxVertices)
 	}
-	return eng.Count(g, pattern.Clique(k))
+	return engine.CountCtx(ctx, eng, g, pattern.Clique(k))
 }
 
 // MaxCliqueSize returns the size of the largest clique in g with at most
@@ -28,6 +35,13 @@ func Count(g *graph.Graph, k int, eng engine.Engine) (uint64, *engine.Stats, err
 // small (each probe stops at the first witness). Returns 1 for edgeless
 // graphs.
 func MaxCliqueSize(g *graph.Graph, maxK int, eng *peregrine.Engine) (int, error) {
+	return MaxCliqueSizeCtx(context.Background(), g, maxK, eng)
+}
+
+// MaxCliqueSizeCtx is MaxCliqueSize under a context. Interruption aborts
+// the binary search mid-probe; no partial answer is returned because an
+// unfinished probe leaves the bracket unresolved.
+func MaxCliqueSizeCtx(ctx context.Context, g *graph.Graph, maxK int, eng *peregrine.Engine) (int, error) {
 	if maxK < 2 {
 		return 0, fmt.Errorf("cf: maxK %d too small", maxK)
 	}
@@ -41,7 +55,7 @@ func MaxCliqueSize(g *graph.Graph, maxK int, eng *peregrine.Engine) (int, error)
 	lo, hi := 2, maxK // lo always satisfiable (there is an edge)
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		ok, _, err := eng.Exists(g, pattern.Clique(mid))
+		ok, _, err := eng.ExistsCtx(ctx, g, pattern.Clique(mid))
 		if err != nil {
 			return 0, err
 		}
@@ -57,6 +71,13 @@ func MaxCliqueSize(g *graph.Graph, maxK int, eng *peregrine.Engine) (int, error)
 // Census counts cliques of every size from 2 up to maxK, stopping early
 // when a size has none (larger sizes cannot exist either).
 func Census(g *graph.Graph, maxK int, eng engine.Engine) (map[int]uint64, error) {
+	return CensusCtx(context.Background(), g, maxK, eng)
+}
+
+// CensusCtx is Census under a context. On interruption the census
+// completed so far (fully counted sizes only) is returned alongside the
+// typed error; the size that was interrupted mid-count is excluded.
+func CensusCtx(ctx context.Context, g *graph.Graph, maxK int, eng engine.Engine) (map[int]uint64, error) {
 	if maxK < 2 {
 		return nil, fmt.Errorf("cf: maxK %d too small", maxK)
 	}
@@ -65,8 +86,11 @@ func Census(g *graph.Graph, maxK int, eng engine.Engine) (map[int]uint64, error)
 	}
 	out := map[int]uint64{}
 	for k := 2; k <= maxK; k++ {
-		c, _, err := Count(g, k, eng)
+		c, _, err := CountCtx(ctx, g, k, eng)
 		if err != nil {
+			if engine.Interrupted(err) {
+				return out, err
+			}
 			return nil, err
 		}
 		if c == 0 {

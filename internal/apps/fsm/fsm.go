@@ -7,6 +7,7 @@
 package fsm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -30,6 +31,11 @@ type Options struct {
 	// match; 0 picks a default proportional to the graph size (the paper
 	// uses O(|V|) as the MNI merge hint, §5.2).
 	PerMatchCost float64
+	// MemoryBudget bounds the estimated bytes of batched match
+	// materialization per level; when the cost model predicts more, the
+	// runner degrades to on-the-fly conversion (core.Runner.MemoryBudget).
+	// 0 means unbounded.
+	MemoryBudget uint64
 }
 
 // Frequent is one output pattern with its support.
@@ -53,6 +59,15 @@ type Stats struct {
 // morphing is off). The dynamic, data-dependent query sets are exactly
 // why pattern transformation must run at runtime (§5).
 func Mine(g *graph.Graph, eng engine.Engine, opts Options) ([]Frequent, *Stats, error) {
+	return MineCtx(context.Background(), g, eng, opts)
+}
+
+// MineCtx is Mine under a context. On interruption the frequent patterns
+// confirmed by fully completed levels are returned alongside the typed
+// error (the interrupted level's partial tables cannot prove support, so
+// they are discarded); Stats covers all work done including the
+// interrupted level's RunStats.
+func MineCtx(ctx context.Context, g *graph.Graph, eng engine.Engine, opts Options) ([]Frequent, *Stats, error) {
 	if opts.MaxEdges < 1 {
 		return nil, nil, fmt.Errorf("fsm: MaxEdges must be positive")
 	}
@@ -64,7 +79,12 @@ func Mine(g *graph.Graph, eng engine.Engine, opts Options) ([]Frequent, *Stats, 
 		// The paper's hint: merging MNI tables costs O(|V(G)|).
 		perMatch = float64(g.NumVertices()) / 1000
 	}
-	runner := &core.Runner{Engine: eng, DisableMorphing: !opts.Morph, PerMatchCost: perMatch}
+	runner := &core.Runner{
+		Engine:          eng,
+		DisableMorphing: !opts.Morph,
+		PerMatchCost:    perMatch,
+		MemoryBudget:    opts.MemoryBudget,
+	}
 	stats := &Stats{}
 
 	labels := frequentLabels(g, opts.MinSupport)
@@ -75,8 +95,17 @@ func Mine(g *graph.Graph, eng engine.Engine, opts Options) ([]Frequent, *Stats, 
 	for level := 1; level <= opts.MaxEdges && len(candidates) > 0; level++ {
 		stats.Levels++
 		stats.Candidates += len(candidates)
-		tables, run, err := runner.MNITables(g, candidates)
+		tables, run, err := runner.MNITablesCtx(ctx, g, candidates)
 		if err != nil {
+			if run != nil {
+				stats.Runs = append(stats.Runs, run)
+				if run.Mining != nil {
+					stats.Mining.Add(run.Mining)
+				}
+			}
+			if engine.Interrupted(err) {
+				return frequent, stats, err
+			}
 			return nil, nil, err
 		}
 		stats.Runs = append(stats.Runs, run)
@@ -165,6 +194,8 @@ func seedPatterns(g *graph.Graph, labels []int32) []*pattern.Pattern {
 	})
 	out := make([]*pattern.Pattern, 0, len(pairs))
 	for _, p := range pairs {
+		// MustNew is safe here: a 2-vertex single-edge pattern with a
+		// 2-element label slice is valid for any label values.
 		out = append(out, pattern.MustNew(2, [][2]int{{0, 1}},
 			pattern.WithLabels([]int32{p.a, p.b})))
 	}

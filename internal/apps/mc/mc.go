@@ -8,6 +8,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 
 	"morphing/internal/canon"
@@ -28,6 +29,15 @@ type Result struct {
 // experiments) in g using the given engine. Morphing is applied unless
 // disabled.
 func Count(g *graph.Graph, size int, eng engine.Engine, morph bool) (*Result, error) {
+	return CountCtx(context.Background(), g, size, eng, morph)
+}
+
+// CountCtx is Count under a context. On interruption it returns a
+// partial Result — Counts is nil but Stats.Partial holds the
+// per-alternative counts completed before the abort — together with the
+// typed error (engine.ErrCanceled, engine.ErrDeadlineExceeded, or
+// *engine.PanicError).
+func CountCtx(ctx context.Context, g *graph.Graph, size int, eng engine.Engine, morph bool) (*Result, error) {
 	if size < 3 || size > 5 {
 		return nil, fmt.Errorf("mc: motif size %d outside [3,5]", size)
 	}
@@ -40,8 +50,11 @@ func Count(g *graph.Graph, size int, eng engine.Engine, morph bool) (*Result, er
 		queries[i] = b.AsVertexInduced()
 	}
 	r := &core.Runner{Engine: eng, DisableMorphing: !morph}
-	counts, stats, err := r.Counts(g, queries)
+	counts, stats, err := r.CountsCtx(ctx, g, queries)
 	if err != nil {
+		if engine.Interrupted(err) && stats != nil {
+			return &Result{Patterns: queries, Stats: stats}, err
+		}
 		return nil, err
 	}
 	return &Result{Patterns: queries, Counts: counts, Stats: stats}, nil

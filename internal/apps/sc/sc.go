@@ -6,6 +6,7 @@
 package sc
 
 import (
+	"context"
 	"fmt"
 
 	"morphing/internal/core"
@@ -19,11 +20,19 @@ import (
 // native vertex-induced support (GraphPi/BigJoin models) then compute
 // vertex-induced counts UDF-free via edge-induced alternatives (§7.2).
 func Count(g *graph.Graph, queries []*pattern.Pattern, eng engine.Engine, morph bool) ([]uint64, *core.RunStats, error) {
+	return CountCtx(context.Background(), g, queries, eng, morph)
+}
+
+// CountCtx is Count under a context: cancellation and deadlines are
+// honored at work-block boundaries, and on interruption the returned
+// RunStats carries the per-alternative partial counts (RunStats.Partial)
+// alongside the typed error.
+func CountCtx(ctx context.Context, g *graph.Graph, queries []*pattern.Pattern, eng engine.Engine, morph bool) ([]uint64, *core.RunStats, error) {
 	if len(queries) == 0 {
 		return nil, nil, fmt.Errorf("sc: empty query set")
 	}
 	r := &core.Runner{Engine: eng, DisableMorphing: !morph}
-	return r.Counts(g, queries)
+	return r.CountsCtx(ctx, g, queries)
 }
 
 // CountBaselineWithFilter is the pre-morphing strategy for vertex-induced

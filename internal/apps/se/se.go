@@ -8,6 +8,7 @@
 package se
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -52,6 +53,15 @@ type Options struct {
 // enabled the queries are transformed and the alternative streams are
 // converted on the fly.
 func Enumerate(g *graph.Graph, eng engine.Engine, queries []*pattern.Pattern, filter Filter, onMatch func(query int, m []uint32), opts Options) (*Result, error) {
+	return EnumerateCtx(context.Background(), g, eng, queries, filter, onMatch, opts)
+}
+
+// EnumerateCtx is Enumerate under a context. On interruption (cancel,
+// deadline, or a contained filter/onMatch panic) the partial Result —
+// the delivered/filtered tallies accumulated before the abort — is
+// returned alongside the typed error; matches already handed to onMatch
+// stay delivered.
+func EnumerateCtx(ctx context.Context, g *graph.Graph, eng engine.Engine, queries []*pattern.Pattern, filter Filter, onMatch func(query int, m []uint32), opts Options) (*Result, error) {
 	for i, q := range queries {
 		if q.Induced() != pattern.EdgeInduced {
 			return nil, fmt.Errorf("se: query %d must be edge-induced (on-the-fly conversion is additive)", i)
@@ -73,7 +83,7 @@ func Enumerate(g *graph.Graph, eng engine.Engine, queries []*pattern.Pattern, fi
 	if !opts.Morph {
 		for qi, q := range queries {
 			counters := make([]shard, shards)
-			st, err := eng.Match(g, q, func(worker int, m []uint32) {
+			st, err := engine.MatchCtx(ctx, eng, g, q, func(worker int, m []uint32) {
 				s := &counters[worker%shards]
 				if filter(m) {
 					s.delivered++
@@ -84,13 +94,18 @@ func Enumerate(g *graph.Graph, eng engine.Engine, queries []*pattern.Pattern, fi
 					s.filtered++
 				}
 			})
-			if err != nil {
-				return nil, err
+			if st != nil {
+				res.Stats.Add(st)
 			}
-			res.Stats.Add(st)
 			for i := range counters {
 				res.Delivered[qi] += counters[i].delivered
 				res.Filtered[qi] += counters[i].filtered
+			}
+			if err != nil {
+				if engine.Interrupted(err) {
+					return res, err
+				}
+				return nil, err
 			}
 		}
 		return res, nil
@@ -128,12 +143,20 @@ func Enumerate(g *graph.Graph, eng engine.Engine, queries []*pattern.Pattern, fi
 			filtered:  make([]uint64, len(queries)),
 		}
 	}
+	fold := func() {
+		for i := range counters {
+			for qi := range queries {
+				res.Delivered[qi] += counters[i].delivered[qi]
+				res.Filtered[qi] += counters[i].filtered[qi]
+			}
+		}
+	}
 	for ci, choice := range sel.Mine {
 		targets := plan[ci]
 		if len(targets) == 0 {
 			continue // mined for other outputs only
 		}
-		st, err := eng.Match(g, choice.Pattern, func(worker int, m []uint32) {
+		st, err := engine.MatchCtx(ctx, eng, g, choice.Pattern, func(worker int, m []uint32) {
 			s := &counters[worker%shards]
 			if !filter(m) {
 				for _, t := range targets {
@@ -155,17 +178,18 @@ func Enumerate(g *graph.Graph, eng engine.Engine, queries []*pattern.Pattern, fi
 				}
 			}
 		})
+		if st != nil {
+			res.Stats.Add(st)
+		}
 		if err != nil {
+			if engine.Interrupted(err) {
+				fold()
+				return res, err
+			}
 			return nil, err
 		}
-		res.Stats.Add(st)
 	}
-	for i := range counters {
-		for qi := range queries {
-			res.Delivered[qi] += counters[i].delivered[qi]
-			res.Filtered[qi] += counters[i].filtered[qi]
-		}
-	}
+	fold()
 	return res, nil
 }
 

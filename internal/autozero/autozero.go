@@ -13,13 +13,16 @@
 package autozero
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"morphing/internal/engine"
+	"morphing/internal/faultinject"
 	"morphing/internal/graph"
 	"morphing/internal/obs"
 	"morphing/internal/pattern"
@@ -37,7 +40,7 @@ type Engine struct {
 	Obs *obs.Observer
 }
 
-var _ engine.Engine = (*Engine)(nil)
+var _ engine.CtxEngine = (*Engine)(nil)
 
 // New returns an engine with the given worker count.
 func New(threads int) *Engine { return &Engine{Threads: threads} }
@@ -94,23 +97,34 @@ func order(p *pattern.Pattern) []int {
 
 // Count counts a single pattern (a one-pattern merged schedule).
 func (e *Engine) Count(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
-	counts, st, err := e.CountAll(g, []*pattern.Pattern{p})
-	if err != nil {
-		return 0, nil, err
+	return e.CountCtx(context.Background(), g, p)
+}
+
+// CountCtx implements engine.CtxEngine.
+func (e *Engine) CountCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+	counts, st, err := e.CountAllCtx(ctx, g, []*pattern.Pattern{p})
+	if len(counts) == 0 {
+		return 0, st, err
 	}
-	return counts[0], st, nil
+	return counts[0], st, err
 }
 
 // Match streams matches of one pattern. Enumeration schedules are not
 // merged (AutoMine streams pattern by pattern); execution reuses the
 // generic backtracking executor over AutoZero's schedule order.
 func (e *Engine) Match(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
+	return e.MatchCtx(context.Background(), g, p, visit)
+}
+
+// MatchCtx implements engine.CtxEngine: Match with cooperative
+// cancellation and visitor-panic containment.
+func (e *Engine) MatchCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
 	pl, err := plan.BuildWithOrder(p, order(p))
 	if err != nil {
 		return nil, fmt.Errorf("autozero: %w", err)
 	}
 	defer obs.Or(e.Obs).StartSpan("mine/"+p.String(), obs.Str("engine", e.Name())).End()
-	_, st, err := engine.Backtrack(g, pl, visit, engine.ExecOptions{Threads: e.Threads, Instrument: e.Instrument}, e.Obs)
+	_, st, err := engine.BacktrackCtx(ctx, g, pl, visit, engine.ExecOptions{Threads: e.Threads, Instrument: e.Instrument}, e.Obs)
 	return st, err
 }
 
@@ -119,10 +133,24 @@ func (e *Engine) Match(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor)
 // candidate computation, and conflicting symmetry restrictions stay on
 // separate branches so nothing is under-counted.
 func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
+	return e.CountAllCtx(context.Background(), g, ps)
+}
+
+// CountAllCtx implements engine.CtxEngine. Because the merged trie
+// advances all patterns in one pass, an interrupted run returns partial
+// counts for every pattern simultaneously — each reflecting the vertex
+// blocks completed before the abort took effect.
+func (e *Engine) CountAllCtx(ctx context.Context, g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
 	start := time.Now()
 	if len(ps) == 0 {
 		return nil, &engine.Stats{}, nil
 	}
+	if err := engine.CtxErr(ctx); err != nil {
+		return make([]uint64, len(ps)), nil, err
+	}
+	fi := faultinject.Active()
+	ctx, fiStop := fi.Context(ctx)
+	defer fiStop()
 	o := obs.Or(e.Obs)
 	defer o.StartSpan("mine/merged", obs.Str("engine", e.Name()), obs.Int("patterns", len(ps))).End()
 	liveMatches := o.Counter(engine.MetricMatches)
@@ -150,6 +178,10 @@ func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *eng
 
 	var cursor int64
 	var wg sync.WaitGroup
+	done := ctx.Done()
+	var abort atomic.Bool // set by cancellation or a worker panic
+	var panicOnce sync.Once
+	var panicErr *engine.PanicError
 	workers := make([]*azWorker, threads)
 	for t := 0; t < threads; t++ {
 		workers[t] = newAZWorker(g, len(ps), maxDepth, maxDeg, e.Instrument)
@@ -158,11 +190,30 @@ func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *eng
 		wg.Add(1)
 		go func(id int, w *azWorker) {
 			defer wg.Done()
+			// Contain panics from trie execution so a bad schedule (or an
+			// injected fault) degrades into one clean error, not a crash.
+			defer func() {
+				if r := recover(); r != nil {
+					pe := &engine.PanicError{Worker: id, Value: r, Stack: debug.Stack()}
+					panicOnce.Do(func() { panicErr = pe })
+					abort.Store(true)
+				}
+			}()
 			for {
+				if abort.Load() {
+					return
+				}
+				select {
+				case <-done:
+					abort.Store(true)
+					return
+				default:
+				}
 				b := int(atomic.AddInt64(&cursor, 1)) - 1
 				if b >= numBlocks {
 					return
 				}
+				fi.BlockClaimed(id)
 				lo := uint32(b * blockSize)
 				hi := uint32((b + 1) * blockSize)
 				if hi > uint32(n) {
@@ -191,6 +242,14 @@ func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *eng
 	}
 	st.TotalTime = time.Since(start)
 	engine.PublishStats(o, st)
+	if panicErr != nil {
+		engine.PublishAbort(o, panicErr)
+		return counts, st, panicErr
+	}
+	if err := engine.CtxErr(ctx); err != nil && abort.Load() {
+		engine.PublishAbort(o, err)
+		return counts, st, err
+	}
 	return counts, st, nil
 }
 

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -41,10 +42,22 @@ type Config struct {
 	// `morphbench -trace` captures every figure run: it installs the
 	// default tracer).
 	Obs *obs.Observer
+	// Ctx bounds experiment runs: cancellation or a deadline aborts the
+	// current mining phase at its next work-block boundary (morphbench
+	// -timeout wires this). nil means context.Background().
+	Ctx context.Context
 }
 
 // observer resolves the config's observability sink.
 func (c Config) observer() *obs.Observer { return obs.Or(c.Obs) }
+
+// context resolves the config's run context.
+func (c Config) context() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
+}
 
 // DefaultConfig returns laptop-friendly settings.
 func DefaultConfig() Config {

@@ -44,14 +44,14 @@ func runFig12(cfg Config, w io.Writer, mk func() engine.Engine) error {
 			}
 			eng := mk()
 			start := time.Now()
-			base, err := mc.Count(g, wl.k, eng, false)
+			base, err := mc.CountCtx(cfg.context(), g, wl.k, eng, false)
 			if err != nil {
 				return err
 			}
 			baseS := time.Since(start).Seconds()
 
 			start = time.Now()
-			morphed, err := mc.Count(g, wl.k, eng, true)
+			morphed, err := mc.CountCtx(cfg.context(), g, wl.k, eng, true)
 			if err != nil {
 				return err
 			}

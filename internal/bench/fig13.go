@@ -57,7 +57,7 @@ func runFig13SC(cfg Config, w io.Writer) error {
 			}
 			eng := &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}
 			start := time.Now()
-			base, bst, err := sc.Count(g, queries, eng, false)
+			base, bst, err := sc.CountCtx(cfg.context(), g, queries, eng, false)
 			if err != nil {
 				return err
 			}
@@ -65,7 +65,7 @@ func runFig13SC(cfg Config, w io.Writer) error {
 			baseElems := bst.Mining.SetElems
 
 			start = time.Now()
-			morphed, mst, err := sc.Count(g, queries, eng, true)
+			morphed, mst, err := sc.CountCtx(cfg.context(), g, queries, eng, true)
 			if err != nil {
 				return err
 			}
@@ -109,7 +109,7 @@ func runFig13FSM(cfg Config, w io.Writer) error {
 			}
 			opts := fsm.Options{MaxEdges: wl.maxEdges, MinSupport: minSup}
 			start := time.Now()
-			base, _, err := fsm.Mine(g, &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}, opts)
+			base, _, err := fsm.MineCtx(cfg.context(), g, &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}, opts)
 			if err != nil {
 				return err
 			}
@@ -117,7 +117,7 @@ func runFig13FSM(cfg Config, w io.Writer) error {
 
 			opts.Morph = true
 			start = time.Now()
-			morphed, _, err := fsm.Mine(g, &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}, opts)
+			morphed, _, err := fsm.MineCtx(cfg.context(), g, &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}, opts)
 			if err != nil {
 				return err
 			}

@@ -89,7 +89,7 @@ func runFig14(cfg Config, w io.Writer, workloads []fig14Workload, mk func() fig1
 			baseBranches := bst.Branches + bst.SetElems
 
 			start = time.Now()
-			morphed, mst, err := sc.Count(g, wl.queries, eng, true)
+			morphed, mst, err := sc.CountCtx(cfg.context(), g, wl.queries, eng, true)
 			if err != nil {
 				return err
 			}

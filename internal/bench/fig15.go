@@ -12,6 +12,7 @@ import (
 	"morphing/internal/canon"
 	"morphing/internal/core"
 	"morphing/internal/costmodel"
+	"morphing/internal/engine"
 	"morphing/internal/graph"
 	"morphing/internal/graphpi"
 	"morphing/internal/pattern"
@@ -54,7 +55,7 @@ func runFig15OnTheFly(cfg Config, w io.Writer) error {
 			weights := se.NewWeights(g, 0, 1, cfg.Seed)
 			eng := &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}
 			start := time.Now()
-			base, err := se.Enumerate(g, eng, wl.queries, weights.WithinOneStd, nil, se.Options{})
+			base, err := se.EnumerateCtx(cfg.context(), g, eng, wl.queries, weights.WithinOneStd, nil, se.Options{})
 			if err != nil {
 				return err
 			}
@@ -69,7 +70,7 @@ func runFig15OnTheFly(cfg Config, w io.Writer) error {
 				cost  float64
 			}{{"model", 0}, {"forced", 50}} {
 				start = time.Now()
-				morphed, err := se.Enumerate(g, eng, wl.queries, weights.WithinOneStd, nil,
+				morphed, err := se.EnumerateCtx(cfg.context(), g, eng, wl.queries, weights.WithinOneStd, nil,
 					se.Options{Morph: true, PerMatchCost: mode.cost})
 				if err != nil {
 					return err
@@ -153,13 +154,13 @@ func runLargeOnPartition(cfg Config, engineName string, g *graph.Graph, p *patte
 	case "Peregrine":
 		eng := &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}
 		start := time.Now()
-		base, _, err := sc.Count(g, queries, eng, false)
+		base, _, err := sc.CountCtx(cfg.context(), g, queries, eng, false)
 		if err != nil {
 			return 0, 0, err
 		}
 		baseS := time.Since(start).Seconds()
 		start = time.Now()
-		morphed, _, err := sc.Count(g, queries, eng, true)
+		morphed, _, err := sc.CountCtx(cfg.context(), g, queries, eng, true)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -177,7 +178,7 @@ func runLargeOnPartition(cfg Config, engineName string, g *graph.Graph, p *patte
 		}
 		baseS := time.Since(start).Seconds()
 		start = time.Now()
-		morphed, _, err := sc.Count(g, queries, eng, true)
+		morphed, _, err := sc.CountCtx(cfg.context(), g, queries, eng, true)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -244,7 +245,7 @@ func runFig15CostModel(cfg Config, w io.Writer) error {
 			ps[i] = c.Pattern
 		}
 		start := time.Now()
-		counts, _, err := eng.CountAll(g, ps)
+		counts, _, err := engine.CountAllCtx(cfg.context(), eng, g, ps)
 		if err != nil {
 			return err
 		}
@@ -281,7 +282,7 @@ func runFig15CostModel(cfg Config, w io.Writer) error {
 			ps[i] = c.Pattern
 		}
 		start := time.Now()
-		if _, _, err := eng.CountAll(g, ps); err != nil {
+		if _, _, err := engine.CountAllCtx(cfg.context(), eng, g, ps); err != nil {
 			return err
 		}
 		chosenTime = time.Since(start).Seconds()
@@ -329,7 +330,7 @@ func runTransformOverhead(cfg Config, w io.Writer) error {
 		}
 		r := &core.Runner{Engine: &peregrine.Engine{Threads: cfg.Threads, Obs: cfg.Obs}}
 		start := time.Now()
-		counts, stats, err := r.Counts(g, queries)
+		counts, stats, err := r.CountsCtx(cfg.context(), g, queries)
 		if err != nil {
 			return err
 		}

@@ -38,7 +38,7 @@ func runFig4a(cfg Config, w io.Writer) error {
 		}
 		eng := &peregrine.Engine{Threads: cfg.Threads, Instrument: true, Obs: cfg.Obs}
 		start := time.Now()
-		_, stats, err := fsm.Mine(g, eng, fsm.Options{MaxEdges: 3, MinSupport: g.NumVertices() / 20, Morph: false})
+		_, stats, err := fsm.MineCtx(cfg.context(), g, eng, fsm.Options{MaxEdges: 3, MinSupport: g.NumVertices() / 20, Morph: false})
 		if err != nil {
 			return err
 		}

@@ -12,12 +12,16 @@
 package bigjoin
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"morphing/internal/engine"
+	"morphing/internal/faultinject"
 	"morphing/internal/graph"
 	"morphing/internal/obs"
 	"morphing/internal/pattern"
@@ -38,7 +42,7 @@ type Engine struct {
 	Obs *obs.Observer
 }
 
-var _ engine.Engine = (*Engine)(nil)
+var _ engine.CtxEngine = (*Engine)(nil)
 
 // New returns an engine with the given worker budget.
 func New(threads int) *Engine { return &Engine{Threads: threads} }
@@ -53,28 +57,48 @@ func (e *Engine) SupportsInduced(iv pattern.Induced) bool {
 
 // Count returns the number of unique edge-induced matches of p in g.
 func (e *Engine) Count(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
-	return e.run(g, p, nil)
+	return e.run(context.Background(), g, p, nil)
+}
+
+// CountCtx implements engine.CtxEngine.
+func (e *Engine) CountCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+	return e.run(ctx, g, p, nil)
 }
 
 // CountAll counts each pattern independently (BigJoin evaluates one query
 // dataflow at a time).
 func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
+	return e.CountAllCtx(context.Background(), g, ps)
+}
+
+// CountAllCtx implements engine.CtxEngine. On interruption the returned
+// slice holds the per-pattern partial counts accumulated so far.
+func (e *Engine) CountAllCtx(ctx context.Context, g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
 	counts := make([]uint64, len(ps))
 	total := &engine.Stats{}
 	for i, p := range ps {
-		c, st, err := e.Count(g, p)
-		if err != nil {
-			return nil, nil, err
-		}
+		c, st, err := e.run(ctx, g, p, nil)
 		counts[i] = c
-		total.Add(st)
+		if st != nil {
+			total.Add(st)
+		}
+		if err != nil {
+			return counts, total, err
+		}
 	}
 	return counts, total, nil
 }
 
 // Match streams every unique edge-induced match of p to visit.
 func (e *Engine) Match(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
-	_, st, err := e.run(g, p, visit)
+	_, st, err := e.run(context.Background(), g, p, visit)
+	return st, err
+}
+
+// MatchCtx implements engine.CtxEngine: Match with cooperative
+// cancellation at batch boundaries and visitor-panic containment.
+func (e *Engine) MatchCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
+	_, st, err := e.run(ctx, g, p, visit)
 	return st, err
 }
 
@@ -83,6 +107,12 @@ func (e *Engine) Match(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor)
 // stage probing every non-adjacent pattern pair for extra edges
 // (Fig. 4e / Fig. 14b).
 func (e *Engine) CountVertexInducedViaFilter(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+	return e.CountVertexInducedViaFilterCtx(context.Background(), g, p)
+}
+
+// CountVertexInducedViaFilterCtx is CountVertexInducedViaFilter under a
+// context (partial counts on interruption).
+func (e *Engine) CountVertexInducedViaFilterCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	nonEdges := p.NonEdges()
 	threads := engine.ExecOptions{Threads: e.Threads}.ThreadCount()
 	type shard struct {
@@ -91,7 +121,7 @@ func (e *Engine) CountVertexInducedViaFilter(g *graph.Graph, p *pattern.Pattern)
 		_        [48]byte
 	}
 	shards := make([]shard, threads)
-	_, st, err := e.run(g, p.AsEdgeInduced(), func(worker int, m []uint32) {
+	_, st, err := e.run(ctx, g, p.AsEdgeInduced(), func(worker int, m []uint32) {
 		s := &shards[worker%threads]
 		keep := true
 		for _, ne := range nonEdges {
@@ -110,7 +140,7 @@ func (e *Engine) CountVertexInducedViaFilter(g *graph.Graph, p *pattern.Pattern)
 			s.kept++
 		}
 	})
-	if err != nil {
+	if err != nil && st == nil {
 		return 0, nil, err
 	}
 	var kept uint64
@@ -124,7 +154,40 @@ func (e *Engine) CountVertexInducedViaFilter(g *graph.Graph, p *pattern.Pattern)
 	// run already published its own counters; only the filter UDF's probe
 	// branches are new.
 	obs.Or(e.Obs).Counter(engine.MetricBranches).Add(0, filterBranches)
-	return kept, st, nil
+	return kept, st, err
+}
+
+// runSingle evaluates the degenerate single-attribute query (no joins):
+// a label scan over the vertices, with the context checked at
+// batch-sized strides and visitor panics contained like any stage
+// worker's.
+func runSingle(ctx context.Context, g *graph.Graph, p *pattern.Pattern, visit engine.Visitor, batchSize int, total *uint64, st *engine.Stats) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &engine.PanicError{Worker: 0, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	want := p.Label(0)
+	done := ctx.Done()
+	for v := uint32(0); v < uint32(g.NumVertices()); v++ {
+		if int(v)%batchSize == 0 {
+			select {
+			case <-done:
+				return engine.CtxErr(ctx)
+			default:
+			}
+		}
+		if want != pattern.Unlabeled && g.Label(v) != want {
+			continue
+		}
+		*total++
+		if visit != nil {
+			st.UDFCalls++
+			st.Materialized++
+			visit(0, []uint32{v})
+		}
+	}
+	return nil
 }
 
 // batch is a block of prefix tuples: width consecutive entries of data per
@@ -136,8 +199,23 @@ type batch struct {
 
 func (b *batch) tuples() int { return len(b.data) / b.width }
 
-func (e *Engine) run(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (uint64, *engine.Stats, error) {
+// run evaluates one query dataflow. Cancellation is cooperative at batch
+// granularity: the source stops emitting and every stage worker drains
+// (without processing) once the shared abort flag is set, so channel
+// sends never block against a stopped consumer and the stage-closure
+// chain still runs to completion. A visitor panic is recovered in the
+// owning stage worker, flips the same abort flag, and surfaces as a
+// single *engine.PanicError; partially accumulated counts are returned
+// either way (the partial-result contract of engine.CtxErr).
+func (e *Engine) run(ctx context.Context, g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (uint64, *engine.Stats, error) {
 	start := time.Now()
+	if err := engine.CtxErr(ctx); err != nil {
+		return 0, nil, err
+	}
+	fi := faultinject.Active()
+	ctx, fiStop := fi.Context(ctx)
+	defer fiStop()
+	visit = fi.Visitor(visit)
 	o := obs.Or(e.Obs)
 	defer o.StartSpan("mine/"+p.String(), obs.Str("engine", e.Name())).End()
 	liveMatches := o.Counter(engine.MetricMatches)
@@ -165,24 +243,13 @@ func (e *Engine) run(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (
 	var total uint64
 
 	if k == 1 {
-		// Degenerate single-attribute query: no joins.
-		want := p.Label(0)
-		for v := uint32(0); v < uint32(g.NumVertices()); v++ {
-			if want != pattern.Unlabeled && g.Label(v) != want {
-				continue
-			}
-			total++
-			if visit != nil {
-				st.UDFCalls++
-				st.Materialized++
-				visit(0, []uint32{v})
-			}
-		}
+		err := runSingle(ctx, g, p, visit, batchSize, &total, st)
 		st.Matches = total
 		st.TotalTime = time.Since(start)
 		liveMatches.Add(0, total)
 		engine.PublishStats(o, st)
-		return total, st, nil
+		engine.PublishAbort(o, err)
+		return total, st, err
 	}
 
 	// One extend stage per level 1..k-1, each with a share of the worker
@@ -197,6 +264,10 @@ func (e *Engine) run(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (
 		chans[i] = make(chan *batch, 4*perStage)
 	}
 
+	done := ctx.Done()
+	var abort atomic.Bool // set by cancellation or a stage-worker panic
+	var panicOnce sync.Once
+	var panicErr *engine.PanicError
 	workers := make([]*bjWorker, 0, numStages*perStage)
 	var stageWGs = make([]sync.WaitGroup, k)
 	globalID := 0
@@ -212,14 +283,32 @@ func (e *Engine) run(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (
 			stageWGs[level].Add(1)
 			go func(w *bjWorker, in chan *batch, level int) {
 				defer stageWGs[level].Done()
+				// Panic containment: record the first panic, flip the
+				// abort flag, then keep draining the input channel so
+				// upstream sends never block against a dead consumer.
+				defer func() {
+					if r := recover(); r != nil {
+						pe := &engine.PanicError{Worker: w.id, Value: r, Stack: debug.Stack()}
+						panicOnce.Do(func() { panicErr = pe })
+						abort.Store(true)
+						for range in {
+						}
+					}
+				}()
 				for b := range in {
+					if abort.Load() {
+						continue // drain without processing
+					}
+					fi.BlockClaimed(w.id)
 					before := w.count
 					w.process(b)
 					if w.last {
 						liveMatches.Add(w.id, w.count-before)
 					}
 				}
-				w.flush()
+				if !abort.Load() {
+					w.flush()
+				}
 			}(w, chans[level], level)
 		}
 	}
@@ -231,7 +320,20 @@ func (e *Engine) run(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (
 		}(level)
 	}
 
-	// Source: emit level-0 bindings in batches.
+	// Source: emit level-0 bindings in batches, stopping at the next batch
+	// boundary once the context fires or a stage worker aborts.
+	stopped := func() bool {
+		if abort.Load() {
+			return true
+		}
+		select {
+		case <-done:
+			abort.Store(true)
+			return true
+		default:
+			return false
+		}
+	}
 	src := &batch{width: 1}
 	want := p.Label(pl.Order[0])
 	for v := uint32(0); v < uint32(g.NumVertices()); v++ {
@@ -240,11 +342,14 @@ func (e *Engine) run(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (
 		}
 		src.data = append(src.data, v)
 		if src.tuples() >= batchSize {
+			if stopped() {
+				break
+			}
 			chans[1] <- src
 			src = &batch{width: 1}
 		}
 	}
-	if len(src.data) > 0 {
+	if len(src.data) > 0 && !stopped() {
 		chans[1] <- src
 	}
 	close(chans[1])
@@ -259,6 +364,14 @@ func (e *Engine) run(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (
 	st.Matches = total
 	st.TotalTime = time.Since(start)
 	engine.PublishStats(o, st)
+	if panicErr != nil {
+		engine.PublishAbort(o, panicErr)
+		return total, st, panicErr
+	}
+	if err := engine.CtxErr(ctx); err != nil && abort.Load() {
+		engine.PublishAbort(o, err)
+		return total, st, err
+	}
 	return total, st, nil
 }
 

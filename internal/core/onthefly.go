@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"morphing/internal/engine"
@@ -110,6 +111,14 @@ func isIdentity(f []int) bool {
 // one and their streams are converted on the fly (§6.2, used by the
 // Fig. 15a experiment). The returned stats aggregate all alternative runs.
 func StreamMorphed(sel *Selection, queryIdx int, eng engine.Engine, g *graph.Graph, visit engine.Visitor) (*engine.Stats, error) {
+	return StreamMorphedCtx(context.Background(), sel, queryIdx, eng, g, visit)
+}
+
+// StreamMorphedCtx is StreamMorphed under a context. On interruption the
+// stats accumulated so far are returned alongside the typed error;
+// matches already streamed to visit stay delivered (a partial stream,
+// never a corrupted one).
+func StreamMorphedCtx(ctx context.Context, sel *Selection, queryIdx int, eng engine.Engine, g *graph.Graph, visit engine.Visitor) (*engine.Stats, error) {
 	q := sel.Queries[queryIdx]
 	total := &engine.Stats{}
 	if !q.Morphed {
@@ -118,11 +127,16 @@ func StreamMorphed(sel *Selection, queryIdx int, eng engine.Engine, g *graph.Gra
 		if !ok {
 			return nil, fmt.Errorf("core: unmorphed query %d missing from mine list", queryIdx)
 		}
-		st, err := eng.Match(g, sel.Mine[idx].Pattern, visit)
+		st, err := engine.MatchCtx(ctx, eng, g, sel.Mine[idx].Pattern, visit)
+		if st != nil {
+			total.Add(st)
+		}
 		if err != nil {
+			if engine.Interrupted(err) {
+				return total, err
+			}
 			return nil, err
 		}
-		total.Add(st)
 		return total, nil
 	}
 	if normVariant(q.Pattern) != pattern.EdgeInduced {
@@ -141,11 +155,16 @@ func StreamMorphed(sel *Selection, queryIdx int, eng engine.Engine, g *graph.Gra
 		if err != nil {
 			return nil, err
 		}
-		st, err := eng.Match(g, choice.Pattern, wrapped)
+		st, err := engine.MatchCtx(ctx, eng, g, choice.Pattern, wrapped)
+		if st != nil {
+			total.Add(st)
+		}
 		if err != nil {
+			if engine.Interrupted(err) {
+				return total, err
+			}
 			return nil, err
 		}
-		total.Add(st)
 	}
 	return total, nil
 }

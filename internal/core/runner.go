@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"morphing/internal/aggr"
@@ -30,6 +32,17 @@ type Runner struct {
 	PerMatchCost float64
 	// SelectOptions tunes Algorithm 1.
 	SelectOptions SelectOptions
+	// MemoryBudget caps the estimated bytes of matches the batched
+	// result-conversion path may materialize (0 = unlimited). When the
+	// cost model's match-volume estimate for the selected alternatives
+	// exceeds the budget, pipelines that materialize per-match state
+	// (MNITables) degrade gracefully to on-the-fly conversion: each
+	// alternative's match stream is converted into the query tables as it
+	// is produced, so no intermediate per-alternative tables are held.
+	// The decision is recorded in RunStats (ConversionMode,
+	// EstimatedBytes) and in the run_degraded_total counter. Scalar
+	// pipelines (Counts) never materialize matches and ignore the budget.
+	MemoryBudget uint64
 	// Obs is the observability sink: the runner opens phase spans
 	// (transform, select, mine, convert, aggregate) on its tracer and
 	// publishes RunStats through its registry. nil falls back to
@@ -37,14 +50,47 @@ type Runner struct {
 	Obs *obs.Observer
 }
 
+// Pipeline phase names recorded in RunStats.Phase: the stage a run last
+// entered, so an interrupted run reports exactly where it stopped.
+const (
+	PhaseTransform = "transform"
+	PhaseMine      = "mine"
+	PhaseConvert   = "convert"
+	PhaseDone      = "done"
+)
+
+// PartialCount is one alternative pattern's mined progress at the moment
+// a run was interrupted.
+type PartialCount struct {
+	Pattern *pattern.Pattern
+	Count   uint64
+}
+
 // RunStats reports where the time of a morphed execution went, matching
 // the paper's claim that transformation time is negligible (§7,
-// "transforming patterns of size 4 and 5 took at most 0.7ms and 7.2ms").
+// "transforming patterns of size 4 and 5 took at most 0.7ms and 7.2ms"),
+// plus per-phase progress for interrupted runs and the conversion-mode
+// decision for budgeted ones.
 type RunStats struct {
 	Transform time.Duration // S-DAG build + Algorithm 1
 	Mining    *engine.Stats // matching phase, summed over alternatives
 	Convert   time.Duration // result transformation
 	Selection *Selection    // the chosen alternative set
+
+	// Phase is the pipeline stage the run last entered (Phase*
+	// constants); PhaseDone after a complete run.
+	Phase string
+	// Partial holds per-alternative mined counts when the run was
+	// interrupted during mining (typed engine error); nil otherwise.
+	// Converting an incomplete mined set is unsound, so interrupted runs
+	// surface raw per-alternative progress instead of query results.
+	Partial []PartialCount
+	// ConversionMode records how results were (or would have been)
+	// converted: "batched" or "on-the-fly" (MemoryBudget degradation).
+	ConversionMode string
+	// EstimatedBytes is the cost model's estimate of materialized match
+	// bytes for the selected alternatives, set when MemoryBudget > 0.
+	EstimatedBytes uint64
 }
 
 // policyFor derives the variant policy from aggregation algebra and
@@ -150,11 +196,21 @@ const (
 	MetricRuns        = "run_total"
 	MetricTransformNS = "run_transform_time_ns_total"
 	MetricConvertNS   = "run_convert_time_ns_total"
+	// MetricInterrupted counts pipeline executions that ended early on a
+	// typed interruption (cancel, deadline, contained panic); such runs
+	// do not increment MetricRuns.
+	MetricInterrupted = "run_interrupted_total"
+	// MetricDegraded counts runs where MemoryBudget forced the fallback
+	// from batched to on-the-fly conversion.
+	MetricDegraded = "run_degraded_total"
 
 	GaugeMinePatterns   = "run_last_mine_patterns"
 	GaugeMorphedQueries = "run_last_morphed_queries"
 	GaugeCostBefore     = "run_last_modeled_cost_before"
 	GaugeCostAfter      = "run_last_modeled_cost_after"
+	// GaugeEstimatedBytes snapshots the last budgeted run's estimated
+	// materialized match bytes (the value compared against MemoryBudget).
+	GaugeEstimatedBytes = "run_last_estimated_match_bytes"
 )
 
 // publishRunStats routes a completed pipeline execution's RunStats into
@@ -180,30 +236,58 @@ func publishRunStats(o *obs.Observer, st *RunStats) {
 // Counts answers subgraph counting queries (SC/MC): the count of each
 // query pattern, computed through morphing unless disabled.
 func (r *Runner) Counts(g *graph.Graph, queries []*pattern.Pattern) ([]uint64, *RunStats, error) {
+	return r.CountsCtx(context.Background(), g, queries)
+}
+
+// CountsCtx is Counts under a context. Cancellation and deadlines take
+// effect at the engines' work-block boundaries; an interrupted run
+// returns a nil result slice, a typed error (engine.ErrCanceled /
+// engine.ErrDeadlineExceeded / *engine.PanicError) and a RunStats whose
+// Phase and Partial fields report exactly how far mining got — the
+// per-alternative partial counts cannot be soundly converted into query
+// results, so they are surfaced raw instead.
+func (r *Runner) CountsCtx(ctx context.Context, g *graph.Graph, queries []*pattern.Pattern) ([]uint64, *RunStats, error) {
 	o := r.obs()
 	agg := aggr.Count{}
 	t0 := time.Now()
+	if err := engine.CtxErr(ctx); err != nil {
+		return nil, nil, err
+	}
 	sel, err := r.Transform(g, queries, agg)
 	if err != nil {
 		return nil, nil, err
 	}
-	stats := &RunStats{Selection: sel, Transform: time.Since(t0)}
+	stats := &RunStats{Selection: sel, Transform: time.Since(t0),
+		Phase: PhaseTransform, ConversionMode: "batched"}
 
 	minePatterns := make([]*pattern.Pattern, len(sel.Mine))
 	for i, c := range sel.Mine {
 		minePatterns[i] = c.Pattern
 	}
+	stats.Phase = PhaseMine
 	spM := o.StartSpan("mine",
 		obs.Str("engine", r.Engine.Name()), obs.Int("patterns", len(minePatterns)))
-	counts, mst, err := r.Engine.CountAll(g, minePatterns)
+	counts, mst, err := engine.CountAllCtx(ctx, r.Engine, g, minePatterns)
 	spM.End()
-	if err != nil {
-		return nil, nil, err
-	}
 	// Clone: the snapshot in RunStats must not alias a struct the engine
 	// may keep touching (see the single-merger invariant on engine.Stats).
 	stats.Mining = mst.Clone()
+	if err != nil {
+		if engine.Interrupted(err) {
+			for i, p := range minePatterns {
+				var c uint64
+				if i < len(counts) {
+					c = counts[i]
+				}
+				stats.Partial = append(stats.Partial, PartialCount{Pattern: p, Count: c})
+			}
+			o.Counter(MetricInterrupted).Inc(0)
+			return nil, stats, err
+		}
+		return nil, nil, err
+	}
 
+	stats.Phase = PhaseConvert
 	t1 := time.Now()
 	spC := o.StartSpan("convert", obs.Int("queries", len(queries)))
 	mined := make([]aggr.Value, len(counts))
@@ -216,6 +300,7 @@ func (r *Runner) Counts(g *graph.Graph, queries []*pattern.Pattern) ([]uint64, *
 		return nil, nil, err
 	}
 	stats.Convert = time.Since(t1)
+	stats.Phase = PhaseDone
 	out := make([]uint64, len(vals))
 	for i, v := range vals {
 		out[i] = v.(uint64)
@@ -228,30 +313,79 @@ func (r *Runner) Counts(g *graph.Graph, queries []*pattern.Pattern) ([]uint64, *
 // query pattern (every embedding inserted, Bringmann-Nijssen semantics).
 // Morphing uses the additive direction only (PolicyVertexOnly).
 func (r *Runner) MNITables(g *graph.Graph, queries []*pattern.Pattern) ([]*aggr.Table, *RunStats, error) {
+	return r.MNITablesCtx(context.Background(), g, queries)
+}
+
+// MNITablesCtx is MNITables under a context, with MemoryBudget-driven
+// graceful degradation: when the cost model estimates that the batched
+// path's materialized matches exceed r.MemoryBudget, each alternative's
+// match stream is instead converted on the fly into the query tables
+// (Algorithm 3's coset-representative maps), trading the per-alternative
+// intermediate tables for per-match conversion work. Interrupted runs
+// follow the same partial-result contract as CountsCtx.
+func (r *Runner) MNITablesCtx(ctx context.Context, g *graph.Graph, queries []*pattern.Pattern) ([]*aggr.Table, *RunStats, error) {
 	o := r.obs()
 	agg := aggr.MNI{}
 	t0 := time.Now()
+	if err := engine.CtxErr(ctx); err != nil {
+		return nil, nil, err
+	}
 	sel, err := r.Transform(g, queries, agg)
 	if err != nil {
 		return nil, nil, err
 	}
-	stats := &RunStats{Selection: sel, Transform: time.Since(t0)}
+	stats := &RunStats{Selection: sel, Transform: time.Since(t0),
+		Phase: PhaseTransform, ConversionMode: "batched"}
 
+	// Graceful degradation decision: estimate the batched path's match
+	// volume; above budget, switch to on-the-fly conversion if the
+	// selection supports streaming (it may not — e.g. vertex-induced
+	// morphed queries — in which case the batched path proceeds).
+	var streamTargets [][]StreamTarget
+	if r.MemoryBudget > 0 {
+		stats.EstimatedBytes = r.estimateMatchBytes(g, sel)
+		o.Gauge(GaugeEstimatedBytes).Set(float64(stats.EstimatedBytes))
+		if stats.EstimatedBytes > r.MemoryBudget {
+			if ts, serr := sel.StreamPlan(); serr == nil {
+				streamTargets = ts
+				stats.ConversionMode = "on-the-fly"
+				o.Counter(MetricDegraded).Inc(0)
+			}
+		}
+	}
+
+	if streamTargets != nil {
+		return r.mniOnTheFly(ctx, o, g, sel, streamTargets, stats, queries)
+	}
+
+	stats.Phase = PhaseMine
 	stats.Mining = &engine.Stats{}
 	spM := o.StartSpan("mine",
 		obs.Str("engine", r.Engine.Name()), obs.Int("patterns", len(sel.Mine)))
 	mined := make([]aggr.Value, len(sel.Mine))
+	minedCounts := make([]uint64, len(sel.Mine))
 	for i, c := range sel.Mine {
-		tbl, st, err := mineMNITable(o, r.Engine, g, c.Pattern)
+		tbl, st, err := mineMNITableCtx(ctx, o, r.Engine, g, c.Pattern)
+		if st != nil {
+			stats.Mining.Add(st)
+			minedCounts[i] = st.Matches
+		}
 		if err != nil {
 			spM.End()
+			if engine.Interrupted(err) {
+				for j := 0; j <= i; j++ {
+					stats.Partial = append(stats.Partial, PartialCount{Pattern: sel.Mine[j].Pattern, Count: minedCounts[j]})
+				}
+				o.Counter(MetricInterrupted).Inc(0)
+				return nil, stats, err
+			}
 			return nil, nil, err
 		}
-		stats.Mining.Add(st)
 		mined[i] = tbl
 	}
 	spM.End()
 
+	stats.Phase = PhaseConvert
 	t1 := time.Now()
 	spC := o.StartSpan("convert", obs.Int("queries", len(queries)))
 	vals, err := sel.Convert(agg, mined)
@@ -260,6 +394,7 @@ func (r *Runner) MNITables(g *graph.Graph, queries []*pattern.Pattern) ([]*aggr.
 		return nil, nil, err
 	}
 	stats.Convert = time.Since(t1)
+	stats.Phase = PhaseDone
 	out := make([]*aggr.Table, len(vals))
 	for i, v := range vals {
 		out[i] = v.(*aggr.Table)
@@ -268,14 +403,116 @@ func (r *Runner) MNITables(g *graph.Graph, queries []*pattern.Pattern) ([]*aggr.
 	return out, stats, nil
 }
 
+// estimateMatchBytes is the cost model's estimate of the bytes the
+// batched path materializes: expected matches per alternative times the
+// pattern's vertices times 4 (uint32 vertex IDs). The model estimates
+// over the graph's dense portion, so this is a relative proxy (compare
+// it against MemoryBudget in the same units), rounded up so any nonzero
+// estimate survives truncation.
+func (r *Runner) estimateMatchBytes(g *graph.Graph, sel *Selection) uint64 {
+	model := costmodel.New(graph.Summarize(g), r.weights())
+	total := 0.0
+	for _, c := range sel.Mine {
+		auts := len(canon.Automorphisms(c.Pattern))
+		total += model.MatchEstimate(c.Pattern, auts) * float64(c.Pattern.N()) * 4
+	}
+	if math.IsNaN(total) || total < 0 {
+		return 0
+	}
+	if total >= math.MaxUint64 {
+		return math.MaxUint64
+	}
+	return uint64(math.Ceil(total))
+}
+
+// mniOnTheFly is the degraded MNITables path: mine each alternative once
+// and fan its match stream out to the query tables through the coset-
+// representative conversion maps. Inserting each converted match with
+// the query's automorphism closure (Table.InsertAll) makes the result
+// identical to the batched Convert — coset representatives composed with
+// Aut(query) enumerate every isomorphism, and MNI insertion is an
+// idempotent union — without ever holding a per-alternative table.
+func (r *Runner) mniOnTheFly(ctx context.Context, o *obs.Observer, g *graph.Graph, sel *Selection, streamTargets [][]StreamTarget, stats *RunStats, queries []*pattern.Pattern) ([]*aggr.Table, *RunStats, error) {
+	// Worker IDs from any engine stay far below this (see engine.Visitor);
+	// distinct IDs never share a shard, so no locking is needed.
+	const shardCount = 256
+	shards := make([][]*aggr.Table, len(sel.Queries))
+	auts := make([][][]int, len(sel.Queries))
+	for qi, q := range sel.Queries {
+		shards[qi] = make([]*aggr.Table, shardCount)
+		for s := range shards[qi] {
+			shards[qi][s] = aggr.NewTable(q.Pattern.N())
+		}
+		auts[qi] = canon.Automorphisms(q.Pattern)
+	}
+
+	stats.Phase = PhaseMine
+	stats.Mining = &engine.Stats{}
+	spM := o.StartSpan("mine", obs.Str("engine", r.Engine.Name()),
+		obs.Int("patterns", len(sel.Mine)), obs.Str("conversion", "on-the-fly"))
+	for idx, c := range sel.Mine {
+		targets := streamTargets[idx]
+		st, err := engine.MatchCtx(ctx, r.Engine, g, c.Pattern, func(worker int, m []uint32) {
+			var buf [pattern.MaxVertices]uint32
+			for _, t := range targets {
+				conv := buf[:sel.Queries[t.Query].Pattern.N()]
+				for _, f := range t.Maps {
+					for i, qi := range f {
+						conv[i] = m[qi]
+					}
+					shards[t.Query][worker%shardCount].InsertAll(conv, auts[t.Query])
+				}
+			}
+		})
+		if st != nil {
+			stats.Mining.Add(st)
+		}
+		stats.Partial = append(stats.Partial, PartialCount{Pattern: c.Pattern, Count: statsMatches(st)})
+		if err != nil {
+			spM.End()
+			if engine.Interrupted(err) {
+				o.Counter(MetricInterrupted).Inc(0)
+				return nil, stats, err
+			}
+			return nil, nil, err
+		}
+	}
+	spM.End()
+	stats.Partial = nil // completed: progress bookkeeping no longer partial
+
+	stats.Phase = PhaseConvert
+	t1 := time.Now()
+	spA := o.StartSpan("aggregate", obs.Int("queries", len(sel.Queries)))
+	out := make([]*aggr.Table, len(sel.Queries))
+	for qi, q := range sel.Queries {
+		tbl := aggr.NewTable(q.Pattern.N())
+		for _, s := range shards[qi] {
+			tbl.Merge(s)
+		}
+		out[qi] = tbl
+	}
+	spA.End()
+	stats.Convert = time.Since(t1)
+	stats.Phase = PhaseDone
+	publishRunStats(o, stats)
+	return out, stats, nil
+}
+
+func statsMatches(st *engine.Stats) uint64 {
+	if st == nil {
+		return 0
+	}
+	return st.Matches
+}
+
 // MineMNITable streams one pattern's matches into a full MNI table using
 // per-worker shards merged at the end (the map-reduce structure of the
 // FSM UDF in Fig. 9).
 func MineMNITable(eng engine.Engine, g *graph.Graph, p *pattern.Pattern) (*aggr.Table, *engine.Stats, error) {
-	return mineMNITable(obs.Or(nil), eng, g, p)
+	return mineMNITableCtx(context.Background(), obs.Or(nil), eng, g, p)
 }
 
-func mineMNITable(o *obs.Observer, eng engine.Engine, g *graph.Graph, p *pattern.Pattern) (*aggr.Table, *engine.Stats, error) {
+func mineMNITableCtx(ctx context.Context, o *obs.Observer, eng engine.Engine, g *graph.Graph, p *pattern.Pattern) (*aggr.Table, *engine.Stats, error) {
 	auts := canon.Automorphisms(p)
 	// Worker IDs from any engine stay far below this (see engine.Visitor);
 	// distinct IDs never share a shard, so no locking is needed.
@@ -284,11 +521,11 @@ func mineMNITable(o *obs.Observer, eng engine.Engine, g *graph.Graph, p *pattern
 	for i := range shards {
 		shards[i] = aggr.NewTable(p.N())
 	}
-	st, err := eng.Match(g, p, func(worker int, m []uint32) {
+	st, err := engine.MatchCtx(ctx, eng, g, p, func(worker int, m []uint32) {
 		shards[worker%shardCount].InsertAll(m, auts)
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, st, err
 	}
 	// The shard merge is the UDF-side aggregation leg of the pipeline.
 	spA := o.StartSpan("aggregate", obs.Str("pattern", p.String()))

@@ -1,12 +1,15 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"morphing/internal/faultinject"
 	"morphing/internal/graph"
 	"morphing/internal/obs"
 	"morphing/internal/pattern"
@@ -55,9 +58,32 @@ func (o ExecOptions) ThreadCount() int {
 // its GC shape trivial, which measurably matters to the executor's inner
 // loops (adding a pointer field cost ~6% on motif counting).
 func Backtrack(g *graph.Graph, pl *plan.Plan, visit Visitor, opts ExecOptions, o *obs.Observer) (uint64, *Stats, error) {
+	return BacktrackCtx(context.Background(), g, pl, visit, opts, o)
+}
+
+// BacktrackCtx is Backtrack with cooperative cancellation and panic
+// isolation. Like the observer, the context rides alongside ExecOptions
+// rather than inside it, keeping the options struct pointer-free (its GC
+// shape measurably matters — see Backtrack).
+//
+// Cancellation is checked when a worker claims a work block, never in
+// the inner matching loops: a cancel or deadline takes effect within one
+// block's worth of work and returns the partial count plus ErrCanceled /
+// ErrDeadlineExceeded (see the partial-result contract in ctx.go). A
+// panic thrown by the visitor is recovered in the owning worker, aborts
+// the sibling workers at their next block claim, and is surfaced as a
+// single *PanicError carrying the stack — the process never crashes.
+func BacktrackCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, visit Visitor, opts ExecOptions, o *obs.Observer) (uint64, *Stats, error) {
 	if pl == nil || pl.Pattern == nil {
 		return 0, nil, fmt.Errorf("engine: nil plan")
 	}
+	if err := CtxErr(ctx); err != nil {
+		return 0, nil, err
+	}
+	fi := faultinject.Active()
+	ctx, fiStop := fi.Context(ctx)
+	defer fiStop()
+	visit = fi.Visitor(visit)
 	start := time.Now()
 	threads := opts.ThreadCount()
 	n := g.NumVertices()
@@ -79,6 +105,10 @@ func Backtrack(g *graph.Graph, pl *plan.Plan, visit Visitor, opts ExecOptions, o
 	var cursor int64
 	var found uint64 // shared early-termination counter (MatchLimit only)
 	var wg sync.WaitGroup
+	done := ctx.Done()
+	var abort atomic.Bool // set by cancellation or a worker panic
+	var panicOnce sync.Once
+	var panicErr *PanicError // first recovered panic wins
 	maxDeg := g.MaxDegree()
 	workers := make([]*btWorker, threads)
 	for t := 0; t < threads; t++ {
@@ -92,7 +122,27 @@ func Backtrack(g *graph.Graph, pl *plan.Plan, visit Visitor, opts ExecOptions, o
 		wg.Add(1)
 		go func(w *btWorker) {
 			defer wg.Done()
+			// Panic containment: a visitor panic must not unwind past the
+			// worker goroutine (that would kill the process). Record the
+			// first one, abort the siblings, keep this worker's partial
+			// counters — they are merged like any other worker's below.
+			defer func() {
+				if r := recover(); r != nil {
+					pe := &PanicError{Worker: w.id, Value: r, Stack: debug.Stack()}
+					panicOnce.Do(func() { panicErr = pe })
+					abort.Store(true)
+				}
+			}()
 			for {
+				if abort.Load() {
+					return
+				}
+				select {
+				case <-done:
+					abort.Store(true)
+					return
+				default:
+				}
 				if w.limit > 0 && atomic.LoadUint64(w.found) >= w.limit {
 					return
 				}
@@ -100,6 +150,7 @@ func Backtrack(g *graph.Graph, pl *plan.Plan, visit Visitor, opts ExecOptions, o
 				if b >= numBlocks {
 					return
 				}
+				fi.BlockClaimed(w.id)
 				lo := uint32(b * blockSize)
 				hi := uint32((b + 1) * blockSize)
 				if hi > uint32(n) {
@@ -124,6 +175,14 @@ func Backtrack(g *graph.Graph, pl *plan.Plan, visit Visitor, opts ExecOptions, o
 	st.Matches = total
 	st.TotalTime = time.Since(start)
 	PublishStats(o, st)
+	if panicErr != nil {
+		PublishAbort(o, panicErr)
+		return total, st, panicErr
+	}
+	if err := CtxErr(ctx); err != nil && abort.Load() {
+		PublishAbort(o, err)
+		return total, st, err
+	}
 	return total, st, nil
 }
 

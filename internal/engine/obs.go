@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"errors"
+
 	"morphing/internal/obs"
 )
 
@@ -27,6 +29,13 @@ const (
 	// MetricMineDurationNS is a log-scale histogram of per-execution
 	// wall-clock, one observation per Count/Match/CountAll.
 	MetricMineDurationNS = "engine_mine_duration_ns"
+
+	// Interruption counters, one increment per aborted execution:
+	// cooperative cancellation, deadline expiry, and visitor/UDF panics
+	// contained by the workers (see PublishAbort).
+	MetricRunsCanceled = "engine_runs_canceled_total"
+	MetricRunsDeadline = "engine_runs_deadline_total"
+	MetricWorkerPanics = "engine_worker_panics_total"
 )
 
 // PublishStats adds a completed execution's Stats snapshot to the
@@ -48,4 +57,21 @@ func PublishStats(o *obs.Observer, st *Stats) {
 	o.Counter(MetricUDFTimeNS).Add(0, uint64(st.UDFTime))
 	o.Counter(MetricRunTimeNS).Add(0, uint64(st.TotalTime))
 	o.Histogram(MetricMineDurationNS).Observe(0, uint64(st.TotalTime))
+}
+
+// PublishAbort records an interrupted execution in the registry: one
+// increment on the counter matching the typed error (cancel, deadline,
+// or contained panic). nil errors and untyped errors add nothing, so
+// executors can call it unconditionally on their abort paths.
+func PublishAbort(o *obs.Observer, err error) {
+	var pe *PanicError
+	switch {
+	case err == nil:
+	case errors.As(err, &pe):
+		o.Counter(MetricWorkerPanics).Inc(0)
+	case errors.Is(err, ErrDeadlineExceeded):
+		o.Counter(MetricRunsDeadline).Inc(0)
+	case errors.Is(err, ErrCanceled):
+		o.Counter(MetricRunsCanceled).Inc(0)
+	}
 }

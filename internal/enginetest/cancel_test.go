@@ -1,0 +1,399 @@
+package enginetest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"morphing/internal/bigjoin"
+	"morphing/internal/core"
+	"morphing/internal/dataset"
+	"morphing/internal/engine"
+	"morphing/internal/faultinject"
+	"morphing/internal/graph"
+	"morphing/internal/pattern"
+	"morphing/internal/peregrine"
+	"morphing/internal/plan"
+)
+
+// cancelGraph is dense enough that the match stream is long (cancel
+// points are plentiful) and large enough that the root level spans many
+// work blocks (every worker passes a block boundary after a cancel).
+func cancelGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := dataset.ErdosRenyi(400, 14, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// leakCheck snapshots the goroutine count and fails the test if it has
+// not returned to (near) the baseline by cleanup. Hand-rolled retry loop:
+// aborted workers unwind asynchronously after the run returns.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= base+2 { // slack for runtime/test harness goroutines
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("goroutine leak: %d at start, %d after 5s drain", base, n)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// cancelEngines is allEngines with BigJoin reconfigured for small
+// dataflow batches: BigJoin's cancel point is the source's batch
+// boundary, and at the default 1024-tuple batch the whole test graph is
+// a single batch — cancellation would be legitimately unobservable.
+func cancelEngines() []engine.Engine {
+	out := allEngines()
+	for i, e := range out {
+		if bj, ok := e.(*bigjoin.Engine); ok {
+			out[i] = &bigjoin.Engine{Threads: bj.Threads, BatchSize: 8}
+		}
+	}
+	return out
+}
+
+// TestCancelMidRunReturnsTypedPartial cancels from inside the visitor —
+// a deterministic mid-run signal — and checks every engine honors the
+// partial-result contract: a typed error in both vocabularies, stats for
+// the work actually done, and no leaked workers.
+func TestCancelMidRunReturnsTypedPartial(t *testing.T) {
+	leakCheck(t)
+	g := cancelGraph(t)
+	p := pattern.TailedTriangle() // plentiful matches on a dense graph
+	for _, e := range cancelEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var seen atomic.Uint64
+			st, err := engine.MatchCtx(ctx, e, g, p, func(_ int, _ []uint32) {
+				if seen.Add(1) == 5 {
+					cancel()
+				}
+			})
+			if err == nil {
+				t.Fatal("canceled run returned nil error")
+			}
+			if !errors.Is(err, engine.ErrCanceled) {
+				t.Fatalf("err = %v, want engine.ErrCanceled", err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v must wrap context.Canceled", err)
+			}
+			if !engine.Interrupted(err) {
+				t.Fatalf("Interrupted(%v) = false", err)
+			}
+			if st == nil {
+				t.Fatal("interrupted run must return partial stats")
+			}
+			if seen.Load() < 5 {
+				t.Fatalf("visitor saw %d matches before cancel, want >= 5", seen.Load())
+			}
+		})
+	}
+}
+
+// TestCancelPartialCountConsistency checks the partial count and the
+// partial stats agree: the backtracking executor's interrupted total
+// must equal its Stats.Matches (both are merged from the same worker
+// counters after all workers exited).
+func TestCancelPartialCountConsistency(t *testing.T) {
+	leakCheck(t)
+	g := cancelGraph(t)
+	p := pattern.TailedTriangle()
+	pl, err := plan.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var seen atomic.Uint64
+	count, st, err := engine.BacktrackCtx(ctx, g, pl, func(_ int, _ []uint32) {
+		if seen.Add(1) == 5 {
+			cancel()
+		}
+	}, engine.ExecOptions{Threads: 3}, nil)
+	if !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("err = %v, want engine.ErrCanceled", err)
+	}
+	if st == nil || count != st.Matches {
+		t.Fatalf("partial count %d != partial stats.Matches %v", count, st)
+	}
+	full, _, err := engine.Backtrack(g, pl, nil, engine.ExecOptions{Threads: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count >= full {
+		t.Fatalf("partial count %d not below full count %d", count, full)
+	}
+}
+
+// TestPreExpiredContextStartsNoWork: a context that is already dead must
+// fail fast with the right sentinel and without mining anything.
+func TestPreExpiredContextStartsNoWork(t *testing.T) {
+	g := testGraph(t, 3, 0)
+	p := pattern.Triangle()
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel2()
+
+	for _, e := range allEngines() {
+		c, _, err := engine.CountCtx(canceled, e, g, p)
+		if !errors.Is(err, engine.ErrCanceled) || c != 0 {
+			t.Errorf("%s: canceled pre-check: count=%d err=%v", e.Name(), c, err)
+		}
+		c, _, err = engine.CountCtx(expired, e, g, p)
+		if !errors.Is(err, engine.ErrDeadlineExceeded) || c != 0 {
+			t.Errorf("%s: expired pre-check: count=%d err=%v", e.Name(), c, err)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: deadline error must wrap context.DeadlineExceeded, got %v", e.Name(), err)
+		}
+	}
+}
+
+// TestMatchLimitAndCancellationCompose: early termination and
+// cancellation must coexist — whichever fires first stops the run, and
+// only cancellation produces a typed error.
+func TestMatchLimitAndCancellationCompose(t *testing.T) {
+	leakCheck(t)
+	g := cancelGraph(t)
+	p := pattern.Triangle()
+	eng := peregrine.New(3)
+
+	// Limit fires first: clean result, no error.
+	n, _, err := eng.CountUpToCtx(context.Background(), g, p, 10)
+	if err != nil {
+		t.Fatalf("limit-only run failed: %v", err)
+	}
+	if n < 10 {
+		t.Fatalf("limit run found %d matches, want >= 10", n)
+	}
+
+	// Cancellation fires first (pre-canceled): typed error, zero work.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, _, err = eng.CountUpToCtx(ctx, g, p, 10)
+	if !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("canceled limit run: err = %v, want ErrCanceled", err)
+	}
+	if n != 0 {
+		t.Fatalf("pre-canceled run counted %d", n)
+	}
+
+	// Both armed on a live run: the run ends by one of the two and never
+	// hangs; an error, if any, must be the typed cancellation.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	_, _, err = eng.CountUpToCtx(ctx2, g, pattern.TailedTriangle(), 1<<60)
+	if err != nil && !engine.Interrupted(err) {
+		t.Fatalf("composed run: unexpected hard error %v", err)
+	}
+}
+
+// TestVisitorPanicIsolatedAllEngines injects a panic inside the visitor
+// on every engine and asserts containment: the process survives, exactly
+// one clean *engine.PanicError comes back (stack attached), and the
+// sibling workers drain without leaking.
+func TestVisitorPanicIsolatedAllEngines(t *testing.T) {
+	leakCheck(t)
+	g := cancelGraph(t)
+	p := pattern.TailedTriangle()
+	for _, e := range allEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			_, err := engine.MatchCtx(context.Background(), e, g, p, func(_ int, m []uint32) {
+				if m[0]%97 == 3 { // deterministic, hits early and often
+					panic(fmt.Sprintf("%s: visitor exploded", e.Name()))
+				}
+			})
+			var pe *engine.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *engine.PanicError", err)
+			}
+			if pe.Worker < 0 {
+				t.Errorf("panic error lost its worker ID: %+v", pe.Worker)
+			}
+			if len(pe.Stack) == 0 {
+				t.Error("panic error carries no stack")
+			}
+			if !engine.Interrupted(err) {
+				t.Error("PanicError must count as an interruption")
+			}
+		})
+	}
+}
+
+// TestPanicWithErrorValueUnwraps: panic(err) inside a UDF must stay
+// reachable through errors.Is on the surfaced PanicError.
+func TestPanicWithErrorValueUnwraps(t *testing.T) {
+	leakCheck(t)
+	g := testGraph(t, 3, 0)
+	sentinel := errors.New("udf invariant violated")
+	_, err := peregrine.New(2).MatchCtx(context.Background(), g, pattern.Triangle(),
+		func(int, []uint32) { panic(sentinel) })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is(err, sentinel) = false for %v", err)
+	}
+}
+
+// TestFaultInjectionPanicAtMatchN drives the injection harness end to
+// end: a seeded panic ordinal, armed process-wide, must surface as one
+// clean PanicError from a counting run (no visitor at all — the
+// injection defeats the counting fast path) and partial counts must
+// remain consistent.
+func TestFaultInjectionPanicAtMatchN(t *testing.T) {
+	leakCheck(t)
+	g := cancelGraph(t)
+	p := pattern.TailedTriangle()
+	eng := peregrine.New(3)
+
+	full, _, err := eng.Count(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		target := faultinject.MatchTarget(seed, full/2)
+		disarm, err := faultinject.Arm(faultinject.Config{
+			PanicAtMatch: target,
+			PanicMessage: fmt.Sprintf("campaign seed %d", seed),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, st, err := eng.CountCtx(context.Background(), g, p)
+		disarm()
+		var pe *engine.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("seed %d: err = %v, want *engine.PanicError", seed, err)
+		}
+		if got := fmt.Sprint(pe.Value); got != fmt.Sprintf("campaign seed %d", seed) {
+			t.Fatalf("seed %d: panic value %q did not round-trip", seed, got)
+		}
+		if st == nil || count != st.Matches {
+			t.Fatalf("seed %d: partial count %d inconsistent with stats", seed, count)
+		}
+		if count >= full {
+			t.Fatalf("seed %d: partial count %d not below full %d", seed, count, full)
+		}
+	}
+	// The harness must be disarmed again: a clean rerun sees full counts.
+	again, _, err := eng.Count(g, p)
+	if err != nil || again != full {
+		t.Fatalf("post-campaign run: count=%d err=%v, want %d, nil", again, err, full)
+	}
+}
+
+// TestFaultInjectionCancelAfter uses the cancel-after-D injection point:
+// the executor's own derived context fires mid-run and the caller sees a
+// plain cooperative cancellation.
+func TestFaultInjectionCancelAfter(t *testing.T) {
+	leakCheck(t)
+	g := cancelGraph(t)
+	disarm, err := faultinject.Arm(faultinject.Config{
+		CancelAfter: time.Millisecond,
+		// Stall one worker at each block claim so the run reliably outlives
+		// the 1ms fuse regardless of machine speed.
+		StallWorker: 0,
+		StallFor:    5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+	_, _, err = peregrine.New(3).CountCtx(context.Background(), g, pattern.Path(5))
+	if err != nil && !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled (or clean finish)", err)
+	}
+	if err == nil {
+		t.Skip("run finished inside the 1ms fuse; injection not observable on this machine")
+	}
+}
+
+// TestRunnerInterruptedSurfacesPhaseAndPartials runs the whole morphing
+// pipeline under an injected visitor panic and checks the runner-level
+// contract: nil results, RunStats with the mining phase and raw
+// per-alternative partial counts, and a typed error.
+func TestRunnerInterruptedSurfacesPhaseAndPartials(t *testing.T) {
+	leakCheck(t)
+	g := cancelGraph(t)
+	queries := []*pattern.Pattern{
+		pattern.FourCycle().AsVertexInduced(),
+		pattern.FourStar().AsVertexInduced(),
+	}
+	disarm, err := faultinject.Arm(faultinject.Config{PanicAtMatch: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+	r := &core.Runner{Engine: peregrine.New(3)}
+	counts, stats, err := r.CountsCtx(context.Background(), g, queries)
+	if counts != nil {
+		t.Fatal("interrupted run must not return query counts (unsound to convert)")
+	}
+	if !engine.Interrupted(err) {
+		t.Fatalf("err = %v, want a typed interruption", err)
+	}
+	var pe *engine.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *engine.PanicError", err)
+	}
+	if stats == nil {
+		t.Fatal("interrupted run must return RunStats")
+	}
+	if stats.Phase != core.PhaseMine {
+		t.Errorf("Phase = %q, want %q", stats.Phase, core.PhaseMine)
+	}
+	if len(stats.Partial) == 0 {
+		t.Error("interrupted run reported no per-alternative partials")
+	}
+	if len(stats.Partial) != len(stats.Selection.Mine) {
+		t.Errorf("partials cover %d alternatives, selection mined %d",
+			len(stats.Partial), len(stats.Selection.Mine))
+	}
+}
+
+// TestCancelRaceStress hammers cancellation timing under -race: many
+// runs, each canceled at a different point in the stream, none may leak
+// goroutines, deadlock, or return an untyped error.
+func TestCancelRaceStress(t *testing.T) {
+	leakCheck(t)
+	g := cancelGraph(t)
+	p := pattern.TailedTriangle()
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		for _, e := range cancelEngines() {
+			ctx, cancel := context.WithCancel(context.Background())
+			fuse := uint64(1 + trial*37)
+			var seen atomic.Uint64
+			_, err := engine.MatchCtx(ctx, e, g, p, func(_ int, _ []uint32) {
+				if seen.Add(1) == fuse {
+					cancel()
+				}
+			})
+			cancel()
+			if err != nil && !engine.Interrupted(err) {
+				t.Fatalf("trial %d %s: hard error %v", trial, e.Name(), err)
+			}
+		}
+	}
+}

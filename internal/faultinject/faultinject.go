@@ -1,0 +1,133 @@
+// Package faultinject provides deterministic, seedable fault injection
+// points for exercising the mining pipeline's robustness layer:
+// panic-at-match-N (a Visitor/UDF that blows up mid-stream), stall-worker
+// (one worker sleeps at every work-block claim, simulating a straggler)
+// and cancel-after-D (the execution's context is canceled a fixed delay
+// after it starts).
+//
+// Injection is process-global but armed explicitly: executors resolve the
+// injector once per execution via Active, so an unarmed process pays one
+// atomic load per run and nothing per block. Arm refuses to install an
+// injector outside a test binary (testing.Testing()), so production
+// builds structurally cannot trip the faults — the hooks they call are
+// nil-receiver no-ops.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Config describes one fault scenario. Zero-valued fields are disabled,
+// so a Config enables any subset of the three injection points.
+type Config struct {
+	// PanicAtMatch panics inside the wrapped visitor when the N-th match
+	// (1-based, counted across all workers) is delivered. 0 disables.
+	PanicAtMatch uint64
+	// PanicMessage is the value passed to panic (a default is used when
+	// empty), letting tests assert the recovered value round-trips.
+	PanicMessage string
+	// StallWorker selects the worker ID that BlockClaimed stalls.
+	// Effective only when StallFor > 0.
+	StallWorker int
+	// StallFor is how long the selected worker sleeps at each block claim.
+	// 0 disables stalling.
+	StallFor time.Duration
+	// CancelAfter cancels the execution's derived context this long after
+	// Context is called. 0 disables. The resulting error is a plain
+	// cancellation (context.Canceled), not a deadline.
+	CancelAfter time.Duration
+}
+
+// MatchTarget derives a deterministic panic ordinal in [1, span] from a
+// seed (splitmix64 finalizer), so fault campaigns can sweep seeds and
+// still reproduce any failure exactly. span 0 returns 0 (disabled).
+func MatchTarget(seed, span uint64) uint64 {
+	if span == 0 {
+		return 0
+	}
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return z%span + 1
+}
+
+// Injector is an armed Config plus the shared match ordinal. All methods
+// are safe on a nil receiver (the unarmed state), which is what lets the
+// executors call them unconditionally.
+type Injector struct {
+	cfg     Config
+	matches atomic.Uint64
+}
+
+var active atomic.Pointer[Injector]
+
+// Arm installs cfg as the process-wide injector and returns a disarm
+// function. It fails outside a test binary: the injection points are a
+// test-only contract and must never fire in production processes.
+// Arming while another Config is armed replaces it (last arm wins);
+// disarm only removes the injector it installed.
+func Arm(cfg Config) (func(), error) {
+	if !testing.Testing() {
+		return nil, fmt.Errorf("faultinject: refusing to arm outside a test binary")
+	}
+	in := &Injector{cfg: cfg}
+	if in.cfg.PanicMessage == "" {
+		in.cfg.PanicMessage = "faultinject: injected panic"
+	}
+	active.Store(in)
+	return func() { active.CompareAndSwap(in, nil) }, nil
+}
+
+// Active returns the armed injector, or nil. Executors call this once at
+// the start of an execution and thread the result through their workers,
+// keeping the per-block cost a nil check rather than an atomic load.
+func Active() *Injector { return active.Load() }
+
+// Visitor wraps a match visitor with the panic-at-match-N injection
+// point. Raw func types (not engine.Visitor) keep this package free of
+// engine imports so any executor layer can use it. When the injection is
+// armed the wrapper is returned even for a nil visitor — counting fast
+// paths that skip visitor dispatch would otherwise never reach the fault.
+func (in *Injector) Visitor(visit func(worker int, m []uint32)) func(worker int, m []uint32) {
+	if in == nil || in.cfg.PanicAtMatch == 0 {
+		return visit
+	}
+	return func(worker int, m []uint32) {
+		if in.matches.Add(1) == in.cfg.PanicAtMatch {
+			panic(in.cfg.PanicMessage)
+		}
+		if visit != nil {
+			visit(worker, m)
+		}
+	}
+}
+
+// BlockClaimed is the stall-worker injection point: executors call it
+// each time a worker claims a work block or dataflow batch.
+func (in *Injector) BlockClaimed(worker int) {
+	if in == nil || in.cfg.StallFor <= 0 || worker != in.cfg.StallWorker {
+		return
+	}
+	time.Sleep(in.cfg.StallFor)
+}
+
+// Context is the cancel-after-D injection point: it derives a context
+// that is canceled CancelAfter after this call. The returned stop
+// function must be called (normally deferred) to release the timer; it
+// is a no-op when the injection is disabled.
+func (in *Injector) Context(ctx context.Context) (context.Context, context.CancelFunc) {
+	if in == nil || in.cfg.CancelAfter <= 0 {
+		return ctx, func() {}
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	t := time.AfterFunc(in.cfg.CancelAfter, cancel)
+	return ctx, func() {
+		t.Stop()
+		cancel()
+	}
+}

@@ -1,0 +1,163 @@
+package faultinject
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestMatchTargetDeterministicAndInRange(t *testing.T) {
+	if got := MatchTarget(42, 0); got != 0 {
+		t.Fatalf("span 0 must disable injection, got %d", got)
+	}
+	for seed := uint64(0); seed < 200; seed++ {
+		a, b := MatchTarget(seed, 1000), MatchTarget(seed, 1000)
+		if a != b {
+			t.Fatalf("seed %d: MatchTarget not deterministic: %d vs %d", seed, a, b)
+		}
+		if a < 1 || a > 1000 {
+			t.Fatalf("seed %d: target %d outside [1,1000]", seed, a)
+		}
+	}
+	// The finalizer must actually spread seeds (not collapse to one value).
+	if MatchTarget(1, 1000) == MatchTarget(2, 1000) && MatchTarget(2, 1000) == MatchTarget(3, 1000) {
+		t.Fatal("MatchTarget collapses distinct seeds")
+	}
+}
+
+func TestArmDisarmLifecycle(t *testing.T) {
+	if Active() != nil {
+		t.Fatal("injector armed at test start")
+	}
+	disarm, err := Arm(Config{PanicAtMatch: 3})
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	in := Active()
+	if in == nil {
+		t.Fatal("Active() nil after Arm")
+	}
+	if in.cfg.PanicMessage == "" {
+		t.Fatal("Arm must default PanicMessage")
+	}
+	disarm()
+	if Active() != nil {
+		t.Fatal("Active() non-nil after disarm")
+	}
+	// A stale disarm must not remove a newer injector (last arm wins).
+	d1, _ := Arm(Config{PanicAtMatch: 1})
+	d2, _ := Arm(Config{PanicAtMatch: 2})
+	d1() // stale: installed injector was already replaced
+	if in := Active(); in == nil || in.cfg.PanicAtMatch != 2 {
+		t.Fatal("stale disarm removed the newer injector")
+	}
+	d2()
+	if Active() != nil {
+		t.Fatal("Active() non-nil after final disarm")
+	}
+}
+
+func TestNilInjectorMethodsAreNoOps(t *testing.T) {
+	var in *Injector
+	if got := in.Visitor(nil); got != nil {
+		t.Fatal("nil injector must pass a nil visitor through")
+	}
+	called := 0
+	v := in.Visitor(func(int, []uint32) { called++ })
+	v(0, nil)
+	if called != 1 {
+		t.Fatal("nil injector must pass the visitor through unchanged")
+	}
+	in.BlockClaimed(0) // must not panic
+	ctx, stop := in.Context(context.Background())
+	defer stop()
+	if ctx.Err() != nil {
+		t.Fatal("nil injector must not derive a cancelable context")
+	}
+}
+
+func TestVisitorPanicsAtExactlyN(t *testing.T) {
+	disarm, err := Arm(Config{PanicAtMatch: 3, PanicMessage: "boom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+	in := Active()
+	seen := 0
+	v := in.Visitor(func(int, []uint32) { seen++ })
+	v(0, nil)
+	v(1, nil)
+	func() {
+		defer func() {
+			r := recover()
+			if r != "boom" {
+				t.Fatalf("recovered %v, want \"boom\"", r)
+			}
+		}()
+		v(2, nil)
+		t.Fatal("third match must panic")
+	}()
+	if seen != 2 {
+		t.Fatalf("visitor ran %d times before the panic, want 2", seen)
+	}
+	// Matches after the target pass through again (exactly-once firing).
+	v(3, nil)
+	if seen != 3 {
+		t.Fatal("matches after the target must reach the visitor")
+	}
+}
+
+func TestVisitorWrapsNilVisitWhenArmed(t *testing.T) {
+	disarm, err := Arm(Config{PanicAtMatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+	v := Active().Visitor(nil)
+	if v == nil {
+		t.Fatal("armed injector must wrap even a nil visitor (counting fast paths)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("first match must panic")
+		}
+	}()
+	v(0, nil)
+}
+
+func TestContextCancelAfter(t *testing.T) {
+	disarm, err := Arm(Config{CancelAfter: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+	ctx, stop := Active().Context(context.Background())
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("derived context never canceled")
+	}
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("cancel-after must yield context.Canceled, got %v", ctx.Err())
+	}
+}
+
+func TestBlockClaimedStallsOnlySelectedWorker(t *testing.T) {
+	disarm, err := Arm(Config{StallWorker: 1, StallFor: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+	in := Active()
+	start := time.Now()
+	in.BlockClaimed(0)
+	if d := time.Since(start); d > 25*time.Millisecond {
+		t.Fatalf("non-selected worker stalled %v", d)
+	}
+	start = time.Now()
+	in.BlockClaimed(1)
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("selected worker stalled only %v, want >= 50ms", d)
+	}
+}

@@ -194,7 +194,11 @@ func FromEdges(n int, edges [][2]uint32, labels []int32) (*Graph, error) {
 	return b.Build()
 }
 
-// MustFromEdges is FromEdges for statically known-good inputs.
+// MustFromEdges is FromEdges for statically known-good inputs; it
+// panics on error. Like pattern.MustNew, it is reserved for literal
+// fixtures whose validity is provable at the call site — graphs loaded
+// or assembled from runtime data must use FromEdges/Builder and handle
+// the error.
 func MustFromEdges(n int, edges [][2]uint32, labels []int32) *Graph {
 	g, err := FromEdges(n, edges, labels)
 	if err != nil {

@@ -8,6 +8,7 @@
 package graphpi
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -38,7 +39,7 @@ type Engine struct {
 	sums map[*graph.Graph]graph.Summary // per-graph summary cache
 }
 
-var _ engine.Engine = (*Engine)(nil)
+var _ engine.CtxEngine = (*Engine)(nil)
 
 // New returns an engine with the given worker count.
 func New(threads int) *Engine { return &Engine{Threads: threads} }
@@ -111,37 +112,56 @@ func (e *Engine) planFor(g *graph.Graph, p *pattern.Pattern) (*plan.Plan, error)
 
 // Count returns the number of unique edge-induced matches of p in g.
 func (e *Engine) Count(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+	return e.CountCtx(context.Background(), g, p)
+}
+
+// CountCtx implements engine.CtxEngine.
+func (e *Engine) CountCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	pl, err := e.planFor(g, p)
 	if err != nil {
 		return 0, nil, err
 	}
 	defer e.span(p).End()
-	return engine.Backtrack(g, pl, nil, e.opts(), e.Obs)
+	return engine.BacktrackCtx(ctx, g, pl, nil, e.opts(), e.Obs)
 }
 
 // CountAll counts each pattern independently.
 func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
+	return e.CountAllCtx(context.Background(), g, ps)
+}
+
+// CountAllCtx implements engine.CtxEngine. On interruption the returned
+// slice holds the per-pattern partial counts accumulated so far.
+func (e *Engine) CountAllCtx(ctx context.Context, g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
 	counts := make([]uint64, len(ps))
 	total := &engine.Stats{}
 	for i, p := range ps {
-		c, st, err := e.Count(g, p)
-		if err != nil {
-			return nil, nil, err
-		}
+		c, st, err := e.CountCtx(ctx, g, p)
 		counts[i] = c
-		total.Add(st)
+		if st != nil {
+			total.Add(st)
+		}
+		if err != nil {
+			return counts, total, err
+		}
 	}
 	return counts, total, nil
 }
 
 // Match streams every unique edge-induced match of p to visit.
 func (e *Engine) Match(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
+	return e.MatchCtx(context.Background(), g, p, visit)
+}
+
+// MatchCtx implements engine.CtxEngine: Match with cooperative
+// cancellation and visitor-panic containment.
+func (e *Engine) MatchCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
 	pl, err := e.planFor(g, p)
 	if err != nil {
 		return nil, err
 	}
 	defer e.span(p).End()
-	_, st, err := engine.Backtrack(g, pl, visit, e.opts(), e.Obs)
+	_, st, err := engine.BacktrackCtx(ctx, g, pl, visit, e.opts(), e.Obs)
 	return st, err
 }
 
@@ -152,6 +172,12 @@ func (e *Engine) Match(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor)
 // any. The probes are the data-dependent branches that dominate baseline
 // time in Fig. 4d and Fig. 14.
 func (e *Engine) CountVertexInducedViaFilter(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+	return e.CountVertexInducedViaFilterCtx(context.Background(), g, p)
+}
+
+// CountVertexInducedViaFilterCtx is CountVertexInducedViaFilter under a
+// context (partial counts on interruption).
+func (e *Engine) CountVertexInducedViaFilterCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	pE := p.AsEdgeInduced()
 	pl, err := e.planFor(g, pE)
 	if err != nil {
@@ -159,13 +185,20 @@ func (e *Engine) CountVertexInducedViaFilter(g *graph.Graph, p *pattern.Pattern)
 	}
 	defer obs.Or(e.Obs).StartSpan("mine/"+p.String(),
 		obs.Str("engine", e.Name()), obs.Str("mode", "filter-udf")).End()
-	return CountViaFilter(g, pl, p.NonEdges(), e.opts(), e.Obs)
+	return CountViaFilterCtx(ctx, g, pl, p.NonEdges(), e.opts(), e.Obs)
 }
 
 // CountViaFilter runs an edge-induced plan and counts the matches that
 // survive the extra-edge Filter UDF over nonEdges. Exposed for reuse by
 // the BigJoin model's benchmarks and by tests.
 func CountViaFilter(g *graph.Graph, pl *plan.Plan, nonEdges [][2]int, opts engine.ExecOptions, o *obs.Observer) (uint64, *engine.Stats, error) {
+	return CountViaFilterCtx(context.Background(), g, pl, nonEdges, opts, o)
+}
+
+// CountViaFilterCtx is CountViaFilter under a context. On interruption
+// the surviving-match count accumulated so far is returned alongside the
+// typed error (the partial-result contract of engine.BacktrackCtx).
+func CountViaFilterCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, nonEdges [][2]int, opts engine.ExecOptions, o *obs.Observer) (uint64, *engine.Stats, error) {
 	threads := opts.Threads
 	if threads <= 0 {
 		threads = 64 // upper bound for shard allocation; executor caps at GOMAXPROCS
@@ -176,7 +209,7 @@ func CountViaFilter(g *graph.Graph, pl *plan.Plan, nonEdges [][2]int, opts engin
 		_        [48]byte // avoid false sharing between worker shards
 	}
 	shards := make([]shard, threads)
-	_, st, err := engine.Backtrack(g, pl, func(worker int, m []uint32) {
+	_, st, err := engine.BacktrackCtx(ctx, g, pl, func(worker int, m []uint32) {
 		s := &shards[worker%threads]
 		keep := true
 		for _, ne := range nonEdges {
@@ -197,7 +230,7 @@ func CountViaFilter(g *graph.Graph, pl *plan.Plan, nonEdges [][2]int, opts engin
 			s.kept++
 		}
 	}, opts, o)
-	if err != nil {
+	if err != nil && st == nil {
 		return 0, nil, err
 	}
 	var kept uint64
@@ -211,5 +244,5 @@ func CountViaFilter(g *graph.Graph, pl *plan.Plan, nonEdges [][2]int, opts engin
 	// Backtrack already published its own counters; only the filter UDF's
 	// probe branches are new.
 	obs.Or(o).Counter(engine.MetricBranches).Add(0, filterBranches)
-	return kept, st, nil
+	return kept, st, err
 }

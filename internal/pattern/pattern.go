@@ -107,6 +107,13 @@ func New(n int, edges [][2]int, opts ...Option) (*Pattern, error) {
 }
 
 // MustNew is New for statically known-good inputs; it panics on error.
+//
+// Panic policy: Must* constructors are the only sanctioned panic sites
+// on the construction path, and they are reserved for literals whose
+// validity is provable at the call site (test fixtures, canned pattern
+// tables, fixed-shape seeds). Anything derived from runtime input —
+// files, flags, user queries, extension loops — must go through New and
+// propagate the error.
 func MustNew(n int, edges [][2]int, opts ...Option) *Pattern {
 	p, err := New(n, edges, opts...)
 	if err != nil {

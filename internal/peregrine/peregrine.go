@@ -9,6 +9,7 @@
 package peregrine
 
 import (
+	"context"
 	"fmt"
 
 	"morphing/internal/engine"
@@ -29,7 +30,7 @@ type Engine struct {
 	Obs *obs.Observer
 }
 
-var _ engine.Engine = (*Engine)(nil)
+var _ engine.CtxEngine = (*Engine)(nil)
 
 // New returns an engine with the given worker count.
 func New(threads int) *Engine { return &Engine{Threads: threads} }
@@ -52,39 +53,60 @@ func (e *Engine) span(p *pattern.Pattern) *obs.Span {
 
 // Count returns the number of unique matches of p in g.
 func (e *Engine) Count(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+	return e.CountCtx(context.Background(), g, p)
+}
+
+// CountCtx implements engine.CtxEngine: Count with cooperative
+// cancellation at work-block boundaries (partial counts on interruption).
+func (e *Engine) CountCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	pl, err := plan.Build(p)
 	if err != nil {
 		return 0, nil, fmt.Errorf("peregrine: %w", err)
 	}
 	defer e.span(p).End()
-	return engine.Backtrack(g, pl, nil, e.opts(), e.Obs)
+	return engine.BacktrackCtx(ctx, g, pl, nil, e.opts(), e.Obs)
 }
 
 // CountAll counts each pattern independently; Peregrine matches patterns
 // one by one (§7.1), which is why extra superpatterns cost it more than
 // AutoZero's merged schedules.
 func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
+	return e.CountAllCtx(context.Background(), g, ps)
+}
+
+// CountAllCtx implements engine.CtxEngine. On interruption the returned
+// slice holds the per-pattern partial counts accumulated so far (zero
+// for patterns not yet started) alongside the typed error.
+func (e *Engine) CountAllCtx(ctx context.Context, g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
 	counts := make([]uint64, len(ps))
 	total := &engine.Stats{}
 	for i, p := range ps {
-		c, st, err := e.Count(g, p)
-		if err != nil {
-			return nil, nil, err
-		}
+		c, st, err := e.CountCtx(ctx, g, p)
 		counts[i] = c
-		total.Add(st)
+		if st != nil {
+			total.Add(st)
+		}
+		if err != nil {
+			return counts, total, err
+		}
 	}
 	return counts, total, nil
 }
 
 // Match streams every unique match of p to visit.
 func (e *Engine) Match(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
+	return e.MatchCtx(context.Background(), g, p, visit)
+}
+
+// MatchCtx implements engine.CtxEngine: Match with cooperative
+// cancellation and visitor-panic containment.
+func (e *Engine) MatchCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
 	pl, err := plan.Build(p)
 	if err != nil {
 		return nil, fmt.Errorf("peregrine: %w", err)
 	}
 	defer e.span(p).End()
-	_, st, err := engine.Backtrack(g, pl, visit, e.opts(), e.Obs)
+	_, st, err := engine.BacktrackCtx(ctx, g, pl, visit, e.opts(), e.Obs)
 	return st, err
 }
 
@@ -96,10 +118,24 @@ func (e *Engine) Exists(g *graph.Graph, p *pattern.Pattern) (bool, *engine.Stats
 	return n > 0, st, err
 }
 
+// ExistsCtx is Exists under a context. On interruption the boolean is
+// only meaningful when true (a match was found before the abort).
+func (e *Engine) ExistsCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern) (bool, *engine.Stats, error) {
+	n, st, err := e.CountUpToCtx(ctx, g, p, 1)
+	return n > 0, st, err
+}
+
 // CountUpTo counts matches but stops exploring once at least limit have
 // been found; the returned count may slightly exceed limit (workers
 // finish their current root vertex). limit 0 counts everything.
 func (e *Engine) CountUpTo(g *graph.Graph, p *pattern.Pattern, limit uint64) (uint64, *engine.Stats, error) {
+	return e.CountUpToCtx(context.Background(), g, p, limit)
+}
+
+// CountUpToCtx is CountUpTo under a context: early termination
+// (MatchLimit) and cooperative cancellation compose — whichever fires
+// first stops the run, and only cancellation yields a typed error.
+func (e *Engine) CountUpToCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern, limit uint64) (uint64, *engine.Stats, error) {
 	pl, err := plan.Build(p)
 	if err != nil {
 		return 0, nil, fmt.Errorf("peregrine: %w", err)
@@ -107,5 +143,5 @@ func (e *Engine) CountUpTo(g *graph.Graph, p *pattern.Pattern, limit uint64) (ui
 	defer e.span(p).End()
 	opts := e.opts()
 	opts.MatchLimit = limit
-	return engine.Backtrack(g, pl, nil, opts, e.Obs)
+	return engine.BacktrackCtx(ctx, g, pl, nil, opts, e.Obs)
 }

@@ -23,6 +23,7 @@
 package morphing
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -95,6 +96,21 @@ type Options struct {
 	// system.
 	Morph bool
 }
+
+// Typed interruption errors, re-exported from the engine layer. Runs
+// interrupted by cancellation or a deadline return these (use errors.Is,
+// or the context vocabulary — they wrap context.Canceled and
+// context.DeadlineExceeded); counts and stats returned alongside are
+// valid partial results.
+var (
+	ErrCanceled         = engine.ErrCanceled
+	ErrDeadlineExceeded = engine.ErrDeadlineExceeded
+)
+
+// Interrupted reports whether err is a typed interruption — cooperative
+// cancellation, deadline expiry, or a contained visitor/UDF panic —
+// meaning the results returned alongside it are valid partials.
+func Interrupted(err error) bool { return engine.Interrupted(err) }
 
 // NewEngine constructs one of the four engine models by name
 // ("peregrine", "autozero", "graphpi", "bigjoin"; case-insensitive).
@@ -171,10 +187,23 @@ func CountMotifs(g *Graph, size int, eng Engine, opts Options) (*MotifResult, er
 	return mc.Count(g, size, eng, opts.Morph)
 }
 
+// CountMotifsCtx is CountMotifs with cooperative cancellation: the run
+// aborts at the next work-block boundary after ctx is done, returning a
+// partial Result alongside ErrCanceled/ErrDeadlineExceeded.
+func CountMotifsCtx(ctx context.Context, g *Graph, size int, eng Engine, opts Options) (*MotifResult, error) {
+	return mc.CountCtx(ctx, g, size, eng, opts.Morph)
+}
+
 // CountSubgraphs counts the matches of each query pattern — the Fig. 13a
 // workload.
 func CountSubgraphs(g *Graph, queries []*Pattern, eng Engine, opts Options) ([]uint64, *RunStats, error) {
 	return sc.Count(g, queries, eng, opts.Morph)
+}
+
+// CountSubgraphsCtx is CountSubgraphs under a context; on interruption
+// the RunStats carries per-alternative partial counts (RunStats.Partial).
+func CountSubgraphsCtx(ctx context.Context, g *Graph, queries []*Pattern, eng Engine, opts Options) ([]uint64, *RunStats, error) {
+	return sc.CountCtx(ctx, g, queries, eng, opts.Morph)
 }
 
 // MineFrequent runs level-wise frequent subgraph mining with MNI support —
@@ -183,10 +212,24 @@ func MineFrequent(g *Graph, eng Engine, opts FSMOptions) ([]FrequentPattern, *fs
 	return fsm.Mine(g, eng, opts)
 }
 
+// MineFrequentCtx is MineFrequent under a context; on interruption the
+// patterns confirmed by fully completed levels are returned with the
+// typed error.
+func MineFrequentCtx(ctx context.Context, g *Graph, eng Engine, opts FSMOptions) ([]FrequentPattern, *fsm.Stats, error) {
+	return fsm.MineCtx(ctx, g, eng, opts)
+}
+
 // EnumerateSubgraphs streams filtered matches of edge-induced queries —
 // the Fig. 15a workload with on-the-fly conversion.
 func EnumerateSubgraphs(g *Graph, eng Engine, queries []*Pattern, filter func(m []uint32) bool, onMatch func(query int, m []uint32), opts EnumOptions) (*EnumResult, error) {
 	return se.Enumerate(g, eng, queries, filter, onMatch, opts)
+}
+
+// EnumerateSubgraphsCtx is EnumerateSubgraphs under a context; on
+// interruption the partial tallies accumulated so far are returned with
+// the typed error.
+func EnumerateSubgraphsCtx(ctx context.Context, g *Graph, eng Engine, queries []*Pattern, filter func(m []uint32) bool, onMatch func(query int, m []uint32), opts EnumOptions) (*EnumResult, error) {
+	return se.EnumerateCtx(ctx, g, eng, queries, filter, onMatch, opts)
 }
 
 // NewWeights draws the SE benchmark's per-vertex weights ~ N(mean, std).
@@ -198,6 +241,12 @@ func NewWeights(g *Graph, mean, std float64, seed int64) *Weights {
 // pattern family morphing never rewrites (they are both variants at once).
 func CountCliques(g *Graph, k int, eng Engine) (uint64, *Stats, error) {
 	return cf.Count(g, k, eng)
+}
+
+// CountCliquesCtx is CountCliques under a context; on interruption the
+// partial count is returned with the typed error.
+func CountCliquesCtx(ctx context.Context, g *Graph, k int, eng Engine) (uint64, *Stats, error) {
+	return cf.CountCtx(ctx, g, k, eng)
 }
 
 // CliqueCensus counts cliques of every size from 2 up to maxK, stopping at
