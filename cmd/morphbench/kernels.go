@@ -1,0 +1,241 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"morphing/internal/obs"
+	"morphing/internal/setops"
+)
+
+// `morphbench kernels` times the adaptive set-operation kernels against a
+// naive two-pointer merge on controlled input shapes and records the
+// comparison as JSON (BENCH_kernels.json by default), giving kernel PRs a
+// recorded perf trajectory. The naive baseline reuses its destination
+// buffer just like the adaptive kernels, so the measured difference is
+// algorithmic, not allocator noise.
+
+type kernelResult struct {
+	Name       string  `json:"name"`
+	Shape      string  `json:"shape"`
+	Path       string  `json:"path"` // kernel path the adaptive dispatch took
+	AdaptiveNS float64 `json:"adaptive_ns_per_op"`
+	NaiveNS    float64 `json:"naive_ns_per_op"`
+	Speedup    float64 `json:"speedup"` // naive / adaptive
+}
+
+type kernelsReport struct {
+	Timestamp string         `json:"timestamp"`
+	GoVersion string         `json:"go_version"`
+	GOARCH    string         `json:"goarch"`
+	Seed      int64          `json:"seed"`
+	Results   []kernelResult `json:"results"`
+}
+
+func cmdKernels(args []string) error {
+	fs := flag.NewFlagSet("kernels", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_kernels.json", "output JSON path (- for stdout)")
+	seed := fs.Int64("seed", 1, "random seed for the benchmark sets")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+
+	rep := kernelsReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Seed:      *seed,
+		Results:   runKernelCases(*seed),
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(os.Stderr, "== %-22s %-24s %-10s adaptive %8.0f ns  naive %8.0f ns  speedup %.2fx\n",
+			r.Name, r.Shape, r.Path, r.AdaptiveNS, r.NaiveNS, r.Speedup)
+	}
+	if err := stopProf(); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "== wrote %d kernel results to %s\n", len(rep.Results), *out)
+	return nil
+}
+
+// sortedSet draws n distinct values from [0, max) and sorts them.
+func sortedSet(r *rand.Rand, n, max int) []uint32 {
+	seen := make(map[uint32]struct{}, n)
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		v := uint32(r.Intn(max))
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func toWords(a []uint32, max int) []uint64 {
+	w := make([]uint64, (max+63)/64)
+	for _, v := range a {
+		w[v>>6] |= 1 << (v & 63)
+	}
+	return w
+}
+
+// naiveIntersect is the pre-adaptive kernel: a plain two-pointer merge
+// into a reused destination.
+func naiveIntersect(dst, a, b []uint32) []uint32 {
+	dst = dst[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+func naiveDifference(dst, a, b []uint32) []uint32 {
+	dst = dst[:0]
+	i, j := 0, 0
+	for i < len(a) {
+		for j < len(b) && b[j] < a[i] {
+			j++
+		}
+		if j >= len(b) || b[j] != a[i] {
+			dst = append(dst, a[i])
+		}
+		i++
+	}
+	return dst
+}
+
+var kernelSink uint64
+
+// nsPerOp times f, growing the iteration count until the sample is long
+// enough to trust (>= 50ms of work).
+func nsPerOp(f func()) float64 {
+	f() // warm caches and buffers
+	for iters := 16; ; iters *= 4 {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		el := time.Since(start)
+		if el >= 50*time.Millisecond || iters >= 1<<24 {
+			return float64(el.Nanoseconds()) / float64(iters)
+		}
+	}
+}
+
+func runKernelCases(seed int64) []kernelResult {
+	const universe = 1 << 20
+	r := rand.New(rand.NewSource(seed))
+	balA := sortedSet(r, 4096, universe)
+	balB := sortedSet(r, 4096, universe)
+	skewA := sortedSet(r, 128, universe)
+	skewB := sortedSet(r, 1<<17, universe)
+	skewWords := toWords(skewB, universe)
+	dst := make([]uint32, 0, 1<<17)
+	nd := make([]uint32, 0, 1<<17)
+	var st setops.Stats
+
+	results := []kernelResult{
+		{
+			Name: "intersect", Shape: "balanced 4096x4096", Path: "merge",
+			AdaptiveNS: nsPerOp(func() {
+				dst = setops.Intersect(dst, balA, balB, &st)
+				kernelSink += uint64(len(dst))
+			}),
+			NaiveNS: nsPerOp(func() {
+				nd = naiveIntersect(nd, balA, balB)
+				kernelSink += uint64(len(nd))
+			}),
+		},
+		{
+			Name: "intersect", Shape: "skewed 128x131072", Path: "gallop",
+			AdaptiveNS: nsPerOp(func() {
+				dst = setops.Intersect(dst, skewA, skewB, &st)
+				kernelSink += uint64(len(dst))
+			}),
+			NaiveNS: nsPerOp(func() {
+				nd = naiveIntersect(nd, skewA, skewB)
+				kernelSink += uint64(len(nd))
+			}),
+		},
+		{
+			Name: "intersect", Shape: "skewed 128xhub", Path: "bitset",
+			AdaptiveNS: nsPerOp(func() {
+				dst = setops.IntersectBits(dst, skewA, skewWords, &st)
+				kernelSink += uint64(len(dst))
+			}),
+			NaiveNS: nsPerOp(func() {
+				nd = naiveIntersect(nd, skewA, skewB)
+				kernelSink += uint64(len(nd))
+			}),
+		},
+		{
+			Name: "intersect-count", Shape: "balanced windowed", Path: "count-only",
+			AdaptiveNS: nsPerOp(func() {
+				kernelSink += setops.IntersectCountAbove(balA, balB, 1<<10, 1<<19, &st)
+			}),
+			NaiveNS: nsPerOp(func() {
+				nd = naiveIntersect(nd, balA, balB)
+				var n uint64
+				for _, v := range nd {
+					if v >= 1<<10 && v < 1<<19 {
+						n++
+					}
+				}
+				kernelSink += n
+			}),
+		},
+		{
+			Name: "difference", Shape: "skewed 128x131072", Path: "gallop",
+			AdaptiveNS: nsPerOp(func() {
+				dst = setops.Difference(dst, skewA, skewB, &st)
+				kernelSink += uint64(len(dst))
+			}),
+			NaiveNS: nsPerOp(func() {
+				nd = naiveDifference(nd, skewA, skewB)
+				kernelSink += uint64(len(nd))
+			}),
+		},
+	}
+	for i := range results {
+		results[i].Speedup = results[i].NaiveNS / results[i].AdaptiveNS
+	}
+	return results
+}

@@ -8,6 +8,8 @@
 //	morphbench -list                        # available experiments
 //	morphbench -fig 4a -trace out.json      # capture a Chrome trace
 //	morphbench -fig 12a -listen :8080       # live /metrics + /vars + pprof
+//	morphbench -fig 12a -cpuprofile cpu.pb  # offline pprof capture
+//	morphbench kernels                      # setops kernel microbench -> BENCH_kernels.json
 //
 // Scale 1.0 corresponds to the paper's full-size graphs (do not attempt
 // FR at 1.0 on a laptop). Output goes to stdout; progress to stderr.
@@ -34,6 +36,15 @@ import (
 )
 
 func main() {
+	// The kernels microbench has its own flags; dispatch before the main
+	// flag set sees the command word.
+	if len(os.Args) > 1 && os.Args[1] == "kernels" {
+		if err := cmdKernels(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "morphbench: kernels:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		fig      = flag.String("fig", "", "comma-separated experiment IDs (e.g. 12a,13c)")
 		all      = flag.Bool("all", false, "run every experiment")
@@ -47,8 +58,21 @@ func main() {
 		listen   = flag.String("listen", "", "serve /metrics, /vars and /debug/pprof on this address while running")
 		progress = flag.Bool("progress", false, "report live matches/sec to stderr during experiments")
 		timeout  = flag.Duration("timeout", 0, "overall deadline for the whole run; expired experiments abort at the next work-block boundary (0 = none)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "morphbench:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "morphbench: profile:", err)
+		}
+	}()
 
 	if *list {
 		for _, e := range bench.Registry() {

@@ -45,12 +45,24 @@ import (
 
 func main() {
 	listen := flag.String("listen", "", "serve /metrics, /vars and /debug/pprof on this address while running")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
+	stopProf, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "morphcli:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "morphcli: profile:", err)
+		}
+	}()
 	if *listen != "" {
 		ln, err := obs.Serve(*listen, obs.DefaultRegistry())
 		if err != nil {
@@ -61,7 +73,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s (/metrics, /vars, /debug/pprof)\n", ln.Addr())
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
-	var err error
 	switch cmd {
 	case "pattern":
 		err = cmdPattern(args)
@@ -250,6 +261,7 @@ func cmdCount(args []string) error {
 	threads := fs.Int("threads", 0, "engine worker threads (0 = GOMAXPROCS)")
 	baseline := fs.Bool("baseline", false, "disable morphing and run the queries as-is")
 	statsMode := fs.String("stats", "text", "output mode: text, or json for a merged RunStats + registry snapshot")
+	hubBits := fs.Int("hubbits", 0, "enable the hub-bitset index for vertices with at least this degree (-1 = default threshold, 0 = off)")
 	traceOut := fs.String("trace", "", "write phase spans to this file (Chrome trace_event JSON; .jsonl for JSON lines)")
 	progress := fs.Bool("progress", false, "report live matches/sec to stderr")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration, printing partial per-alternative counts (0 = no deadline)")
@@ -287,6 +299,16 @@ func cmdCount(args []string) error {
 	g, err := rec.Scaled(*scale).Generate()
 	if err != nil {
 		return err
+	}
+	if *hubBits != 0 {
+		min := *hubBits
+		if min < 0 {
+			min = 0 // EnableHubIndex picks the default threshold
+		}
+		hubs := g.EnableHubIndex(min)
+		info, _ := g.HubIndex()
+		fmt.Fprintf(os.Stderr, "hub-bitset index: %d hubs (degree >= %d), %d KiB\n",
+			hubs, info.Threshold, info.Bytes/1024)
 	}
 
 	var prog *obs.Progress

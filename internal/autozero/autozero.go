@@ -233,8 +233,7 @@ func (e *Engine) CountAllCtx(ctx context.Context, g *graph.Graph, ps []*pattern.
 		for i, c := range w.counts {
 			counts[i] += c
 		}
-		w.st.SetOps += w.sst.Ops
-		w.st.SetElems += w.sst.Elems
+		w.st.AddSetops(w.sst)
 		st.Add(&w.st)
 	}
 	for _, c := range counts {
@@ -339,6 +338,8 @@ type azWorker struct {
 	match      []uint32
 	bufA       [][]uint32
 	bufB       [][]uint32
+	connV      []uint32 // scratch: data vertices behind a loop's connect
+	discV      []uint32 // scratch: data vertices behind a loop's disconnect
 }
 
 // total sums the worker's per-pattern counts (the executor flushes the
@@ -359,6 +360,8 @@ func newAZWorker(g *graph.Graph, patterns, maxDepth, maxDeg int, instrument bool
 		match:      make([]uint32, maxDepth),
 		bufA:       make([][]uint32, maxDepth),
 		bufB:       make([][]uint32, maxDepth),
+		connV:      make([]uint32, 0, maxDepth),
+		discV:      make([]uint32, 0, maxDepth),
 	}
 	for i := 0; i < maxDepth; i++ {
 		w.bufA[i] = make([]uint32, 0, maxDeg)
@@ -393,6 +396,17 @@ func (w *azWorker) runRoot(tr *trie, lo, hi uint32) {
 // loop degenerates into pure counting (the fast path compiled schedules
 // end with).
 func (w *azWorker) exec(node *trieNode, depth int) {
+	leaf := true
+	for _, br := range node.branches {
+		if len(br.children) > 0 {
+			leaf = false
+			break
+		}
+	}
+	if leaf {
+		w.execLeaf(node, depth)
+		return
+	}
 	cands := w.candidates(node, depth)
 
 	// Per-branch restriction windows depend only on the bound prefix, so
@@ -447,6 +461,87 @@ func (w *azWorker) exec(node *trieNode, depth int) {
 	}
 }
 
+// execLeaf runs a merged loop whose branches are all childless — the
+// terminal shape every compiled schedule bottoms out in. Nothing
+// downstream needs the bindings, so the loop counts through the
+// count-only kernels: a single branch never materializes the candidate
+// set at all (CountExtensions), while sibling branches — which by
+// construction share connect/disconnect and differ only in restrictions —
+// materialize the shared set once and then count each branch's window
+// arithmetically.
+func (w *azWorker) execLeaf(node *trieNode, depth int) {
+	bound := w.match[:depth]
+	if len(node.branches) == 1 {
+		br := node.branches[0]
+		var t0 time.Time
+		if w.instrument {
+			t0 = time.Now()
+		}
+		lo, hi := branchWindow(br, w.match)
+		if f, ok := engine.LevelFilter(w.g, lo, hi, node.label); ok {
+			cv := w.connV[:0]
+			for _, j := range node.connect {
+				cv = append(cv, w.match[j])
+			}
+			dv := w.discV[:0]
+			for _, j := range node.disconnect {
+				dv = append(dv, w.match[j])
+			}
+			w.connV, w.discV = cv, dv
+			var n uint64
+			n, w.bufA[depth], w.bufB[depth] = engine.CountExtensions(w.g, cv, dv, f, bound, w.bufA[depth], w.bufB[depth], &w.sst)
+			for _, idx := range br.enders {
+				w.counts[idx] += n
+			}
+		}
+		if w.instrument {
+			w.st.SetOpTime += time.Since(t0)
+		}
+		return
+	}
+	cands := w.candidates(node, depth)
+	var t0 time.Time
+	if w.instrument {
+		t0 = time.Now()
+	}
+	for _, br := range node.branches {
+		lo, hi := branchWindow(br, w.match)
+		f, ok := engine.LevelFilter(w.g, lo, hi, node.label)
+		if !ok {
+			continue
+		}
+		n := setops.CountF(cands, f, &w.sst)
+		for _, u := range bound {
+			if f.Pass(u) && setops.Contains(cands, u) {
+				n--
+			}
+		}
+		for _, idx := range br.enders {
+			w.counts[idx] += n
+		}
+	}
+	if w.instrument {
+		w.st.SetOpTime += time.Since(t0)
+	}
+}
+
+// branchWindow resolves a branch's symmetry restrictions against the
+// bound prefix as a half-open window [lo, hi).
+func branchWindow(br *trieBranch, match []uint32) (lo, hi uint32) {
+	lo, hi = 0, ^uint32(0)
+	for _, j := range br.greater {
+		if match[j]+1 > lo {
+			lo = match[j] + 1
+		}
+	}
+	for _, j := range br.smaller {
+		if match[j] < hi {
+			hi = match[j]
+		}
+	}
+	return lo, hi
+}
+
 func (w *azWorker) candidates(node *trieNode, depth int) []uint32 {
 	var t0 time.Time
 	if w.instrument {
@@ -464,11 +559,11 @@ func (w *azWorker) candidates(node *trieNode, depth int) []uint32 {
 		if j == base {
 			continue
 		}
-		cur = setops.Intersect(out, cur, w.g.Neighbors(w.match[j]), &w.sst)
+		cur = engine.IntersectNeighbors(w.g, out, cur, w.match[j], &w.sst)
 		out, spare = spare, cur
 	}
 	for _, j := range node.disconnect {
-		cur = setops.Difference(out, cur, w.g.Neighbors(w.match[j]), &w.sst)
+		cur = engine.DifferenceNeighbors(w.g, out, cur, w.match[j], &w.sst)
 		out, spare = spare, cur
 	}
 	w.bufA[depth], w.bufB[depth] = out, spare

@@ -357,8 +357,7 @@ func (e *Engine) run(ctx context.Context, g *graph.Graph, p *pattern.Pattern, vi
 
 	for _, w := range workers {
 		total += w.count
-		w.st.SetOps += w.sst.Ops
-		w.st.SetElems += w.sst.Elems
+		w.st.AddSetops(w.sst)
 		st.Add(&w.st)
 	}
 	st.Matches = total
@@ -394,6 +393,7 @@ type bjWorker struct {
 	bufA     []uint32
 	bufB     []uint32
 	byVertex []uint32
+	connV    []uint32 // scratch: data vertices behind Connect[level]
 	label    int32
 }
 
@@ -413,6 +413,7 @@ func newBJWorker(id int, g *graph.Graph, pl *plan.Plan, level, batchSize int, ou
 		bufA:       make([]uint32, 0, 64),
 		bufB:       make([]uint32, 0, 64),
 		byVertex:   make([]uint32, k),
+		connV:      make([]uint32, 0, k),
 		label:      pl.Pattern.Label(pl.Order[level]),
 	}
 }
@@ -427,12 +428,46 @@ func (w *bjWorker) process(b *batch) {
 // extend computes the candidates for one prefix and either counts, emits
 // matches, or appends extended tuples to the output batch.
 func (w *bjWorker) extend(prefix []uint32) {
+	i := w.level
+	conn := w.pl.Connect[i]
+	if w.last && w.visit == nil {
+		// Counting fast path: the last stage never materializes its
+		// candidate set — the final set operation runs count-only with the
+		// symmetry window and label filter fused in (see CountExtensions).
+		var t0 time.Time
+		if w.instrument {
+			t0 = time.Now()
+		}
+		lo, hi := uint32(0), ^uint32(0)
+		for _, j := range w.pl.Greater[i] {
+			if prefix[j]+1 > lo {
+				lo = prefix[j] + 1
+			}
+		}
+		for _, j := range w.pl.Smaller[i] {
+			if prefix[j] < hi {
+				hi = prefix[j]
+			}
+		}
+		if f, ok := engine.LevelFilter(w.g, lo, hi, w.label); ok {
+			cv := w.connV[:0]
+			for _, j := range conn {
+				cv = append(cv, prefix[j])
+			}
+			w.connV = cv
+			var n uint64
+			n, w.bufA, w.bufB = engine.CountExtensions(w.g, cv, nil, f, prefix, w.bufA, w.bufB, &w.sst)
+			w.count += n
+		}
+		if w.instrument {
+			w.st.SetOpTime += time.Since(t0)
+		}
+		return
+	}
 	var t0 time.Time
 	if w.instrument {
 		t0 = time.Now()
 	}
-	i := w.level
-	conn := w.pl.Connect[i]
 	base := conn[0]
 	for _, j := range conn[1:] {
 		if w.g.Degree(prefix[j]) < w.g.Degree(prefix[base]) {
@@ -445,7 +480,7 @@ func (w *bjWorker) extend(prefix []uint32) {
 		if j == base {
 			continue
 		}
-		cur = setops.Intersect(out, cur, w.g.Neighbors(prefix[j]), &w.sst)
+		cur = engine.IntersectNeighbors(w.g, out, cur, prefix[j], &w.sst)
 		out, spare = spare, cur
 	}
 	w.bufA, w.bufB = out, spare

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"morphing/internal/graph"
+	"morphing/internal/pattern"
+	"morphing/internal/setops"
+)
+
+// Adaptive set-operation entry points shared by every engine model. Each
+// routes one candidate-set operation against the adjacency of a data
+// vertex through the best available kernel: bitmap probes when the vertex
+// is an indexed hub (graph.EnableHubIndex), otherwise the merge/gallop
+// dispatch inside internal/setops. Keeping the dispatch here — next to the
+// graph, which owns the hub index — lets the backtracking executor,
+// AutoZero's schedule trie and BigJoin's dataflow stages share one policy.
+
+// IntersectNeighbors intersects cur with the adjacency list of u into
+// dst[:0]. cur must be sorted duplicate-free; the result is too.
+func IntersectNeighbors(g *graph.Graph, dst, cur []uint32, u uint32, st *setops.Stats) []uint32 {
+	if bits := g.HubBits(u); bits != nil {
+		return setops.IntersectBits(dst, cur, bits, st)
+	}
+	return setops.Intersect(dst, cur, g.Neighbors(u), st)
+}
+
+// DifferenceNeighbors subtracts the adjacency list of u from cur into
+// dst[:0].
+func DifferenceNeighbors(g *graph.Graph, dst, cur []uint32, u uint32, st *setops.Stats) []uint32 {
+	if bits := g.HubBits(u); bits != nil {
+		return setops.DifferenceBits(dst, cur, bits, st)
+	}
+	return setops.Difference(dst, cur, g.Neighbors(u), st)
+}
+
+// LevelFilter builds the fused count-only filter for one plan level: the
+// half-open symmetry window [lo, hi) plus the level's label requirement.
+// ok is false when the level cannot match at all (a labeled pattern vertex
+// against an unlabeled graph), letting callers skip the level outright.
+func LevelFilter(g *graph.Graph, lo, hi uint32, want int32) (f setops.Filter, ok bool) {
+	f = setops.Filter{Lo: lo, Hi: hi}
+	if want != pattern.Unlabeled {
+		ls := g.Labels()
+		if ls == nil {
+			return f, false
+		}
+		f.Labels, f.Want = ls, want
+	}
+	return f, true
+}
+
+// CountExtensions counts the data vertices v that complete a partial
+// match at its final level — v adjacent to every vertex in conn,
+// non-adjacent to every vertex in disc, passing the filter, and distinct
+// from every already-bound vertex — without materializing the final
+// candidate set: all set operations but the last run through the adaptive
+// materializing kernels, and the last one (plus the window and label
+// filters) is count-only. With a single constraint the count is pure
+// window arithmetic, and when a pair of hub vertices closes the level it
+// is a word-parallel bitmap AND.
+//
+// conn must be non-empty. bufA and bufB are worker-owned scratch for the
+// intermediate sets; the (possibly regrown) buffers are returned for
+// reuse. bound may include the conn/disc vertices themselves — adjacency
+// probes exclude them naturally.
+func CountExtensions(g *graph.Graph, conn, disc []uint32, f setops.Filter, bound []uint32, bufA, bufB []uint32, st *setops.Stats) (uint64, []uint32, []uint32) {
+	base := 0
+	for i := 1; i < len(conn); i++ {
+		if g.Degree(conn[i]) < g.Degree(conn[base]) {
+			base = i
+		}
+	}
+
+	var count uint64
+	switch {
+	case len(conn) == 1 && len(disc) == 0:
+		// No set operation at all: the count is window arithmetic over one
+		// adjacency list (plus a label scan on labeled levels).
+		count = setops.CountF(g.Neighbors(conn[0]), f, st)
+	case len(conn) == 2 && len(disc) == 0 && g.HubBits(conn[0]) != nil && g.HubBits(conn[1]) != nil:
+		count = setops.AndCountF(g.HubBits(conn[0]), g.HubBits(conn[1]), f, st)
+	default:
+		// Materialize every operation except the last; the final operation
+		// is count-only with the window and label fused in.
+		lastConn := -1
+		if len(disc) == 0 {
+			for i := len(conn) - 1; i >= 0; i-- {
+				if i != base {
+					lastConn = i
+					break
+				}
+			}
+		}
+		cur := g.Neighbors(conn[base])
+		out, spare := bufA, bufB
+		for i, u := range conn {
+			if i == base || i == lastConn {
+				continue
+			}
+			cur = IntersectNeighbors(g, out, cur, u, st)
+			out, spare = spare, cur
+		}
+		for i := 0; i < len(disc)-1; i++ {
+			cur = DifferenceNeighbors(g, out, cur, disc[i], st)
+			out, spare = spare, cur
+		}
+		bufA, bufB = out, spare
+		if len(disc) > 0 {
+			u := disc[len(disc)-1]
+			if bits := g.HubBits(u); bits != nil {
+				count = setops.DifferenceBitsCountF(cur, bits, f, st)
+			} else {
+				count = setops.DifferenceCountF(cur, g.Neighbors(u), f, st)
+			}
+		} else {
+			u := conn[lastConn]
+			if bits := g.HubBits(u); bits != nil {
+				count = setops.IntersectBitsCountF(cur, bits, f, st)
+			} else {
+				count = setops.IntersectCountF(cur, g.Neighbors(u), f, st)
+			}
+		}
+	}
+
+	// The kernels counted any already-bound vertex that structurally
+	// qualifies; subtract them (a match may not reuse a vertex).
+	for _, u := range bound {
+		if !f.Pass(u) {
+			continue
+		}
+		ok := true
+		for _, c := range conn {
+			if !g.HasEdge(u, c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, d := range disc {
+				if g.HasEdge(u, d) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			count--
+		}
+	}
+	return count, bufA, bufB
+}

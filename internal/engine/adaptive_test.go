@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"testing"
+
+	"morphing/internal/canon"
+	"morphing/internal/dataset"
+	"morphing/internal/pattern"
+	"morphing/internal/plan"
+	"morphing/internal/refmatch"
+	"morphing/internal/setops"
+)
+
+// Triangle counting has a single-constraint middle level and a two-
+// constraint final level, so a visit==nil run needs no destination writes
+// at all: level 1 reuses the root's adjacency list, level 2 is count-only.
+func TestCountingTriangleWritesNothing(t *testing.T) {
+	g, err := dataset.ErdosRenyi(60, 9, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := plan.Build(pattern.Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := Backtrack(g, pl, nil, ExecOptions{Threads: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := refmatch.Count(g, pattern.Triangle()); got != want {
+		t.Fatalf("triangles=%d, oracle=%d", got, want)
+	}
+	if st.SetWritten != 0 {
+		t.Errorf("counting run wrote %d candidate elements, want 0", st.SetWritten)
+	}
+	if st.SetCountOps == 0 {
+		t.Error("no count-only operations recorded")
+	}
+	if st.Materialized != 0 {
+		t.Errorf("counting run materialized %d match vertices", st.Materialized)
+	}
+}
+
+// The four path counters partition SetOps exactly, with and without the
+// hub-bitset index.
+func TestCountingStatsPathPartition(t *testing.T) {
+	for _, hub := range []bool{false, true} {
+		g, err := dataset.ErdosRenyi(80, 12, 0, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hub {
+			g.EnableHubIndex(4)
+		}
+		for _, p := range []*pattern.Pattern{
+			pattern.FourClique(),
+			pattern.FourCycle().AsVertexInduced(),
+			pattern.House(),
+		} {
+			pl, err := plan.Build(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, st, err := Backtrack(g, pl, nil, ExecOptions{Threads: 2}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := st.SetMergeOps + st.SetGallopOps + st.SetBitsetOps + st.SetCountOps
+			if sum != st.SetOps {
+				t.Errorf("hub=%v %v: paths sum to %d, SetOps=%d", hub, p, sum, st.SetOps)
+			}
+			if hub && st.SetBitsetOps == 0 {
+				t.Errorf("hub=%v %v: no bitset operations despite full hub index", hub, p)
+			}
+		}
+	}
+}
+
+// Counts must be identical with the hub-bitset index enabled and
+// disabled, across every connected pattern shape and both induced
+// semantics, and must match the reference oracle.
+func TestBacktrackHubIndexMatchesOracle(t *testing.T) {
+	g, err := dataset.ErdosRenyi(45, 8, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 3; k <= 4; k++ {
+		ps, err := canon.AllConnectedPatterns(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, base := range ps {
+			for _, iv := range []pattern.Induced{pattern.EdgeInduced, pattern.VertexInduced} {
+				p := base.Variant(iv)
+				pl, err := plan.Build(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g.DisableHubIndex()
+				off, _, err := Backtrack(g, pl, nil, ExecOptions{Threads: 2}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g.EnableHubIndex(4)
+				on, _, err := Backtrack(g, pl, nil, ExecOptions{Threads: 2}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if on != off {
+					t.Errorf("pattern=%v: hub-on=%d hub-off=%d", p, on, off)
+				}
+				if want := refmatch.Count(g, p); on != want {
+					t.Errorf("pattern=%v: count=%d oracle=%d", p, on, want)
+				}
+			}
+		}
+	}
+	g.DisableHubIndex()
+}
+
+// CountExtensions must agree with materialize-then-filter for arbitrary
+// conn/disc/window/bound combinations, hub index on and off.
+func TestCountExtensionsMatchesMaterialized(t *testing.T) {
+	g, err := dataset.ErdosRenyi(70, 10, 2, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference := func(conn, disc []uint32, f setops.Filter, bound []uint32) uint64 {
+		var n uint64
+	next:
+		for v := uint32(0); v < uint32(g.NumVertices()); v++ {
+			if !f.Pass(v) {
+				continue
+			}
+			for _, u := range bound {
+				if u == v {
+					continue next
+				}
+			}
+			for _, c := range conn {
+				if !g.HasEdge(v, c) {
+					continue next
+				}
+			}
+			for _, d := range disc {
+				if g.HasEdge(v, d) {
+					continue next
+				}
+			}
+			n++
+		}
+		return n
+	}
+	cases := []struct {
+		conn, disc []uint32
+		f          setops.Filter
+	}{
+		{[]uint32{3}, nil, setops.All()},
+		{[]uint32{3}, nil, setops.Window(2, 40)},
+		{[]uint32{3, 17}, nil, setops.All()},
+		{[]uint32{3, 17}, nil, setops.Window(10, 60)},
+		{[]uint32{3, 17, 29}, nil, setops.All()},
+		{[]uint32{3, 17}, []uint32{5}, setops.Window(0, 50)},
+		{[]uint32{8}, []uint32{3, 17}, setops.All()},
+		{[]uint32{3, 17, 29}, []uint32{5, 40}, setops.Window(1, 69)},
+		{[]uint32{3}, nil, setops.Filter{Hi: ^uint32(0), Labels: g.Labels(), Want: 1}},
+		{[]uint32{3, 17}, []uint32{5}, setops.Filter{Lo: 4, Hi: 66, Labels: g.Labels(), Want: 0}},
+	}
+	for _, hub := range []bool{false, true} {
+		if hub {
+			g.EnableHubIndex(1)
+		} else {
+			g.DisableHubIndex()
+		}
+		bufA := make([]uint32, 0, g.MaxDegree())
+		bufB := make([]uint32, 0, g.MaxDegree())
+		for i, tc := range cases {
+			bound := append(append([]uint32{}, tc.conn...), tc.disc...)
+			bound = append(bound, 0, 25) // unrelated bound vertices too
+			var st setops.Stats
+			var got uint64
+			got, bufA, bufB = CountExtensions(g, tc.conn, tc.disc, tc.f, bound, bufA, bufB, &st)
+			if want := reference(tc.conn, tc.disc, tc.f, bound); got != want {
+				t.Errorf("hub=%v case %d: CountExtensions=%d, reference=%d", hub, i, got, want)
+			}
+		}
+	}
+	g.DisableHubIndex()
+}
+
+func TestLevelFilter(t *testing.T) {
+	unlabeled := completeGraph(4)
+	if _, ok := LevelFilter(unlabeled, 0, 10, 3); ok {
+		t.Error("labeled level on unlabeled graph reported matchable")
+	}
+	if f, ok := LevelFilter(unlabeled, 2, 9, pattern.Unlabeled); !ok || f.Lo != 2 || f.Hi != 9 || f.Labels != nil {
+		t.Errorf("unlabeled level filter wrong: %+v ok=%v", f, ok)
+	}
+	g, err := dataset.ErdosRenyi(10, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := LevelFilter(g, 0, 5, 1); !ok || f.Want != 1 || f.Labels == nil {
+		t.Errorf("labeled level filter wrong: %+v ok=%v", f, ok)
+	}
+}
+
+func TestAddSetops(t *testing.T) {
+	var s Stats
+	s.AddSetops(setops.Stats{Ops: 10, Elems: 100, MergeOps: 4, GallopOps: 3, BitsetOps: 2, CountOps: 1, Written: 50})
+	s.AddSetops(setops.Stats{Ops: 1, CountOps: 1})
+	if s.SetOps != 11 || s.SetElems != 100 || s.SetMergeOps != 4 || s.SetGallopOps != 3 ||
+		s.SetBitsetOps != 2 || s.SetCountOps != 2 || s.SetWritten != 50 {
+		t.Fatalf("merge wrong: %+v", s)
+	}
+}

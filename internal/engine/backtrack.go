@@ -168,8 +168,7 @@ func BacktrackCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, visit Visi
 	st := &Stats{}
 	for _, w := range workers {
 		total += w.count
-		w.st.SetOps += w.sst.Ops
-		w.st.SetElems += w.sst.Elems
+		w.st.AddSetops(w.sst)
 		st.Add(&w.st)
 	}
 	st.Matches = total
@@ -203,7 +202,9 @@ type btWorker struct {
 	byVertex []uint32 // data vertex bound to each pattern vertex
 	bufA     [][]uint32
 	bufB     [][]uint32
-	labels   []int32 // required label per level (pattern.Unlabeled = any)
+	labels   []int32  // required label per level (pattern.Unlabeled = any)
+	connV    []uint32 // scratch: data vertices behind Connect[i]
+	discV    []uint32 // scratch: data vertices behind Disconnect[i]
 }
 
 func newBTWorker(id int, g *graph.Graph, pl *plan.Plan, visit Visitor, instrument bool, maxDeg int) *btWorker {
@@ -219,6 +220,8 @@ func newBTWorker(id int, g *graph.Graph, pl *plan.Plan, visit Visitor, instrumen
 		bufA:       make([][]uint32, k),
 		bufB:       make([][]uint32, k),
 		labels:     make([]int32, k),
+		connV:      make([]uint32, 0, k),
+		discV:      make([]uint32, 0, k),
 	}
 	for i := 0; i < k; i++ {
 		w.bufA[i] = make([]uint32, 0, maxDeg)
@@ -255,28 +258,19 @@ func (w *btWorker) runRoot(lo, hi uint32) {
 
 // descend binds level i given levels [0,i) already bound.
 func (w *btWorker) descend(i int) {
-	cands := w.candidates(i)
-	lower, upper, hasBounds := w.bounds(i)
-	if hasBounds {
-		cands = clip(cands, lower, upper)
-	}
-	k := w.pl.Pattern.N()
-	wantLabel := w.labels[i]
-	last := i == k-1
-
+	last := i == w.pl.Pattern.N()-1
 	if last && w.visit == nil {
-		// Counting fast path: no recursion, no materialization.
-		for _, v := range cands {
-			if wantLabel != pattern.Unlabeled && w.g.Label(v) != wantLabel {
-				continue
-			}
-			if w.usedAt(v, i) {
-				continue
-			}
-			w.count++
-		}
+		// Counting fast path: the final candidate set is never
+		// materialized — the last set operation, the symmetry window and
+		// the label filter all run count-only (see CountExtensions).
+		w.count += w.countLast(i)
 		return
 	}
+	cands := w.candidates(i)
+	if lo, hi, bounded := w.window(i); bounded {
+		cands = setops.Clip(cands, lo, hi)
+	}
+	wantLabel := w.labels[i]
 	for _, v := range cands {
 		if wantLabel != pattern.Unlabeled && w.g.Label(v) != wantLabel {
 			continue
@@ -315,11 +309,11 @@ func (w *btWorker) candidates(i int) []uint32 {
 		if j == base {
 			continue
 		}
-		cur = setops.Intersect(out, cur, w.g.Neighbors(w.match[j]), &w.sst)
+		cur = IntersectNeighbors(w.g, out, cur, w.match[j], &w.sst)
 		out, spare = spare, cur
 	}
 	for _, j := range w.pl.Disconnect[i] {
-		cur = setops.Difference(out, cur, w.g.Neighbors(w.match[j]), &w.sst)
+		cur = DifferenceNeighbors(w.g, out, cur, w.match[j], &w.sst)
 		out, spare = spare, cur
 	}
 	w.bufA[i], w.bufB[i] = out, spare
@@ -329,49 +323,55 @@ func (w *btWorker) candidates(i int) []uint32 {
 	return cur
 }
 
-// bounds returns the exclusive symmetry-breaking window for level i:
-// candidates must satisfy lower < v < upper.
-func (w *btWorker) bounds(i int) (lower, upper uint32, has bool) {
-	lower, upper = 0, ^uint32(0)
+// countLast counts the extensions at the final level i without ever
+// materializing its candidate set: the symmetry window and label filter
+// are fused into the last (count-only) set operation, and already-bound
+// vertices are subtracted arithmetically instead of scanned per candidate.
+func (w *btWorker) countLast(i int) uint64 {
+	var t0 time.Time
+	if w.instrument {
+		t0 = time.Now()
+	}
+	lo, hi, _ := w.window(i)
+	f, ok := LevelFilter(w.g, lo, hi, w.labels[i])
+	if !ok {
+		return 0 // labeled level on an unlabeled graph
+	}
+	cv := w.connV[:0]
+	for _, j := range w.pl.Connect[i] {
+		cv = append(cv, w.match[j])
+	}
+	dv := w.discV[:0]
+	for _, j := range w.pl.Disconnect[i] {
+		dv = append(dv, w.match[j])
+	}
+	w.connV, w.discV = cv, dv
+	var n uint64
+	n, w.bufA[i], w.bufB[i] = CountExtensions(w.g, cv, dv, f, w.match[:i], w.bufA[i], w.bufB[i], &w.sst)
+	if w.instrument {
+		w.st.SetOpTime += time.Since(t0)
+	}
+	return n
+}
+
+// window returns the half-open symmetry-breaking window [lo, hi) for
+// level i. bounded is false when the level has no symmetry constraints,
+// letting callers skip the clip entirely.
+func (w *btWorker) window(i int) (lo, hi uint32, bounded bool) {
+	lo, hi = 0, ^uint32(0)
 	for _, j := range w.pl.Greater[i] {
-		if w.match[j] >= lower {
-			lower = w.match[j]
-			has = true
+		if w.match[j]+1 > lo {
+			lo = w.match[j] + 1
+			bounded = true
 		}
 	}
 	for _, j := range w.pl.Smaller[i] {
-		if w.match[j] <= upper {
-			upper = w.match[j]
-			has = true
+		if w.match[j] < hi {
+			hi = w.match[j]
+			bounded = true
 		}
 	}
-	return lower, upper, has
-}
-
-// clip narrows a sorted candidate list to the exclusive window
-// (lower, upper) by binary search. When has==false callers skip clipping,
-// so lower/upper of 0/max mean "from the start" / "to the end".
-func clip(cands []uint32, lower, upper uint32) []uint32 {
-	lo, hi := 0, len(cands)
-	for lo < hi { // first index with cands[i] > lower
-		mid := (lo + hi) / 2
-		if cands[mid] <= lower {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	start := lo
-	lo, hi = start, len(cands)
-	for lo < hi { // first index with cands[i] >= upper
-		mid := (lo + hi) / 2
-		if cands[mid] < upper {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return cands[start:lo]
+	return lo, hi, bounded
 }
 
 // usedAt reports whether v is already bound at a level below i.

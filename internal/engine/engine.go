@@ -10,6 +10,7 @@ import (
 
 	"morphing/internal/graph"
 	"morphing/internal/pattern"
+	"morphing/internal/setops"
 )
 
 // ErrInducedUnsupported is returned by engines asked to natively match
@@ -68,6 +69,11 @@ type Engine interface {
 type Stats struct {
 	SetOps       uint64 // sorted-set operations executed
 	SetElems     uint64 // elements scanned by set operations
+	SetMergeOps  uint64 // operations served by the two-pointer merge path
+	SetGallopOps uint64 // operations served by the galloping path
+	SetBitsetOps uint64 // operations served by hub-bitset probes
+	SetCountOps  uint64 // count-only operations (no destination writes)
+	SetWritten   uint64 // elements written to destination slices
 	Materialized uint64 // vertices written into emitted matches
 	UDFCalls     uint64 // user-defined-function invocations
 	Branches     uint64 // data-dependent branches (edge probes, filters)
@@ -96,6 +102,11 @@ func (s *Stats) Clone() *Stats {
 func (s *Stats) Add(other *Stats) {
 	s.SetOps += other.SetOps
 	s.SetElems += other.SetElems
+	s.SetMergeOps += other.SetMergeOps
+	s.SetGallopOps += other.SetGallopOps
+	s.SetBitsetOps += other.SetBitsetOps
+	s.SetCountOps += other.SetCountOps
+	s.SetWritten += other.SetWritten
 	s.Materialized += other.Materialized
 	s.UDFCalls += other.UDFCalls
 	s.Branches += other.Branches
@@ -104,4 +115,16 @@ func (s *Stats) Add(other *Stats) {
 	s.MaterializeTime += other.MaterializeTime
 	s.UDFTime += other.UDFTime
 	s.TotalTime += other.TotalTime
+}
+
+// AddSetops folds a worker's kernel-level counters (setops.Stats) into s.
+// Like Add, it must only run after the producing worker has stopped.
+func (s *Stats) AddSetops(o setops.Stats) {
+	s.SetOps += o.Ops
+	s.SetElems += o.Elems
+	s.SetMergeOps += o.MergeOps
+	s.SetGallopOps += o.GallopOps
+	s.SetBitsetOps += o.BitsetOps
+	s.SetCountOps += o.CountOps
+	s.SetWritten += o.Written
 }

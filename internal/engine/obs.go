@@ -21,6 +21,17 @@ const (
 	MetricUDFCalls     = "engine_udf_calls_total"
 	MetricBranches     = "engine_branches_total"
 
+	// Kernel path breakdown: which adaptive path (merge, gallop, hub
+	// bitset, count-only) served each set operation, and how many elements
+	// were written to destination slices. The four path counters partition
+	// MetricSetOps; MetricSetWritten staying flat while matching counts
+	// proves the last level ran without materialization.
+	MetricSetMergeOps  = "engine_set_merge_ops_total"
+	MetricSetGallopOps = "engine_set_gallop_ops_total"
+	MetricSetBitsetOps = "engine_set_bitset_ops_total"
+	MetricSetCountOps  = "engine_set_countonly_ops_total"
+	MetricSetWritten   = "engine_set_written_elems_total"
+
 	MetricSetOpTimeNS       = "engine_setop_time_ns_total"
 	MetricMaterializeTimeNS = "engine_materialize_time_ns_total"
 	MetricUDFTimeNS         = "engine_udf_time_ns_total"
@@ -49,6 +60,11 @@ func PublishStats(o *obs.Observer, st *Stats) {
 	}
 	o.Counter(MetricSetOps).Add(0, st.SetOps)
 	o.Counter(MetricSetElems).Add(0, st.SetElems)
+	o.Counter(MetricSetMergeOps).Add(0, st.SetMergeOps)
+	o.Counter(MetricSetGallopOps).Add(0, st.SetGallopOps)
+	o.Counter(MetricSetBitsetOps).Add(0, st.SetBitsetOps)
+	o.Counter(MetricSetCountOps).Add(0, st.SetCountOps)
+	o.Counter(MetricSetWritten).Add(0, st.SetWritten)
 	o.Counter(MetricMaterialized).Add(0, st.Materialized)
 	o.Counter(MetricUDFCalls).Add(0, st.UDFCalls)
 	o.Counter(MetricBranches).Add(0, st.Branches)

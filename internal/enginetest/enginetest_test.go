@@ -8,6 +8,7 @@ package enginetest
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -38,7 +39,57 @@ func testGraph(t *testing.T, seed int64, labels int) *graph.Graph {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// MORPH_HUB_BITSET=1 reruns the whole suite with the hub-bitset index
+	// forced on (threshold 4 so the small test graphs actually have hubs);
+	// CI runs both configurations.
+	if os.Getenv("MORPH_HUB_BITSET") == "1" {
+		g.EnableHubIndex(4)
+	}
 	return g
+}
+
+// Every engine must produce identical counts with the hub-bitset index on
+// and off, regardless of the MORPH_HUB_BITSET suite mode.
+func TestEnginesHubIndexInvariance(t *testing.T) {
+	shapes := []*pattern.Pattern{
+		pattern.Triangle(),
+		pattern.FourCycle(),
+		pattern.FourCycle().AsVertexInduced(),
+		pattern.FourClique(),
+		pattern.TailedTriangle(),
+	}
+	for _, labels := range []int{0, 3} {
+		g, err := dataset.ErdosRenyi(45, 7, labels, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range allEngines() {
+			for _, p := range shapes {
+				if !e.SupportsInduced(p.Induced()) {
+					continue
+				}
+				g.DisableHubIndex()
+				off, _, err := e.Count(g, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g.EnableHubIndex(4)
+				on, _, err := e.Count(g, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if on != off {
+					t.Errorf("%s labels=%d pattern=%v: hub-on=%d hub-off=%d",
+						e.Name(), labels, p, on, off)
+				}
+				if want := refmatch.Count(g, p); on != want {
+					t.Errorf("%s labels=%d pattern=%v: count=%d oracle=%d",
+						e.Name(), labels, p, on, want)
+				}
+			}
+		}
+		g.DisableHubIndex()
+	}
 }
 
 func TestEngineNamesAndCapabilities(t *testing.T) {

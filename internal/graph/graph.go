@@ -18,6 +18,7 @@ type Graph struct {
 	adj     []uint32
 	labels  []int32 // nil when the graph is unlabeled
 	nEdges  uint64
+	hub     *hubIndex // optional hub-bitset index (see EnableHubIndex)
 }
 
 // NumVertices returns the number of vertices.

@@ -1,0 +1,121 @@
+package graph
+
+// Hub-bitset index: bitmap adjacency rows for high-degree ("hub")
+// vertices, giving matching engines O(1) membership probes and word-
+// parallel intersection counts against hub neighborhoods instead of
+// merging through their huge sorted adjacency lists.
+//
+// The index trades memory for speed: one row costs ceil(n/64) words
+// (n/8 bytes) regardless of degree, versus 4·deg bytes for the CSR row it
+// shadows. It therefore only pays for vertices whose degree is a decent
+// fraction of n — exactly the hubs that dominate set-operation time on
+// skewed graphs. The default threshold (see DefaultHubThreshold) caps the
+// whole index at roughly the size of the CSR adjacency it accelerates.
+//
+// The index is optional and built on demand via EnableHubIndex; a graph
+// without one behaves exactly as before (HubBits returns nil and engines
+// fall back to the merge/gallop kernels). Build it before sharing the
+// graph across goroutines: enabling mutates the graph, and engines read
+// the index without synchronization.
+
+// hubIndex is the built index: a dense slab of bitmap rows plus a
+// per-vertex row table (-1 = not a hub).
+type hubIndex struct {
+	threshold int
+	rowWords  int
+	rowOf     []int32
+	slab      []uint64
+	hubs      int
+}
+
+// DefaultHubThreshold returns the degree cutoff used when EnableHubIndex
+// is called with minDegree <= 0: max(64, n/32). A bitmap row costs n/8
+// bytes versus 4·deg bytes of CSR, so at deg = n/32 the row costs exactly
+// 1x the CSR it shadows; qualifying vertices can therefore at most double
+// adjacency memory in aggregate, and on real skewed graphs the handful of
+// hubs above the cutoff cost far less.
+func DefaultHubThreshold(n int) int {
+	t := n / 32
+	if t < 64 {
+		t = 64
+	}
+	return t
+}
+
+// EnableHubIndex builds the hub-bitset index for every vertex with degree
+// >= minDegree (minDegree <= 0 selects DefaultHubThreshold) and returns
+// the number of vertices indexed. Calling it again rebuilds the index with
+// the new threshold. It must not race with engines reading the graph.
+func (g *Graph) EnableHubIndex(minDegree int) int {
+	n := g.NumVertices()
+	if minDegree <= 0 {
+		minDegree = DefaultHubThreshold(n)
+	}
+	h := &hubIndex{
+		threshold: minDegree,
+		rowWords:  (n + 63) / 64,
+		rowOf:     make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(uint32(v)) >= minDegree {
+			h.rowOf[v] = int32(h.hubs)
+			h.hubs++
+		} else {
+			h.rowOf[v] = -1
+		}
+	}
+	h.slab = make([]uint64, h.hubs*h.rowWords)
+	for v := 0; v < n; v++ {
+		r := h.rowOf[v]
+		if r < 0 {
+			continue
+		}
+		row := h.slab[int(r)*h.rowWords : (int(r)+1)*h.rowWords]
+		for _, u := range g.Neighbors(uint32(v)) {
+			row[u>>6] |= 1 << (u & 63)
+		}
+	}
+	g.hub = h
+	return h.hubs
+}
+
+// DisableHubIndex drops the index, releasing its memory.
+func (g *Graph) DisableHubIndex() { g.hub = nil }
+
+// HubBits returns the bitmap adjacency row of v, or nil when v is not an
+// indexed hub (or no index is enabled). The row has ceil(n/64) words; bit
+// u of the row is set iff {v,u} is an edge. The returned slice aliases
+// index storage and must not be modified.
+func (g *Graph) HubBits(v uint32) []uint64 {
+	h := g.hub
+	if h == nil {
+		return nil
+	}
+	r := h.rowOf[v]
+	if r < 0 {
+		return nil
+	}
+	off := int(r) * h.rowWords
+	return h.slab[off : off+h.rowWords]
+}
+
+// HubIndexInfo describes an enabled hub index.
+type HubIndexInfo struct {
+	Hubs      int // vertices with a bitmap row
+	Threshold int // degree cutoff used
+	Bytes     int // slab memory in bytes (excluding the row table)
+}
+
+// HubIndex reports the enabled index, or ok=false when none is built.
+func (g *Graph) HubIndex() (HubIndexInfo, bool) {
+	h := g.hub
+	if h == nil {
+		return HubIndexInfo{}, false
+	}
+	return HubIndexInfo{Hubs: h.hubs, Threshold: h.threshold, Bytes: len(h.slab) * 8}, true
+}
+
+// Labels exposes the per-vertex label slice (nil for unlabeled graphs) so
+// kernels can fuse label filters into set operations. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Labels() []int32 { return g.labels }

@@ -1,0 +1,98 @@
+package graph
+
+import "testing"
+
+// wheel returns a hub-and-spokes graph: vertex 0 connected to everyone,
+// plus a rim path so low-degree vertices have degree > 1.
+func wheel(n int) *Graph {
+	b := NewBuilder(n)
+	for v := uint32(1); v < uint32(n); v++ {
+		b.AddEdge(0, v)
+		if v+1 < uint32(n) {
+			b.AddEdge(v, v+1)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestHubIndexMembership(t *testing.T) {
+	g := wheel(200)
+	if bits := g.HubBits(0); bits != nil {
+		t.Fatal("HubBits non-nil before EnableHubIndex")
+	}
+	hubs := g.EnableHubIndex(100)
+	if hubs != 1 {
+		t.Fatalf("EnableHubIndex indexed %d vertices, want 1 (the center)", hubs)
+	}
+	if g.HubBits(1) != nil {
+		t.Fatal("rim vertex has a bitmap row")
+	}
+	bits := g.HubBits(0)
+	if bits == nil {
+		t.Fatal("center has no bitmap row")
+	}
+	if len(bits) != (200+63)/64 {
+		t.Fatalf("row has %d words, want %d", len(bits), (200+63)/64)
+	}
+	for v := uint32(0); v < 200; v++ {
+		got := bits[v>>6]&(1<<(v&63)) != 0
+		if got != g.HasEdge(0, v) {
+			t.Fatalf("bit %d = %v, HasEdge = %v", v, got, g.HasEdge(0, v))
+		}
+	}
+	info, ok := g.HubIndex()
+	if !ok || info.Hubs != 1 || info.Threshold != 100 || info.Bytes != len(bits)*8 {
+		t.Fatalf("HubIndex() = %+v, %v", info, ok)
+	}
+	g.DisableHubIndex()
+	if g.HubBits(0) != nil {
+		t.Fatal("HubBits non-nil after DisableHubIndex")
+	}
+	if _, ok := g.HubIndex(); ok {
+		t.Fatal("HubIndex ok after DisableHubIndex")
+	}
+}
+
+func TestHubIndexDefaultThreshold(t *testing.T) {
+	if got := DefaultHubThreshold(100); got != 64 {
+		t.Fatalf("DefaultHubThreshold(100) = %d, want the 64 floor", got)
+	}
+	if got := DefaultHubThreshold(64 * 100); got != 200 {
+		t.Fatalf("DefaultHubThreshold(6400) = %d, want 200", got)
+	}
+	g := wheel(5000)
+	hubs := g.EnableHubIndex(0)
+	if hubs != 1 { // only the center clears n/32 = 156
+		t.Fatalf("default threshold indexed %d vertices, want 1", hubs)
+	}
+}
+
+func TestHubIndexEveryVertex(t *testing.T) {
+	g := wheel(130)
+	hubs := g.EnableHubIndex(1)
+	if hubs != 130 {
+		t.Fatalf("EnableHubIndex(1) indexed %d, want all 130", hubs)
+	}
+	for v := uint32(0); v < 130; v++ {
+		bits := g.HubBits(v)
+		if bits == nil {
+			t.Fatalf("vertex %d missing row", v)
+		}
+		deg := 0
+		for u := uint32(0); u < 130; u++ {
+			if bits[u>>6]&(1<<(u&63)) != 0 {
+				deg++
+				if !g.HasEdge(v, u) {
+					t.Fatalf("spurious bit {%d,%d}", v, u)
+				}
+			}
+		}
+		if deg != g.Degree(v) {
+			t.Fatalf("vertex %d row popcount %d, degree %d", v, deg, g.Degree(v))
+		}
+	}
+}

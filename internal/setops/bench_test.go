@@ -1,0 +1,120 @@
+package setops
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the adaptive kernels. CI runs them once
+// (-benchtime 1x) as a smoke test for panics and unexpected allocations;
+// `morphbench kernels` runs the timed adaptive-vs-naive comparison and
+// records it in BENCH_kernels.json.
+
+var sink uint64
+
+func benchSets(small, big, max int, seed int64) ([]uint32, []uint32) {
+	r := rand.New(rand.NewSource(seed))
+	return denseSet(r, small, max), denseSet(r, big, max)
+}
+
+func BenchmarkIntersectBalanced(b *testing.B) {
+	x, y := benchSets(4096, 4096, 1<<20, 1)
+	dst := make([]uint32, 0, 4096)
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Intersect(dst, x, y, &st)
+	}
+	sink += uint64(len(dst))
+}
+
+func BenchmarkIntersectSkewedGallop(b *testing.B) {
+	x, y := benchSets(128, 1<<17, 1<<20, 2)
+	dst := make([]uint32, 0, 128)
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Intersect(dst, x, y, &st)
+	}
+	sink += uint64(len(dst))
+}
+
+func BenchmarkIntersectSkewedNaive(b *testing.B) {
+	x, y := benchSets(128, 1<<17, 1<<20, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += uint64(len(RefIntersect(x, y)))
+	}
+}
+
+func BenchmarkIntersectBitset(b *testing.B) {
+	x, y := benchSets(128, 1<<17, 1<<20, 3)
+	words := toBits(y, 1<<20)
+	dst := make([]uint32, 0, 128)
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = IntersectBits(dst, x, words, &st)
+	}
+	sink += uint64(len(dst))
+}
+
+func BenchmarkIntersectCountAbove(b *testing.B) {
+	x, y := benchSets(4096, 4096, 1<<20, 4)
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += IntersectCountAbove(x, y, 1<<10, 1<<19, &st)
+	}
+}
+
+func BenchmarkDifferenceBalanced(b *testing.B) {
+	x, y := benchSets(4096, 4096, 1<<20, 5)
+	dst := make([]uint32, 0, 4096)
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Difference(dst, x, y, &st)
+	}
+	sink += uint64(len(dst))
+}
+
+func BenchmarkDifferenceSkewedGallop(b *testing.B) {
+	x, y := benchSets(128, 1<<17, 1<<20, 6)
+	dst := make([]uint32, 0, 128)
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Difference(dst, x, y, &st)
+	}
+	sink += uint64(len(dst))
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	x, y := benchSets(1<<16, 1<<17, 1<<20, 7)
+	xw, yw := toBits(x, 1<<20), toBits(y, 1<<20)
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += AndCountF(xw, yw, All(), &st)
+	}
+}
+
+func BenchmarkCountWindowArithmetic(b *testing.B) {
+	r := rand.New(rand.NewSource(8))
+	x := denseSet(r, 1<<16, 1<<20)
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += CountF(x, Window(1<<8, 1<<19), &st)
+	}
+}

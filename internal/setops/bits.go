@@ -1,0 +1,128 @@
+package setops
+
+import "math/bits"
+
+// Bitset kernels operate against a bitmap set: words[v>>6] bit v&63 is set
+// when v is a member. Matching engines obtain such rows from
+// graph.HubBits for high-degree vertices; membership is then O(1) per
+// probed element instead of a merge or gallop through a huge adjacency
+// list, and bitmap×bitmap counting is word-parallel.
+
+// bit reports membership of v in words.
+func bit(words []uint64, v uint32) bool {
+	return words[v>>6]&(1<<(v&63)) != 0
+}
+
+// IntersectBits writes into dst[:0] the elements of sorted slice a that
+// are members of the bitset, preserving order.
+func IntersectBits(dst, a []uint32, words []uint64, st *Stats) []uint32 {
+	st.Ops++
+	st.BitsetOps++
+	st.Elems += uint64(len(a))
+	dst = dst[:0]
+	for _, v := range a {
+		if bit(words, v) {
+			dst = append(dst, v)
+		}
+	}
+	st.Written += uint64(len(dst))
+	return dst
+}
+
+// DifferenceBits writes into dst[:0] the elements of sorted slice a that
+// are NOT members of the bitset (a \ bitset), preserving order.
+func DifferenceBits(dst, a []uint32, words []uint64, st *Stats) []uint32 {
+	st.Ops++
+	st.BitsetOps++
+	st.Elems += uint64(len(a))
+	dst = dst[:0]
+	for _, v := range a {
+		if !bit(words, v) {
+			dst = append(dst, v)
+		}
+	}
+	st.Written += uint64(len(dst))
+	return dst
+}
+
+// IntersectBitsCountF counts the elements of a that are bitset members and
+// pass the filter, without materializing anything.
+func IntersectBitsCountF(a []uint32, words []uint64, f Filter, st *Stats) uint64 {
+	st.Ops++
+	st.CountOps++
+	a = Clip(a, f.Lo, f.Hi)
+	st.Elems += uint64(len(a))
+	var n uint64
+	for _, v := range a {
+		if bit(words, v) && (f.Labels == nil || f.Labels[v] == f.Want) {
+			n++
+		}
+	}
+	return n
+}
+
+// DifferenceBitsCountF counts the elements of a that are NOT bitset
+// members and pass the filter.
+func DifferenceBitsCountF(a []uint32, words []uint64, f Filter, st *Stats) uint64 {
+	st.Ops++
+	st.CountOps++
+	a = Clip(a, f.Lo, f.Hi)
+	st.Elems += uint64(len(a))
+	var n uint64
+	for _, v := range a {
+		if !bit(words, v) && (f.Labels == nil || f.Labels[v] == f.Want) {
+			n++
+		}
+	}
+	return n
+}
+
+// AndCountF counts |x ∩ y| over two bitsets restricted to the filter,
+// word-parallel: AND plus popcount over the window's words, masking the
+// partial first and last words. With a label constraint it falls back to
+// iterating the set bits of each ANDed word. Elems charges the words
+// examined, not the set bits they encode.
+func AndCountF(x, y []uint64, f Filter, st *Stats) uint64 {
+	st.Ops++
+	st.CountOps++
+	nbits := uint32(len(x) * 64)
+	if uint32(len(y)*64) < nbits {
+		nbits = uint32(len(y) * 64)
+	}
+	lo, hi := f.Lo, f.Hi
+	if hi > nbits {
+		hi = nbits
+	}
+	if lo >= hi {
+		return 0
+	}
+	firstWord := int(lo >> 6)
+	lastWord := int((hi - 1) >> 6)
+	st.Elems += uint64(lastWord - firstWord + 1)
+	var n uint64
+	for w := firstWord; w <= lastWord; w++ {
+		word := x[w] & y[w]
+		if w == firstWord {
+			word &= ^uint64(0) << (lo & 63)
+		}
+		if w == lastWord && (hi&63) != 0 {
+			word &= ^uint64(0) >> (64 - hi&63)
+		}
+		if word == 0 {
+			continue
+		}
+		if f.Labels == nil {
+			n += uint64(bits.OnesCount64(word))
+			continue
+		}
+		base := uint32(w) << 6
+		for word != 0 {
+			v := base + uint32(bits.TrailingZeros64(word))
+			if f.Labels[v] == f.Want {
+				n++
+			}
+			word &= word - 1
+		}
+	}
+	return n
+}

@@ -1,0 +1,142 @@
+package setops
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fuzzMax bounds decoded element values so the bitset side stays small
+// enough to rebuild on every fuzz execution.
+const fuzzMax = 4096
+
+// decodeSet turns arbitrary fuzz bytes into a sorted duplicate-free set in
+// [0, fuzzMax): consecutive byte pairs become values, then sort+dedupe.
+func decodeSet(raw []byte) []uint32 {
+	seen := [fuzzMax]bool{}
+	n := 0
+	for i := 0; i+1 < len(raw); i += 2 {
+		v := (uint32(raw[i])<<8 | uint32(raw[i+1])) % fuzzMax
+		if !seen[v] {
+			seen[v] = true
+			n++
+		}
+	}
+	out := make([]uint32, 0, n)
+	for v := 0; v < fuzzMax; v++ {
+		if seen[v] {
+			out = append(out, uint32(v))
+		}
+	}
+	return out
+}
+
+// FuzzKernels differentially checks every adaptive kernel — merge,
+// gallop, bitset and count-only paths, with and without fused windows and
+// label filters — against the naive reference merges on random sorted
+// inputs. The seeded corpus covers the edge shapes the dispatcher
+// branches on: empty sides, identical sides, fully disjoint sides, single
+// elements, skew past the galloping threshold, and degenerate windows.
+func FuzzKernels(f *testing.F) {
+	f.Add([]byte{}, []byte{}, uint32(0), uint32(0), byte(0))
+	f.Add([]byte{0, 1, 0, 3, 0, 5}, []byte{}, uint32(0), uint32(fuzzMax), byte(1))
+	f.Add([]byte{}, []byte{0, 2, 0, 4}, uint32(1), uint32(3), byte(2))
+	f.Add([]byte{0, 1, 0, 2, 0, 3}, []byte{0, 1, 0, 2, 0, 3}, uint32(0), uint32(2), byte(0))
+	f.Add([]byte{0, 1, 0, 3}, []byte{0, 2, 0, 4}, uint32(2), uint32(1), byte(3)) // inverted window
+	f.Add([]byte{0, 0}, []byte{0, 0, 0, 1}, uint32(0), uint32(fuzzMax), byte(0)) // element zero
+	// Skewed pair: one element vs a long arithmetic run (gallop path).
+	long := make([]byte, 0, 4*gallopMinLen)
+	for i := 0; i < 2*gallopMinLen; i++ {
+		long = append(long, byte(i>>8), byte(i))
+	}
+	f.Add([]byte{0, 100}, long, uint32(50), uint32(150), byte(1))
+	f.Add(long, []byte{0, 100}, uint32(0), uint32(fuzzMax), byte(2))
+
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, lo, hi uint32, labelSeed byte) {
+		a := decodeSet(rawA)
+		b := decodeSet(rawB)
+		labels := make([]int32, fuzzMax)
+		for i := range labels {
+			labels[i] = int32((i + int(labelSeed)) % 3)
+		}
+		filters := []Filter{
+			All(),
+			Window(lo%fuzzMax, hi%fuzzMax),
+			{Lo: lo % fuzzMax, Hi: hi % fuzzMax, Labels: labels, Want: 1},
+		}
+
+		wantI := RefIntersect(a, b)
+		wantD := RefDifference(a, b)
+		var st Stats
+
+		if got := Intersect(nil, a, b, &st); !equal(got, wantI) {
+			t.Fatalf("Intersect(%v, %v) = %v, want %v", a, b, got, wantI)
+		}
+		if got := Difference(nil, a, b, &st); !equal(got, wantD) {
+			t.Fatalf("Difference(%v, %v) = %v, want %v", a, b, got, wantD)
+		}
+		lower := lo % fuzzMax
+		wantAbove := wantI[SearchAbove(wantI, lower):]
+		if got := IntersectAbove(nil, a, b, lower, &st); !equal(got, wantAbove) {
+			t.Fatalf("IntersectAbove(%v, %v, %d) = %v, want %v", a, b, lower, got, wantAbove)
+		}
+		if got, want := FilterAbove(nil, a, lower, &st), a[SearchAbove(a, lower):]; !equal(got, want) {
+			t.Fatalf("FilterAbove = %v, want %v", got, want)
+		}
+
+		bbits := toBits(b, fuzzMax)
+		if got := IntersectBits(nil, a, bbits, &st); !equal(got, wantI) {
+			t.Fatalf("IntersectBits = %v, want %v", got, wantI)
+		}
+		if got := DifferenceBits(nil, a, bbits, &st); !equal(got, wantD) {
+			t.Fatalf("DifferenceBits = %v, want %v", got, wantD)
+		}
+
+		written := st.Written
+		for _, fl := range filters {
+			if got, want := IntersectCountF(a, b, fl, &st), filterCount(wantI, fl); got != want {
+				t.Fatalf("IntersectCountF(%v, %v, %+v) = %d, want %d", a, b, fl, got, want)
+			}
+			if got, want := DifferenceCountF(a, b, fl, &st), filterCount(wantD, fl); got != want {
+				t.Fatalf("DifferenceCountF(%v, %v, %+v) = %d, want %d", a, b, fl, got, want)
+			}
+			if got, want := CountF(a, fl, &st), filterCount(a, fl); got != want {
+				t.Fatalf("CountF(%v, %+v) = %d, want %d", a, fl, got, want)
+			}
+			if got, want := IntersectBitsCountF(a, bbits, fl, &st), filterCount(wantI, fl); got != want {
+				t.Fatalf("IntersectBitsCountF = %d, want %d", got, want)
+			}
+			if got, want := DifferenceBitsCountF(a, bbits, fl, &st), filterCount(wantD, fl); got != want {
+				t.Fatalf("DifferenceBitsCountF = %d, want %d", got, want)
+			}
+			abits := toBits(a, fuzzMax)
+			if got, want := AndCountF(abits, bbits, fl, &st), filterCount(wantI, fl); got != want {
+				t.Fatalf("AndCountF(%+v) = %d, want %d", fl, got, want)
+			}
+		}
+		if st.Written != written {
+			t.Fatalf("count-only kernels wrote %d elements", st.Written-written)
+		}
+		if st.Ops != st.MergeOps+st.GallopOps+st.BitsetOps+st.CountOps {
+			t.Fatalf("path counters do not partition Ops: %+v", st)
+		}
+
+		for _, x := range []uint32{0, lo % fuzzMax, fuzzMax - 1} {
+			if got, want := Contains(a, x), linearContains(a, x); got != want {
+				t.Fatalf("Contains(%v, %d) = %v, want %v", a, x, got, want)
+			}
+		}
+	})
+}
+
+func equal(got, want []uint32) bool {
+	return reflect.DeepEqual(append([]uint32{}, got...), append([]uint32{}, want...))
+}
+
+func linearContains(a []uint32, x uint32) bool {
+	for _, v := range a {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

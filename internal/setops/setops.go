@@ -3,135 +3,150 @@
 // candidate sets for regular edges, differences implement anti-edges, and
 // bounded variants implement symmetry-breaking partial orders.
 //
+// The package is an *adaptive kernel library*: every public operation
+// dispatches between specialized execution paths by input shape.
+//
+//   - merge: the classic two-pointer merge, best when both inputs have
+//     comparable sizes. Linear in len(a)+len(b).
+//   - gallop: exponential (doubling) search of the larger side for each
+//     element of the smaller side, best when one side is much smaller
+//     (|a| ≪ |b|). O(|a|·log(|b|/|a|)) instead of O(|a|+|b|).
+//   - bitset: word-indexed membership probes against a bitmap adjacency
+//     row (see graph.EnableHubIndex), O(1) per element of the list side
+//     and O(words) for bitmap×bitmap counting.
+//   - count-only: variants that never write a destination slice, fusing
+//     the symmetry-breaking window and the label filter into the kernel.
+//     Matching executors use them at the last level, where the candidate
+//     set is consumed solely to produce a count.
+//
 // Every primitive is instrumented through a Stats sink because the paper's
 // evaluation reports set-operation work directly (Fig. 12c-d, Fig. 13b):
 // morphing wins by trading expensive set differences for cheaper plans, and
-// the counters make that trade observable.
+// the counters make that trade observable. Stats additionally counts each
+// dispatch path taken and the elements written to destination slices, so a
+// run can prove claims like "the final level materialized nothing".
 package setops
+
+// Dispatch thresholds. Galloping pays off once the larger side dwarfs the
+// smaller one: each element of the small side costs O(log gap) probes
+// instead of a linear scan of the gap, but the doubling probes have worse
+// locality than a straight merge, so the ratio must be large enough to
+// amortize the cache misses. 8:1 with a 64-element floor is conservative;
+// see DESIGN.md "Set-operation kernels" for how to tune these and the
+// BENCH_kernels.json trajectory for measured crossovers.
+const (
+	gallopRatio  = 8  // gallop when len(big) >= gallopRatio*len(small)
+	gallopMinLen = 64 // never gallop into sides smaller than this
+)
+
+// shouldGallop reports whether the small/big size ratio clears the
+// galloping threshold.
+func shouldGallop(small, big int) bool {
+	return big >= gallopMinLen && big >= gallopRatio*small
+}
 
 // Stats accumulates set-operation work. Engines keep one Stats per worker
 // and merge them; the zero value is ready to use.
+//
+// Ops and Elems are the paper-facing aggregate counters (every operation
+// increments Ops; Elems charges the elements actually examined, so a
+// galloping intersection charges its probe count rather than the length it
+// skipped). The per-path counters break Ops down by dispatch decision, and
+// Written counts elements appended to destination slices — count-only
+// kernels never increment it.
 type Stats struct {
 	Ops   uint64 // number of set operations executed
-	Elems uint64 // input elements scanned across all operations
+	Elems uint64 // input elements examined across all operations
+
+	MergeOps  uint64 // operations that ran the two-pointer merge path
+	GallopOps uint64 // operations that ran the galloping path
+	BitsetOps uint64 // operations that probed a bitmap adjacency row
+	CountOps  uint64 // count-only operations (no destination writes)
+	Written   uint64 // elements written to destination slices
 }
 
 // Add merges other into s.
 func (s *Stats) Add(other Stats) {
 	s.Ops += other.Ops
 	s.Elems += other.Elems
+	s.MergeOps += other.MergeOps
+	s.GallopOps += other.GallopOps
+	s.BitsetOps += other.BitsetOps
+	s.CountOps += other.CountOps
+	s.Written += other.Written
 }
 
-// Intersect writes the sorted intersection of a and b into dst[:0] and
-// returns it. a and b must be sorted ascending and duplicate free.
-func Intersect(dst, a, b []uint32, st *Stats) []uint32 {
-	st.Ops++
-	st.Elems += uint64(len(a) + len(b))
-	dst = dst[:0]
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			dst = append(dst, a[i])
-			i++
-			j++
-		}
-	}
-	return dst
-}
-
-// IntersectAbove is Intersect restricted to elements strictly greater than
-// lower; it fuses the symmetry-breaking filter into the merge, as
-// pattern-aware engines do.
-func IntersectAbove(dst, a, b []uint32, lower uint32, st *Stats) []uint32 {
-	st.Ops++
-	st.Elems += uint64(len(a) + len(b))
-	dst = dst[:0]
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			if a[i] > lower {
-				dst = append(dst, a[i])
-			}
-			i++
-			j++
-		}
-	}
-	return dst
-}
-
-// Difference writes a \ b into dst[:0] and returns it. Each anti-edge in a
-// vertex-induced matching plan costs one Difference per loop iteration,
-// which is exactly the overhead Subgraph Morphing removes in motif
-// counting (§7.1).
-func Difference(dst, a, b []uint32, st *Stats) []uint32 {
-	st.Ops++
-	st.Elems += uint64(len(a) + len(b))
-	dst = dst[:0]
-	i, j := 0, 0
-	for i < len(a) {
-		for j < len(b) && b[j] < a[i] {
-			j++
-		}
-		if j == len(b) || b[j] != a[i] {
-			dst = append(dst, a[i])
-		}
-		i++
-	}
-	return dst
-}
-
-// FilterAbove copies the elements of a strictly greater than lower into
-// dst[:0].
-func FilterAbove(dst, a []uint32, lower uint32, st *Stats) []uint32 {
-	st.Ops++
-	st.Elems += uint64(len(a))
-	dst = dst[:0]
-	// a is sorted: binary search for the first element > lower.
+// SearchAbove returns the index of the first element of sorted slice a
+// strictly greater than lower, or len(a) when no element qualifies. It is
+// the one binary search behind window clipping, suffix filtering and
+// membership probes.
+func SearchAbove(a []uint32, lower uint32) int {
 	lo, hi := 0, len(a)
 	for lo < hi {
-		mid := (lo + hi) / 2
+		mid := int(uint(lo+hi) >> 1)
 		if a[mid] <= lower {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	return append(dst, a[lo:]...)
+	return lo
 }
 
-// Remove copies a into dst[:0] without the element x (if present).
-func Remove(dst, a []uint32, x uint32, st *Stats) []uint32 {
-	st.Ops++
-	st.Elems += uint64(len(a))
-	dst = dst[:0]
-	for _, v := range a {
-		if v != x {
-			dst = append(dst, v)
-		}
+// searchGE returns the index of the first element >= x (len(a) when none).
+func searchGE(a []uint32, x uint32) int {
+	if x == 0 {
+		return 0
 	}
-	return dst
+	return SearchAbove(a, x-1)
+}
+
+// Clip narrows sorted slice a to the half-open window [lo, hi) by binary
+// search, returning a subslice of a.
+func Clip(a []uint32, lo, hi uint32) []uint32 {
+	start := searchGE(a, lo)
+	end := start + searchGE(a[start:], hi)
+	return a[start:end]
 }
 
 // Contains reports whether sorted slice a contains x using binary search.
 func Contains(a []uint32, x uint32) bool {
-	lo, hi := 0, len(a)
+	i := searchGE(a, x)
+	return i < len(a) && a[i] == x
+}
+
+// gallopGE returns the smallest index k in [from, len(b)) with b[k] >= x,
+// or len(b) when none, advancing by doubling steps before binary-searching
+// the final gap. probes accumulates the number of elements examined, which
+// is what the galloping paths charge to Stats.Elems.
+func gallopGE(b []uint32, from int, x uint32, probes *uint64) int {
+	n := len(b)
+	if from >= n {
+		return n
+	}
+	*probes++
+	if b[from] >= x {
+		return from
+	}
+	// b[from] < x: double the step until we overshoot (or run out).
+	step := 1
+	for from+step < n && b[from+step] < x {
+		*probes++
+		step <<= 1
+	}
+	lo := from + step/2 + 1 // b[from+step/2] < x held (or step/2 == 0)
+	hi := from + step       // b[hi] >= x, or hi >= n
+	if hi > n {
+		hi = n
+	}
 	for lo < hi {
-		mid := (lo + hi) / 2
-		if a[mid] < x {
+		mid := int(uint(lo+hi) >> 1)
+		*probes++
+		if b[mid] < x {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	return lo < len(a) && a[lo] == x
+	return lo
 }

@@ -168,3 +168,201 @@ func TestQuickIntersectAboveMatchesFilter(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSearchAbove(t *testing.T) {
+	a := []uint32{2, 4, 6, 8}
+	cases := []struct {
+		lower uint32
+		want  int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {7, 3}, {8, 4}, {100, 4}}
+	for _, c := range cases {
+		if got := SearchAbove(a, c.lower); got != c.want {
+			t.Errorf("SearchAbove(%v, %d) = %d, want %d", a, c.lower, got, c.want)
+		}
+	}
+	if got := SearchAbove(nil, 0); got != 0 {
+		t.Errorf("SearchAbove(nil, 0) = %d", got)
+	}
+}
+
+func TestClip(t *testing.T) {
+	a := []uint32{0, 2, 4, 6, 8}
+	cases := []struct {
+		lo, hi uint32
+		want   []uint32
+	}{
+		{0, ^uint32(0), []uint32{0, 2, 4, 6, 8}},
+		{1, 7, []uint32{2, 4, 6}},
+		{2, 8, []uint32{2, 4, 6}},
+		{0, 1, []uint32{0}},
+		{9, 4, []uint32{}},
+		{8, 8, []uint32{}},
+	}
+	for i, c := range cases {
+		got := Clip(a, c.lo, c.hi)
+		if !reflect.DeepEqual(append([]uint32{}, got...), c.want) {
+			t.Errorf("case %d: Clip[%d,%d) = %v, want %v", i, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// denseSet returns a sorted duplicate-free set of n elements drawn from
+// [0, max).
+func denseSet(r *rand.Rand, n, max int) []uint32 {
+	m := map[uint32]struct{}{}
+	for len(m) < n && len(m) < max {
+		m[uint32(r.Intn(max))] = struct{}{}
+	}
+	out := make([]uint32, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestGallopPathsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		a := denseSet(r, 10, 100000)
+		b := denseSet(r, 5000, 100000)
+		var st Stats
+		if got, want := Intersect(nil, a, b, &st), RefIntersect(a, b); !reflect.DeepEqual(append([]uint32{}, got...), want) {
+			t.Fatalf("gallop intersect: got %v want %v", got, want)
+		}
+		if st.GallopOps == 0 {
+			t.Fatal("skewed intersect did not take the galloping path")
+		}
+		st = Stats{}
+		if got, want := Difference(nil, a, b, &st), RefDifference(a, b); !reflect.DeepEqual(append([]uint32{}, got...), want) {
+			t.Fatalf("gallop difference: got %v want %v", got, want)
+		}
+		if st.GallopOps == 0 {
+			t.Fatal("skewed difference did not take the galloping path")
+		}
+		// Galloping must charge fewer examined elements than the merge would.
+		if st.Elems >= uint64(len(a)+len(b)) {
+			t.Fatalf("gallop charged %d elems, merge would charge %d", st.Elems, len(a)+len(b))
+		}
+	}
+}
+
+func TestCountKernelsMatchMaterialized(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	labels := make([]int32, 1000)
+	for i := range labels {
+		labels[i] = int32(i % 3)
+	}
+	for trial := 0; trial < 200; trial++ {
+		a := denseSet(r, r.Intn(40), 1000)
+		b := denseSet(r, r.Intn(900), 1000)
+		lo := uint32(r.Intn(1000))
+		hi := uint32(r.Intn(1000))
+		for _, f := range []Filter{
+			All(),
+			Window(lo, hi),
+			{Lo: lo, Hi: hi, Labels: labels, Want: 1},
+		} {
+			var st Stats
+			wantI := filterCount(RefIntersect(a, b), f)
+			if got := IntersectCountF(a, b, f, &st); got != wantI {
+				t.Fatalf("IntersectCountF(%v,%v,%+v) = %d, want %d", a, b, f, got, wantI)
+			}
+			wantD := filterCount(RefDifference(a, b), f)
+			if got := DifferenceCountF(a, b, f, &st); got != wantD {
+				t.Fatalf("DifferenceCountF = %d, want %d", got, wantD)
+			}
+			wantC := filterCount(a, f)
+			if got := CountF(a, f, &st); got != wantC {
+				t.Fatalf("CountF = %d, want %d", got, wantC)
+			}
+			if st.Written != 0 {
+				t.Fatalf("count-only kernels wrote %d elements", st.Written)
+			}
+			if st.CountOps != st.Ops {
+				t.Fatalf("count-only ops %d != ops %d", st.CountOps, st.Ops)
+			}
+		}
+	}
+}
+
+func filterCount(a []uint32, f Filter) uint64 {
+	var n uint64
+	for _, v := range a {
+		if f.Pass(v) {
+			n++
+		}
+	}
+	return n
+}
+
+func toBits(a []uint32, max int) []uint64 {
+	words := make([]uint64, (max+63)/64)
+	for _, v := range a {
+		words[v>>6] |= 1 << (v & 63)
+	}
+	return words
+}
+
+func TestBitsetKernelsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	labels := make([]int32, 1024)
+	for i := range labels {
+		labels[i] = int32(i % 2)
+	}
+	for trial := 0; trial < 100; trial++ {
+		a := denseSet(r, r.Intn(60), 1024)
+		b := denseSet(r, r.Intn(500), 1024)
+		bits := toBits(b, 1024)
+		var st Stats
+		if got, want := IntersectBits(nil, a, bits, &st), RefIntersect(a, b); !reflect.DeepEqual(append([]uint32{}, got...), want) {
+			t.Fatalf("IntersectBits: got %v want %v", got, want)
+		}
+		if got, want := DifferenceBits(nil, a, bits, &st), RefDifference(a, b); !reflect.DeepEqual(append([]uint32{}, got...), want) {
+			t.Fatalf("DifferenceBits: got %v want %v", got, want)
+		}
+		f := Filter{Lo: uint32(r.Intn(1024)), Hi: uint32(r.Intn(1024)), Labels: labels, Want: 1}
+		if got, want := IntersectBitsCountF(a, bits, f, &st), filterCount(RefIntersect(a, b), f); got != want {
+			t.Fatalf("IntersectBitsCountF = %d, want %d", got, want)
+		}
+		if got, want := DifferenceBitsCountF(a, bits, f, &st), filterCount(RefDifference(a, b), f); got != want {
+			t.Fatalf("DifferenceBitsCountF = %d, want %d", got, want)
+		}
+		abits := toBits(a, 1024)
+		if got, want := AndCountF(abits, bits, f, &st), filterCount(RefIntersect(a, b), f); got != want {
+			t.Fatalf("AndCountF = %d, want %d", got, want)
+		}
+		if got, want := AndCountF(abits, bits, All(), &st), uint64(len(RefIntersect(a, b))); got != want {
+			t.Fatalf("AndCountF(All) = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestStatsPathPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	var st Stats
+	small := denseSet(r, 8, 50000)
+	big := denseSet(r, 9000, 50000)
+	even := denseSet(r, 500, 50000)
+	bits := toBits(big, 50000)
+	Intersect(nil, small, big, &st) // gallop
+	Intersect(nil, even, even, &st) // merge
+	IntersectBits(nil, small, bits, &st)
+	IntersectCount(small, big, &st)  // count-only
+	Difference(nil, even, even, &st) // merge
+	if st.Ops != st.MergeOps+st.GallopOps+st.BitsetOps+st.CountOps {
+		t.Fatalf("path counters do not partition Ops: %+v", st)
+	}
+	if st.GallopOps == 0 || st.MergeOps == 0 || st.BitsetOps == 0 || st.CountOps == 0 {
+		t.Fatalf("expected all paths exercised: %+v", st)
+	}
+}
+
+func TestFilterAboveChargesCopiedLength(t *testing.T) {
+	var st Stats
+	a := []uint32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	FilterAbove(nil, a, 8, &st)
+	if st.Elems != 2 {
+		t.Fatalf("FilterAbove charged %d elems, want the copied suffix length 2", st.Elems)
+	}
+}
