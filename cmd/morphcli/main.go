@@ -11,6 +11,9 @@
 //	morphcli transform -graph MI -scale .01 4-cycle:v 4-star:v
 //	morphcli count -graph MI -engine peregrine 4-cycle:v 4-star:v
 //	morphcli count -stats json 4-clique      # machine-readable run stats
+//	morphcli count -report run.json ...      # EXPLAIN ANALYZE run report
+//	morphcli explain 4-cycle:v 4-star:v      # plan + calibration report
+//	morphcli explain -dot sdag.dot ...       # Graphviz S-DAG export
 //	morphcli -listen :8080 count ...         # live /metrics, /vars, pprof
 //
 // Patterns are named (see `morphcli names`) or written in the codec form
@@ -24,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -41,6 +45,7 @@ import (
 	"morphing/internal/pattern"
 	"morphing/internal/peregrine"
 	"morphing/internal/plan"
+	"morphing/internal/report"
 )
 
 func main() {
@@ -84,6 +89,8 @@ func main() {
 		err = cmdTransform(args)
 	case "count":
 		err = cmdCount(args)
+	case "explain":
+		err = cmdExplain(args, os.Stdout)
 	case "names":
 		cmdNames()
 	default:
@@ -97,7 +104,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: morphcli [-listen addr] <pattern|equation|sdag|transform|count|names> [args]`)
+	fmt.Fprintln(os.Stderr, `usage: morphcli [-listen addr] <pattern|equation|sdag|transform|count|explain|names> [args]`)
 }
 
 func cmdNames() {
@@ -233,18 +240,26 @@ func countEngine(name string, threads int) (engine.Engine, error) {
 // went, what the cost model decided, and the process-wide metric registry
 // snapshot — everything a script needs from one pipeline execution.
 type countReport struct {
-	Graph       string        `json:"graph"`
-	Scale       float64       `json:"scale"`
-	Engine      string        `json:"engine"`
-	Morphing    bool          `json:"morphing"`
-	Queries     []countQuery  `json:"queries"`
-	MinedSet    []string      `json:"mined_set"`
-	CostBefore  float64       `json:"modeled_cost_before"`
-	CostAfter   float64       `json:"modeled_cost_after"`
-	TransformNS int64         `json:"transform_ns"`
-	ConvertNS   int64         `json:"convert_ns"`
-	Mining      *engine.Stats `json:"mining"`
-	Registry    obs.Snapshot  `json:"registry"`
+	Graph    string       `json:"graph"`
+	Scale    float64      `json:"scale"`
+	Engine   string       `json:"engine"`
+	Morphing bool         `json:"morphing"`
+	Queries  []countQuery `json:"queries"`
+	MinedSet []string     `json:"mined_set"`
+	// Phase, ConversionMode and EstimatedBytes surface the full RunStats
+	// pipeline state: the stage the run finished in (always "done" here —
+	// interrupted runs go through printPartial), how results were
+	// converted (batched vs. on-the-fly degradation) and the match-volume
+	// estimate behind that decision.
+	Phase          string        `json:"phase"`
+	ConversionMode string        `json:"conversion_mode"`
+	EstimatedBytes uint64        `json:"estimated_bytes,omitempty"`
+	CostBefore     float64       `json:"modeled_cost_before"`
+	CostAfter      float64       `json:"modeled_cost_after"`
+	TransformNS    int64         `json:"transform_ns"`
+	ConvertNS      int64         `json:"convert_ns"`
+	Mining         *engine.Stats `json:"mining"`
+	Registry       obs.Snapshot  `json:"registry"`
 }
 
 type countQuery struct {
@@ -265,6 +280,7 @@ func cmdCount(args []string) error {
 	traceOut := fs.String("trace", "", "write phase spans to this file (Chrome trace_event JSON; .jsonl for JSON lines)")
 	progress := fs.Bool("progress", false, "report live matches/sec to stderr")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration, printing partial per-alternative counts (0 = no deadline)")
+	reportOut := fs.String("report", "", "write a structured run report (JSON) to this file; enables explain mode (per-pattern mining + calibration)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -322,7 +338,7 @@ func cmdCount(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	r := &core.Runner{Engine: eng, DisableMorphing: *baseline}
+	r := &core.Runner{Engine: eng, DisableMorphing: *baseline, Explain: *reportOut != ""}
 	counts, st, err := r.CountsCtx(ctx, g, queries)
 	prog.Stop()
 	if err != nil {
@@ -351,16 +367,26 @@ func cmdCount(args []string) error {
 		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tracer.Len(), *traceOut)
 	}
 
+	if *reportOut != "" {
+		if err := writeRunReport(*reportOut, st); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote run report to %s\n", *reportOut)
+	}
+
 	if *statsMode == "json" {
 		rep := countReport{
-			Graph:       *graphName,
-			Scale:       *scale,
-			Engine:      eng.Name(),
-			Morphing:    !*baseline,
-			TransformNS: st.Transform.Nanoseconds(),
-			ConvertNS:   st.Convert.Nanoseconds(),
-			Mining:      st.Mining,
-			Registry:    obs.DefaultRegistry().Snapshot(),
+			Graph:          *graphName,
+			Scale:          *scale,
+			Engine:         eng.Name(),
+			Morphing:       !*baseline,
+			Phase:          st.Phase,
+			ConversionMode: st.ConversionMode,
+			EstimatedBytes: st.EstimatedBytes,
+			TransformNS:    st.Transform.Nanoseconds(),
+			ConvertNS:      st.Convert.Nanoseconds(),
+			Mining:         st.Mining,
+			Registry:       obs.DefaultRegistry().Snapshot(),
 		}
 		for i, q := range st.Selection.Queries {
 			rep.Queries = append(rep.Queries, countQuery{
@@ -411,13 +437,16 @@ func printPartial(w *os.File, statsMode string, st *core.RunStats, err error) {
 			Count   uint64 `json:"count"`
 		}
 		rep := struct {
-			Interrupted bool          `json:"interrupted"`
-			Marker      string        `json:"marker"`
-			Error       string        `json:"error"`
-			Phase       string        `json:"phase"`
-			Partial     []partialRow  `json:"partial_counts"`
-			Mining      *engine.Stats `json:"mining"`
-		}{Interrupted: true, Marker: marker, Error: err.Error(), Phase: st.Phase, Mining: st.Mining}
+			Interrupted    bool          `json:"interrupted"`
+			Marker         string        `json:"marker"`
+			Error          string        `json:"error"`
+			Phase          string        `json:"phase"`
+			ConversionMode string        `json:"conversion_mode,omitempty"`
+			EstimatedBytes uint64        `json:"estimated_bytes,omitempty"`
+			Partial        []partialRow  `json:"partial_counts"`
+			Mining         *engine.Stats `json:"mining"`
+		}{Interrupted: true, Marker: marker, Error: err.Error(), Phase: st.Phase,
+			ConversionMode: st.ConversionMode, EstimatedBytes: st.EstimatedBytes, Mining: st.Mining}
 		for _, p := range st.Partial {
 			rep.Partial = append(rep.Partial, partialRow{Pattern: p.Pattern.String(), Count: p.Count})
 		}
@@ -487,4 +516,104 @@ func cmdTransform(args []string) error {
 		fmt.Printf("  mine %s\n", c.Pattern)
 	}
 	return nil
+}
+
+// writeRunReport serializes the execution's RunReport (with a metric
+// registry snapshot attached) as JSON to path.
+func writeRunReport(path string, st *core.RunStats) error {
+	rep := report.FromRunStats(st)
+	snap := obs.DefaultRegistry().Snapshot()
+	rep.Registry = &snap
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = rep.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// cmdExplain runs the full pipeline in explain mode and prints the
+// EXPLAIN/calibration report: the queries and their Fig. 7 rewrites,
+// every candidate alternative set Algorithm 1 scored (with the cost
+// model's estimates, rejected candidates included), and the measured
+// per-pattern matches, per-level selectivity and worker skew.
+//
+// Note the EXPLAIN ANALYZE caveat: explain mode mines the alternatives
+// one pattern at a time to attribute matches and time per pattern, so
+// engines that merge schedules across patterns (AutoZero) lose that
+// merging; the reported counts are exact, the timings reflect the
+// unmerged execution.
+func cmdExplain(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	graphName := fs.String("graph", "MI", "dataset recipe (MI, MG, PR, OK, FR)")
+	scale := fs.Float64("scale", 0.01, "dataset scale factor")
+	engineName := fs.String("engine", "peregrine", "matching engine (peregrine, autozero, graphpi, bigjoin)")
+	threads := fs.Int("threads", 0, "engine worker threads (0 = GOMAXPROCS)")
+	baseline := fs.Bool("baseline", false, "disable morphing; the report then explains the as-is plan")
+	dotOut := fs.String("dot", "", "write the S-DAG with the chosen alternative set as Graphviz DOT to this file")
+	reportOut := fs.String("report", "", "also write the report as JSON to this file")
+	jsonMode := fs.Bool("json", false, "print the report as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("explain needs at least one pattern")
+	}
+	queries := make([]*pattern.Pattern, 0, fs.NArg())
+	for _, a := range fs.Args() {
+		p, err := resolve(a)
+		if err != nil {
+			return err
+		}
+		queries = append(queries, p)
+	}
+	eng, err := countEngine(*engineName, *threads)
+	if err != nil {
+		return err
+	}
+	rec, err := dataset.ByName(*graphName)
+	if err != nil {
+		return err
+	}
+	g, err := rec.Scaled(*scale).Generate()
+	if err != nil {
+		return err
+	}
+	r := &core.Runner{Engine: eng, DisableMorphing: *baseline, Explain: true}
+	_, st, err := r.Counts(g, queries)
+	if err != nil {
+		return err
+	}
+
+	rep := report.FromRunStats(st)
+	if *dotOut != "" {
+		if st.Selection == nil || st.Selection.SDAG == nil {
+			return fmt.Errorf("-dot: no S-DAG to export (baseline runs mine the queries as-is)")
+		}
+		f, ferr := os.Create(*dotOut)
+		if ferr != nil {
+			return ferr
+		}
+		ferr = st.Selection.SDAG.WriteDOT(f, st.Selection)
+		if cerr := f.Close(); ferr == nil {
+			ferr = cerr
+		}
+		if ferr != nil {
+			return ferr
+		}
+		fmt.Fprintf(os.Stderr, "wrote S-DAG DOT to %s\n", *dotOut)
+	}
+	if *reportOut != "" {
+		if err := writeRunReport(*reportOut, st); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote run report to %s\n", *reportOut)
+	}
+	if *jsonMode {
+		return rep.WriteJSON(w)
+	}
+	return rep.WriteText(w)
 }

@@ -190,6 +190,10 @@ func (e *Engine) CountAllCtx(ctx context.Context, g *graph.Graph, ps []*pattern.
 		wg.Add(1)
 		go func(id int, w *azWorker) {
 			defer wg.Done()
+			// Busy time for the skew histograms; registered before the
+			// recover defer so panicking workers still report theirs.
+			t0 := time.Now()
+			defer func() { w.busy = time.Since(t0) }()
 			// Contain panics from trie execution so a bad schedule (or an
 			// injected fault) degrades into one clean error, not a crash.
 			defer func() {
@@ -229,11 +233,15 @@ func (e *Engine) CountAllCtx(ctx context.Context, g *graph.Graph, ps []*pattern.
 
 	counts := make([]uint64, len(ps))
 	st := &engine.Stats{}
-	for _, w := range workers {
+	for t, w := range workers {
 		for i, c := range w.counts {
 			counts[i] += c
 		}
 		w.st.AddSetops(w.sst)
+		for i, l := range w.levels {
+			w.st.AddLevel(i, l.Candidates, l.Extended)
+		}
+		w.st.Workers = []engine.WorkerStats{{Worker: t, Time: w.busy, Matches: w.total()}}
 		st.Add(&w.st)
 	}
 	for _, c := range counts {
@@ -334,6 +342,8 @@ type azWorker struct {
 	instrument bool
 	st         engine.Stats
 	sst        setops.Stats
+	levels     []engine.LevelStats // per-depth selectivity, folded at merge
+	busy       time.Duration       // wall-clock inside the work loop
 	counts     []uint64
 	match      []uint32
 	bufA       [][]uint32
@@ -356,6 +366,7 @@ func newAZWorker(g *graph.Graph, patterns, maxDepth, maxDeg int, instrument bool
 	w := &azWorker{
 		g:          g,
 		instrument: instrument,
+		levels:     make([]engine.LevelStats, maxDepth),
 		counts:     make([]uint64, patterns),
 		match:      make([]uint32, maxDepth),
 		bufA:       make([][]uint32, maxDepth),
@@ -373,9 +384,11 @@ func newAZWorker(g *graph.Graph, patterns, maxDepth, maxDeg int, instrument bool
 func (w *azWorker) runRoot(tr *trie, lo, hi uint32) {
 	for _, root := range tr.roots {
 		for v := lo; v < hi; v++ {
+			w.levels[0].Candidates++
 			if root.label != pattern.Unlabeled && w.g.Label(v) != root.label {
 				continue
 			}
+			w.levels[0].Extended++
 			w.match[0] = v
 			// Depth-0 loops have no restrictions (no earlier levels).
 			for _, br := range root.branches {
@@ -431,6 +444,8 @@ func (w *azWorker) exec(node *trieNode, depth int) {
 		wins[bi] = win
 	}
 
+	w.levels[depth].Candidates += uint64(len(cands))
+	var ext uint64
 	for _, v := range cands {
 		if node.label != pattern.Unlabeled && w.g.Label(v) != node.label {
 			continue
@@ -445,6 +460,7 @@ func (w *azWorker) exec(node *trieNode, depth int) {
 		if used {
 			continue
 		}
+		ext++
 		w.match[depth] = v
 		for bi, br := range node.branches {
 			win := wins[bi]
@@ -459,6 +475,7 @@ func (w *azWorker) exec(node *trieNode, depth int) {
 			}
 		}
 	}
+	w.levels[depth].Extended += ext
 }
 
 // execLeaf runs a merged loop whose branches are all childless — the
@@ -493,6 +510,11 @@ func (w *azWorker) execLeaf(node *trieNode, depth int) {
 			for _, idx := range br.enders {
 				w.counts[idx] += n
 			}
+			// Count-only leaf: the candidate set is never materialized, so
+			// the extension count stands in for both fields (see
+			// engine.Stats.Levels).
+			w.levels[depth].Candidates += n
+			w.levels[depth].Extended += n
 		}
 		if w.instrument {
 			w.st.SetOpTime += time.Since(t0)
@@ -500,6 +522,7 @@ func (w *azWorker) execLeaf(node *trieNode, depth int) {
 		return
 	}
 	cands := w.candidates(node, depth)
+	w.levels[depth].Candidates += uint64(len(cands))
 	var t0 time.Time
 	if w.instrument {
 		t0 = time.Now()
@@ -519,6 +542,10 @@ func (w *azWorker) execLeaf(node *trieNode, depth int) {
 		for _, idx := range br.enders {
 			w.counts[idx] += n
 		}
+		// Sibling branches count overlapping windows of the shared set, so
+		// Extended may exceed a single branch's yield — it measures work
+		// done, not distinct bindings.
+		w.levels[depth].Extended += n
 	}
 	if w.instrument {
 		w.st.SetOpTime += time.Since(t0)

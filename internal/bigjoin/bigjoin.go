@@ -169,6 +169,8 @@ func runSingle(ctx context.Context, g *graph.Graph, p *pattern.Pattern, visit en
 	}()
 	want := p.Label(0)
 	done := ctx.Done()
+	var cands, ext uint64
+	defer func() { st.AddLevel(0, cands, ext) }()
 	for v := uint32(0); v < uint32(g.NumVertices()); v++ {
 		if int(v)%batchSize == 0 {
 			select {
@@ -177,9 +179,11 @@ func runSingle(ctx context.Context, g *graph.Graph, p *pattern.Pattern, visit en
 			default:
 			}
 		}
+		cands++
 		if want != pattern.Unlabeled && g.Label(v) != want {
 			continue
 		}
+		ext++
 		*total++
 		if visit != nil {
 			st.UDFCalls++
@@ -246,6 +250,7 @@ func (e *Engine) run(ctx context.Context, g *graph.Graph, p *pattern.Pattern, vi
 		err := runSingle(ctx, g, p, visit, batchSize, &total, st)
 		st.Matches = total
 		st.TotalTime = time.Since(start)
+		st.AddWorker(engine.WorkerStats{Worker: 0, Time: st.TotalTime, Matches: total})
 		liveMatches.Add(0, total)
 		engine.PublishStats(o, st)
 		engine.PublishAbort(o, err)
@@ -301,7 +306,13 @@ func (e *Engine) run(ctx context.Context, g *graph.Graph, p *pattern.Pattern, vi
 					}
 					fi.BlockClaimed(w.id)
 					before := w.count
+					// Busy time accrues per batch, not per goroutine
+					// lifetime: stage workers spend most of their wall-clock
+					// blocked on the input channel, which is idleness, not
+					// load — the skew histograms want processing time only.
+					t0 := time.Now()
 					w.process(b)
+					w.busy += time.Since(t0)
 					if w.last {
 						liveMatches.Add(w.id, w.count-before)
 					}
@@ -336,10 +347,13 @@ func (e *Engine) run(ctx context.Context, g *graph.Graph, p *pattern.Pattern, vi
 	}
 	src := &batch{width: 1}
 	want := p.Label(pl.Order[0])
+	var srcCands, srcExt uint64
 	for v := uint32(0); v < uint32(g.NumVertices()); v++ {
+		srcCands++
 		if want != pattern.Unlabeled && g.Label(v) != want {
 			continue
 		}
+		srcExt++
 		src.data = append(src.data, v)
 		if src.tuples() >= batchSize {
 			if stopped() {
@@ -355,9 +369,12 @@ func (e *Engine) run(ctx context.Context, g *graph.Graph, p *pattern.Pattern, vi
 	close(chans[1])
 	stageWGs[k-1].Wait()
 
+	st.AddLevel(0, srcCands, srcExt)
 	for _, w := range workers {
 		total += w.count
 		w.st.AddSetops(w.sst)
+		w.st.AddLevel(w.level, w.lvl.Candidates, w.lvl.Extended)
+		w.st.Workers = []engine.WorkerStats{{Worker: w.id, Time: w.busy, Matches: w.count}}
 		st.Add(&w.st)
 	}
 	st.Matches = total
@@ -388,6 +405,8 @@ type bjWorker struct {
 
 	st       engine.Stats
 	sst      setops.Stats
+	lvl      engine.LevelStats // this stage's selectivity, folded at merge
+	busy     time.Duration     // time spent processing batches
 	count    uint64
 	pending  *batch
 	bufA     []uint32
@@ -458,6 +477,10 @@ func (w *bjWorker) extend(prefix []uint32) {
 			var n uint64
 			n, w.bufA, w.bufB = engine.CountExtensions(w.g, cv, nil, f, prefix, w.bufA, w.bufB, &w.sst)
 			w.count += n
+			// Count-only stage: the candidate set is never materialized,
+			// so n stands in for both fields (see engine.Stats.Levels).
+			w.lvl.Candidates += n
+			w.lvl.Extended += n
 		}
 		if w.instrument {
 			w.st.SetOpTime += time.Since(t0)
@@ -501,6 +524,7 @@ func (w *bjWorker) extend(prefix []uint32) {
 		}
 	}
 
+	w.lvl.Candidates += uint64(len(cur))
 	for _, v := range cur {
 		if hasLower && v <= lower || hasUpper && v >= upper {
 			continue
@@ -518,6 +542,7 @@ func (w *bjWorker) extend(prefix []uint32) {
 		if used {
 			continue
 		}
+		w.lvl.Extended++
 		if w.last {
 			w.count++
 			if w.visit != nil {

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the S-DAG in Graphviz DOT format, one node per
+// structure with edges from each subpattern to its one-more-edge
+// superpatterns. When sel is non-nil the selection is overlaid: nodes in
+// the chosen alternative set are filled and annotated with the variant(s)
+// to mine (and their modeled costs when AnnotateEstimates ran), and
+// query structures get a bold border — so the rendering shows exactly
+// which part of the lattice Algorithm 1 decided to pay for.
+func (d *SDAG) WriteDOT(w io.Writer, sel *Selection) error {
+	// Overlay indexes: chosen variants and query structures by node ID.
+	chosen := map[uint64][]Choice{}
+	query := map[uint64]bool{}
+	if sel != nil {
+		for _, c := range sel.Mine {
+			chosen[c.Node.ID] = append(chosen[c.Node.ID], c)
+		}
+		for _, q := range sel.Queries {
+			query[q.Node.ID] = true
+		}
+	}
+	if _, err := fmt.Fprintln(w, "digraph sdag {"); err != nil {
+		return err
+	}
+	// Bottom-to-top: queries at the bottom, the clique apex on top,
+	// matching how the paper draws the lattice (Fig. 6).
+	fmt.Fprintln(w, "  rankdir=BT;")
+	fmt.Fprintln(w, "  node [shape=box, fontname=\"monospace\"];")
+	for _, n := range d.Nodes() {
+		label := fmt.Sprintf("%s\\n%d edges", n.Pattern.String(), n.Pattern.EdgeCount())
+		if na := len(n.Pattern.NonEdges()); na > 0 {
+			label += fmt.Sprintf(", %d anti if vertex-induced", na)
+		}
+		attrs := ""
+		for _, c := range chosen[n.ID] {
+			label += "\\nmine " + variantString(c.Variant)
+			if c.EstCost > 0 {
+				label += fmt.Sprintf(" (cost %.3g)", c.EstCost)
+			}
+		}
+		if len(chosen[n.ID]) > 0 {
+			attrs += ", style=filled, fillcolor=lightblue"
+		}
+		if query[n.ID] {
+			attrs += ", penwidth=3"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\"%s];\n", n.ID, label, attrs); err != nil {
+			return err
+		}
+	}
+	for _, n := range d.Nodes() {
+		// Emit each link from the child side; Nodes() order makes the
+		// output deterministic (parents of one child follow insertion
+		// order, which BuildSDAG derives from the sorted non-edge list).
+		for _, p := range n.Parents {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", n.ID, p.ID); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

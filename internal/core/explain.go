@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"morphing/internal/canon"
+	"morphing/internal/costmodel"
+	"morphing/internal/pattern"
+)
+
+// This file holds the explainability side of pattern transformation: the
+// trace Algorithm 1 leaves behind when SelectOptions.Explain is set, the
+// per-choice cost/cardinality annotations calibration compares against
+// measured engine.Stats, and the process-wide run hook that lets tools
+// (morphbench, tests) capture every RunStats the pipeline produces.
+
+// maxExplainCandidates caps the candidate-morph trace. Algorithm 1
+// enumerates up to 2^MaxSubset subsets per parent per iteration; on
+// adversarial query sets that is far more than any report wants to
+// render, so the trace keeps the first entries and counts the rest in
+// Truncated. Accepted morphs are always recorded — they are the plan.
+const maxExplainCandidates = 4096
+
+// ScoredPair is one (pattern, variant) with its modeled mining cost, as
+// Algorithm 1 saw it while scoring a candidate morph.
+type ScoredPair struct {
+	Pattern string  `json:"pattern"`
+	Variant string  `json:"variant"`
+	Cost    float64 `json:"cost"`
+	// Free marks pairs already scheduled in the working set S: they are
+	// added at zero marginal cost, the compounding effect that makes
+	// overlapping morphs cheap (§5, cost zeroing).
+	Free bool `json:"free,omitempty"`
+}
+
+// CandidateMorph is one subset-replacement Algorithm 1 scored: remove the
+// subset C of the working set, add the union of its members' alternative
+// sets. Accepted morphs strictly decreased the modeled total.
+type CandidateMorph struct {
+	Iter     int          `json:"iter"`
+	Parent   string       `json:"parent"`
+	Removed  []ScoredPair `json:"removed"`
+	Added    []ScoredPair `json:"added"`
+	CostOut  float64      `json:"cost_removed"`
+	CostIn   float64      `json:"cost_added"`
+	Accepted bool         `json:"accepted"`
+}
+
+// NodeCost records the cost model's two variant estimates for one S-DAG
+// structure, as consulted during selection.
+type NodeCost struct {
+	ID      uint64  `json:"id"`
+	Pattern string  `json:"pattern"`
+	CostE   float64 `json:"cost_edge_induced"`
+	CostV   float64 `json:"cost_vertex_induced"`
+}
+
+// SelectionExplain is the trace of one Select run: every structure cost
+// the model produced and every candidate morph scored, in the
+// deterministic order the algorithm visited them.
+type SelectionExplain struct {
+	NodeCosts  []NodeCost       `json:"node_costs"`
+	Candidates []CandidateMorph `json:"candidates"`
+	// Truncated counts rejected candidates dropped once the trace hit
+	// its cap (accepted ones are always kept).
+	Truncated int `json:"truncated,omitempty"`
+}
+
+// recordCandidate appends one scored morph, enforcing the cap on
+// rejected entries.
+func (e *SelectionExplain) recordCandidate(c CandidateMorph) {
+	if !c.Accepted && len(e.Candidates) >= maxExplainCandidates {
+		e.Truncated++
+		return
+	}
+	e.Candidates = append(e.Candidates, c)
+}
+
+// AnnotateEstimates fills each Choice's EstCost and EstMatches from the
+// cost model, the predictions post-run calibration compares against the
+// measured per-pattern matches and wall time. Estimation failures (never
+// expected for connected patterns) leave +Inf cost and zero matches.
+func (sel *Selection) AnnotateEstimates(model *costmodel.Model, perMatchCost float64) {
+	for i := range sel.Mine {
+		c := &sel.Mine[i]
+		auts := len(canon.Automorphisms(c.Pattern))
+		cost, err := model.PatternCost(c.Pattern.Variant(c.Variant), auts, perMatchCost)
+		if err != nil {
+			cost = math.Inf(1)
+		}
+		c.EstCost = cost
+		c.EstMatches = model.MatchEstimate(c.Pattern, auts)
+	}
+}
+
+// runHook is the process-wide RunStats observer (SetRunHook).
+var runHook atomic.Pointer[func(*RunStats)]
+
+// SetRunHook installs fn to be called with every completed pipeline
+// execution's RunStats, after it is fully populated and published.
+// Passing nil uninstalls. One hook is active at a time; the previous one
+// is returned so callers can restore it. The hook runs synchronously on
+// the pipeline goroutine — keep it cheap and do not retain the *RunStats
+// past the call unless you own it (clone what you need).
+func SetRunHook(fn func(*RunStats)) (prev func(*RunStats)) {
+	var old *func(*RunStats)
+	if fn == nil {
+		old = runHook.Swap(nil)
+	} else {
+		old = runHook.Swap(&fn)
+	}
+	if old == nil {
+		return nil
+	}
+	return *old
+}
+
+func fireRunHook(st *RunStats) {
+	if fn := runHook.Load(); fn != nil {
+		(*fn)(st)
+	}
+}
+
+// variantString names a variant the way reports print it.
+func variantString(v pattern.Induced) string {
+	if v == pattern.VertexInduced {
+		return "vertex-induced"
+	}
+	return "edge-induced"
+}

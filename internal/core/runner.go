@@ -32,6 +32,15 @@ type Runner struct {
 	PerMatchCost float64
 	// SelectOptions tunes Algorithm 1.
 	SelectOptions SelectOptions
+	// Explain turns on the explainability path: selection records its
+	// Algorithm 1 trace (Selection.Explain), choices are annotated with
+	// the cost model's predictions, and mining runs pattern by pattern so
+	// RunStats.PerPattern can pair each prediction with its measured
+	// match count and wall time (the calibration data). Per-pattern
+	// mining is EXPLAIN ANALYZE semantics: engines that share work across
+	// patterns (AutoZero's merged schedules) lose that sharing, so
+	// explained timings bound — rather than equal — the fused run.
+	Explain bool
 	// MemoryBudget caps the estimated bytes of matches the batched
 	// result-conversion path may materialize (0 = unlimited). When the
 	// cost model's match-volume estimate for the selected alternatives
@@ -77,6 +86,19 @@ type RunStats struct {
 	Convert   time.Duration // result transformation
 	Selection *Selection    // the chosen alternative set
 
+	// Engine and the graph dimensions identify what the run executed
+	// against, so a RunStats (and the reports built from it) is
+	// self-describing.
+	Engine        string
+	GraphVertices int
+	GraphEdges    uint64
+
+	// PerPattern pairs each executed alternative's cost-model predictions
+	// with its measured results, one entry per Selection.Mine choice.
+	// Filled only on the explain path (Runner.Explain), where mining runs
+	// pattern by pattern so per-pattern wall time is well-defined.
+	PerPattern []PatternRunStats
+
 	// Phase is the pipeline stage the run last entered (Phase*
 	// constants); PhaseDone after a complete run.
 	Phase string
@@ -91,6 +113,26 @@ type RunStats struct {
 	// EstimatedBytes is the cost model's estimate of materialized match
 	// bytes for the selected alternatives, set when MemoryBudget > 0.
 	EstimatedBytes uint64
+}
+
+// PatternRunStats is the calibration record for one executed alternative
+// pattern: what the §5.2 cost model predicted next to what the engine
+// measured.
+type PatternRunStats struct {
+	Pattern    string        `json:"pattern"`
+	Variant    string        `json:"variant"`
+	EstCost    float64       `json:"est_cost"`
+	EstMatches float64       `json:"est_matches"`
+	Matches    uint64        `json:"matches"`
+	Time       time.Duration `json:"time_ns"`
+}
+
+// CalibrationRatio returns predicted/measured matches, add-one smoothed
+// so the ratio stays finite even when either side is zero: a
+// well-calibrated model hovers near 1, systematic over-estimation sits
+// above it. Reports aggregate the log-distribution of these.
+func (p PatternRunStats) CalibrationRatio() float64 {
+	return (p.EstMatches + 1) / (float64(p.Matches) + 1)
 }
 
 // policyFor derives the variant policy from aggregation algebra and
@@ -133,7 +175,11 @@ func (r *Runner) Transform(g *graph.Graph, queries []*pattern.Pattern, agg aggr.
 			}
 		}
 		sp.Set(obs.Str("morphing", "disabled"))
-		return IdentitySelection(queries)
+		sel, err := IdentitySelection(queries)
+		if err == nil && r.Explain {
+			sel.AnnotateEstimates(costmodel.New(graph.Summarize(g), r.weights()), r.PerMatchCost)
+		}
+		return sel, err
 	}
 	d, err := BuildSDAG(queries)
 	if err != nil {
@@ -141,13 +187,26 @@ func (r *Runner) Transform(g *graph.Graph, queries []*pattern.Pattern, agg aggr.
 	}
 	model := costmodel.New(graph.Summarize(g), r.weights())
 	spSel := o.StartSpan("select", obs.Int("sdag_nodes", d.Len()))
-	sel, err := Select(d, queries, DefaultCostFunc(model, r.PerMatchCost), policy, r.SelectOptions)
+	sel, err := Select(d, queries, DefaultCostFunc(model, r.PerMatchCost), policy, r.selectOptions())
 	spSel.End()
 	if err != nil {
 		return nil, err
 	}
+	if r.Explain {
+		sel.AnnotateEstimates(model, r.PerMatchCost)
+	}
 	sp.Set(obs.Int("mine_patterns", len(sel.Mine)))
 	return sel, nil
+}
+
+// selectOptions resolves the effective SelectOptions: Runner.Explain
+// implies trace recording.
+func (r *Runner) selectOptions() SelectOptions {
+	opts := r.SelectOptions
+	if r.Explain {
+		opts.Explain = true
+	}
+	return opts
 }
 
 // TransformForStreaming runs pattern transformation for match-stream
@@ -165,7 +224,11 @@ func (r *Runner) TransformForStreaming(g *graph.Graph, queries []*pattern.Patter
 	defer sp.End()
 	if r.DisableMorphing || r.SelectOptions.DisableMorphing {
 		sp.Set(obs.Str("morphing", "disabled"))
-		return IdentitySelection(queries)
+		sel, err := IdentitySelection(queries)
+		if err == nil && r.Explain {
+			sel.AnnotateEstimates(costmodel.New(graph.Summarize(g), r.weights()), r.PerMatchCost)
+		}
+		return sel, err
 	}
 	d, err := BuildSDAG(queries)
 	if err != nil {
@@ -173,10 +236,13 @@ func (r *Runner) TransformForStreaming(g *graph.Graph, queries []*pattern.Patter
 	}
 	model := costmodel.New(graph.Summarize(g), r.weights())
 	spSel := o.StartSpan("select", obs.Int("sdag_nodes", d.Len()))
-	sel, err := Select(d, queries, DefaultCostFunc(model, r.PerMatchCost), PolicyVertexOnly, r.SelectOptions)
+	sel, err := Select(d, queries, DefaultCostFunc(model, r.PerMatchCost), PolicyVertexOnly, r.selectOptions())
 	spSel.End()
 	if err != nil {
 		return nil, err
+	}
+	if r.Explain {
+		sel.AnnotateEstimates(model, r.PerMatchCost)
 	}
 	sp.Set(obs.Int("mine_patterns", len(sel.Mine)))
 	return sel, nil
@@ -203,6 +269,14 @@ const (
 	// MetricDegraded counts runs where MemoryBudget forced the fallback
 	// from batched to on-the-fly conversion.
 	MetricDegraded = "run_degraded_total"
+
+	// MetricCalibrationRatio is a log-scale histogram of per-pattern
+	// calibration ratios (predicted/measured matches, add-one smoothed),
+	// observed in milli-ratio units so the log2 buckets resolve both
+	// under- and over-estimation: a perfectly calibrated model lands
+	// every observation near 1000 (bucket [512,1024) or [1024,2048)).
+	// Populated on the explain path only.
+	MetricCalibrationRatio = "costmodel_calibration_ratio_milli"
 
 	GaugeMinePatterns   = "run_last_mine_patterns"
 	GaugeMorphedQueries = "run_last_morphed_queries"
@@ -231,6 +305,20 @@ func publishRunStats(o *obs.Observer, st *RunStats) {
 		o.Gauge(GaugeCostBefore).Set(sel.CostBefore)
 		o.Gauge(GaugeCostAfter).Set(sel.CostAfter)
 	}
+	if len(st.PerPattern) > 0 {
+		h := o.Histogram(MetricCalibrationRatio)
+		for _, pp := range st.PerPattern {
+			r := pp.CalibrationRatio() * 1000
+			if r < 0 || math.IsNaN(r) {
+				r = 0
+			}
+			if r > math.MaxUint64/2 {
+				r = math.MaxUint64 / 2
+			}
+			h.Observe(0, uint64(r))
+		}
+	}
+	fireRunHook(st)
 }
 
 // Counts answers subgraph counting queries (SC/MC): the count of each
@@ -258,7 +346,8 @@ func (r *Runner) CountsCtx(ctx context.Context, g *graph.Graph, queries []*patte
 		return nil, nil, err
 	}
 	stats := &RunStats{Selection: sel, Transform: time.Since(t0),
-		Phase: PhaseTransform, ConversionMode: "batched"}
+		Phase: PhaseTransform, ConversionMode: "batched",
+		Engine: r.Engine.Name(), GraphVertices: g.NumVertices(), GraphEdges: g.NumEdges()}
 
 	minePatterns := make([]*pattern.Pattern, len(sel.Mine))
 	for i, c := range sel.Mine {
@@ -267,11 +356,22 @@ func (r *Runner) CountsCtx(ctx context.Context, g *graph.Graph, queries []*patte
 	stats.Phase = PhaseMine
 	spM := o.StartSpan("mine",
 		obs.Str("engine", r.Engine.Name()), obs.Int("patterns", len(minePatterns)))
-	counts, mst, err := engine.CountAllCtx(ctx, r.Engine, g, minePatterns)
+	var counts []uint64
+	if r.Explain {
+		// EXPLAIN ANALYZE semantics: mine pattern by pattern so each
+		// choice gets its own measured matches and wall time next to the
+		// model's predictions (see Runner.Explain for the caveat about
+		// engines that merge schedules across patterns).
+		counts, err = r.mineCountsExplained(ctx, g, sel, stats)
+	} else {
+		var mst *engine.Stats
+		counts, mst, err = engine.CountAllCtx(ctx, r.Engine, g, minePatterns)
+		// Clone: the snapshot in RunStats must not alias a struct the
+		// engine may keep touching (see the single-merger invariant on
+		// engine.Stats).
+		stats.Mining = mst.Clone()
+	}
 	spM.End()
-	// Clone: the snapshot in RunStats must not alias a struct the engine
-	// may keep touching (see the single-merger invariant on engine.Stats).
-	stats.Mining = mst.Clone()
 	if err != nil {
 		if engine.Interrupted(err) {
 			for i, p := range minePatterns {
@@ -309,6 +409,40 @@ func (r *Runner) CountsCtx(ctx context.Context, g *graph.Graph, queries []*patte
 	return out, stats, nil
 }
 
+// mineCountsExplained mines each alternative individually, pairing every
+// choice's cost-model predictions with its measured match count and wall
+// time in stats.PerPattern. stats.Mining accumulates the per-pattern
+// engine stats (it never aliases engine-owned memory — the accumulator is
+// freshly built here). On a typed interruption the returned counts hold
+// the progress made so far; the caller applies the partial-result
+// contract.
+func (r *Runner) mineCountsExplained(ctx context.Context, g *graph.Graph, sel *Selection, stats *RunStats) ([]uint64, error) {
+	counts := make([]uint64, len(sel.Mine))
+	acc := &engine.Stats{}
+	stats.Mining = acc
+	for i, c := range sel.Mine {
+		t0 := time.Now()
+		n, st, err := engine.CountCtx(ctx, r.Engine, g, c.Pattern)
+		elapsed := time.Since(t0)
+		counts[i] = n
+		if st != nil {
+			acc.Add(st)
+		}
+		stats.PerPattern = append(stats.PerPattern, PatternRunStats{
+			Pattern:    c.Pattern.String(),
+			Variant:    variantString(c.Variant),
+			EstCost:    c.EstCost,
+			EstMatches: c.EstMatches,
+			Matches:    n,
+			Time:       elapsed,
+		})
+		if err != nil {
+			return counts, err
+		}
+	}
+	return counts, nil
+}
+
 // MNITables answers FSM-style support queries: the full-MNI table of each
 // query pattern (every embedding inserted, Bringmann-Nijssen semantics).
 // Morphing uses the additive direction only (PolicyVertexOnly).
@@ -335,7 +469,8 @@ func (r *Runner) MNITablesCtx(ctx context.Context, g *graph.Graph, queries []*pa
 		return nil, nil, err
 	}
 	stats := &RunStats{Selection: sel, Transform: time.Since(t0),
-		Phase: PhaseTransform, ConversionMode: "batched"}
+		Phase: PhaseTransform, ConversionMode: "batched",
+		Engine: r.Engine.Name(), GraphVertices: g.NumVertices(), GraphEdges: g.NumEdges()}
 
 	// Graceful degradation decision: estimate the batched path's match
 	// volume; above budget, switch to on-the-fly conversion if the
@@ -365,10 +500,23 @@ func (r *Runner) MNITablesCtx(ctx context.Context, g *graph.Graph, queries []*pa
 	mined := make([]aggr.Value, len(sel.Mine))
 	minedCounts := make([]uint64, len(sel.Mine))
 	for i, c := range sel.Mine {
+		tm := time.Now()
 		tbl, st, err := mineMNITableCtx(ctx, o, r.Engine, g, c.Pattern)
 		if st != nil {
 			stats.Mining.Add(st)
 			minedCounts[i] = st.Matches
+		}
+		if r.Explain {
+			// This path already mines pattern by pattern, so calibration
+			// records come for free — no schedule-sharing caveat here.
+			stats.PerPattern = append(stats.PerPattern, PatternRunStats{
+				Pattern:    c.Pattern.String(),
+				Variant:    variantString(c.Variant),
+				EstCost:    c.EstCost,
+				EstMatches: c.EstMatches,
+				Matches:    minedCounts[i],
+				Time:       time.Since(tm),
+			})
 		}
 		if err != nil {
 			spM.End()

@@ -87,6 +87,13 @@ type Choice struct {
 	Node    *Node
 	Variant pattern.Induced
 	Pattern *pattern.Pattern
+
+	// EstCost and EstMatches are the cost model's predictions for mining
+	// this choice, filled by Selection.AnnotateEstimates (explain mode
+	// only; zero otherwise). Calibration divides EstMatches by the
+	// measured match count.
+	EstCost    float64
+	EstMatches float64
 }
 
 // Query pairs an input pattern with its S-DAG node.
@@ -108,6 +115,10 @@ type Selection struct {
 	// set and the selected alternative set (diagnostics and Fig. 15e).
 	CostBefore, CostAfter float64
 
+	// Explain is the Algorithm 1 trace, recorded only when
+	// SelectOptions.Explain was set; nil otherwise.
+	Explain *SelectionExplain
+
 	byPair map[pairKey]int // pair -> index into Mine
 }
 
@@ -118,6 +129,11 @@ type SelectOptions struct {
 	MaxSubset int
 	// DisableMorphing keeps every query as-is (the baseline systems).
 	DisableMorphing bool
+	// Explain records the selection trace (every node cost and every
+	// candidate morph scored) in Selection.Explain. Off the explain path
+	// this costs nothing; with it, selection allocates trace entries but
+	// its decisions are identical.
+	Explain bool
 }
 
 // IdentitySelection returns the no-morphing selection: every query is
@@ -151,13 +167,26 @@ func Select(d *SDAG, queries []*pattern.Pattern, cost CostFunc, policy Policy, o
 		return sel, nil
 	}
 
-	// Per-node base costs, computed once.
+	var ex *SelectionExplain
+	if opts.Explain {
+		ex = &SelectionExplain{}
+		sel.Explain = ex
+	}
+
+	// Per-node base costs, computed once. Trace entries append on the
+	// memoization miss, so their order follows the algorithm's (fully
+	// deterministic) first consultation of each structure.
 	baseCosts := map[uint64]Costs{}
 	nodeCost := func(n *Node) Costs {
 		c, ok := baseCosts[n.ID]
 		if !ok {
 			c = cost(n)
 			baseCosts[n.ID] = c
+			if ex != nil {
+				ex.NodeCosts = append(ex.NodeCosts, NodeCost{
+					ID: n.ID, Pattern: n.Pattern.String(), CostE: c.E, CostV: c.V,
+				})
+			}
 		}
 		return c
 	}
@@ -339,6 +368,41 @@ func Select(d *SDAG, queries []*pattern.Pattern, cost CostFunc, policy Policy, o
 						}
 						added += variantCost(n, k.variant)
 					}
+					if ex != nil {
+						cm := CandidateMorph{
+							Iter: iter, Parent: par.Pattern.String(),
+							CostOut: removed, CostIn: added, Accepted: added < removed,
+						}
+						for _, c := range C {
+							cm.Removed = append(cm.Removed, ScoredPair{
+								Pattern: c.node.Pattern.String(),
+								Variant: variantString(c.key.variant),
+								Cost:    variantCost(c.node, c.key.variant),
+							})
+						}
+						// spc is a map: sort its keys so the trace is as
+						// deterministic as the decision it records.
+						spcKeys := make([]pairKey, 0, len(spc))
+						for k := range spc {
+							spcKeys = append(spcKeys, k)
+						}
+						sort.Slice(spcKeys, func(i, j int) bool { return lessPair(spcKeys[i], spcKeys[j]) })
+						for _, k := range spcKeys {
+							n := spc[k]
+							_, staying := S[k]
+							free := staying && !inC[k]
+							p := ScoredPair{
+								Pattern: n.Pattern.String(),
+								Variant: variantString(k.variant),
+								Free:    free,
+							}
+							if !free {
+								p.Cost = variantCost(n, k.variant)
+							}
+							cm.Added = append(cm.Added, p)
+						}
+						ex.recordCandidate(cm)
+					}
 					if added < removed {
 						for _, c := range C {
 							delete(S, c.key)
@@ -375,8 +439,31 @@ func Select(d *SDAG, queries []*pattern.Pattern, cost CostFunc, policy Policy, o
 				return nil, fmt.Errorf("core: vertex-induced query %v cannot run under an edge-only engine without morphing; use a Filter UDF baseline instead", q.Pattern)
 			}
 			delete(S, k)
-			for _, m := range altSet(k, q.Node) {
+			alt := altSet(k, q.Node)
+			for _, m := range alt {
 				S[m.key] = m.node
+			}
+			if ex != nil {
+				cm := CandidateMorph{
+					Parent:   "(forced: edge-only engine)",
+					CostOut:  variantCost(q.Node, k.variant),
+					Accepted: true,
+					Removed: []ScoredPair{{
+						Pattern: q.Node.Pattern.String(),
+						Variant: variantString(k.variant),
+						Cost:    variantCost(q.Node, k.variant),
+					}},
+				}
+				for _, m := range alt {
+					c := variantCost(m.node, m.key.variant)
+					cm.CostIn += c
+					cm.Added = append(cm.Added, ScoredPair{
+						Pattern: m.node.Pattern.String(),
+						Variant: variantString(m.key.variant),
+						Cost:    c,
+					})
+				}
+				ex.recordCandidate(cm)
 			}
 		}
 	}

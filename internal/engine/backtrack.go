@@ -122,6 +122,13 @@ func BacktrackCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, visit Visi
 		wg.Add(1)
 		go func(w *btWorker) {
 			defer wg.Done()
+			// Busy time: the whole work loop, including the tail where a
+			// worker keeps descending under its last root after the block
+			// cursor is exhausted — exactly the straggler signature the
+			// per-worker histograms exist to expose. Registered before the
+			// recover defer so panicking workers report their time too.
+			t0 := time.Now()
+			defer func() { w.busy = time.Since(t0) }()
 			// Panic containment: a visitor panic must not unwind past the
 			// worker goroutine (that would kill the process). Record the
 			// first one, abort the siblings, keep this worker's partial
@@ -169,6 +176,10 @@ func BacktrackCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, visit Visi
 	for _, w := range workers {
 		total += w.count
 		w.st.AddSetops(w.sst)
+		for i, l := range w.levels {
+			w.st.AddLevel(i, l.Candidates, l.Extended)
+		}
+		w.st.Workers = []WorkerStats{{Worker: w.id, Time: w.busy, Matches: w.count}}
 		st.Add(&w.st)
 	}
 	st.Matches = total
@@ -192,11 +203,13 @@ type btWorker struct {
 	visit      Visitor
 	instrument bool
 
-	st    Stats
-	sst   setops.Stats
-	count uint64
-	limit uint64  // early-termination threshold (0 = off)
-	found *uint64 // shared found-so-far counter when limit > 0
+	st     Stats
+	sst    setops.Stats
+	levels []LevelStats  // per-level selectivity, folded into st at merge
+	busy   time.Duration // wall-clock inside the work loop
+	count  uint64
+	limit  uint64  // early-termination threshold (0 = off)
+	found  *uint64 // shared found-so-far counter when limit > 0
 
 	match    []uint32 // data vertex bound at each level
 	byVertex []uint32 // data vertex bound to each pattern vertex
@@ -215,6 +228,7 @@ func newBTWorker(id int, g *graph.Graph, pl *plan.Plan, visit Visitor, instrumen
 		pl:         pl,
 		visit:      visit,
 		instrument: instrument,
+		levels:     make([]LevelStats, k),
 		match:      make([]uint32, k),
 		byVertex:   make([]uint32, k),
 		bufA:       make([][]uint32, k),
@@ -239,9 +253,11 @@ func (w *btWorker) runRoot(lo, hi uint32) {
 		if w.limit > 0 && atomic.LoadUint64(w.found) >= w.limit {
 			return
 		}
+		w.levels[0].Candidates++
 		if wantLabel != pattern.Unlabeled && w.g.Label(v) != wantLabel {
 			continue
 		}
+		w.levels[0].Extended++
 		before := w.count
 		if k == 1 {
 			w.emit(v, 0)
@@ -262,14 +278,21 @@ func (w *btWorker) descend(i int) {
 	if last && w.visit == nil {
 		// Counting fast path: the final candidate set is never
 		// materialized — the last set operation, the symmetry window and
-		// the label filter all run count-only (see CountExtensions).
-		w.count += w.countLast(i)
+		// the label filter all run count-only (see CountExtensions). The
+		// scan width is unknown here, so the level records its extension
+		// count as both candidates and extensions (see Stats.Levels).
+		n := w.countLast(i)
+		w.count += n
+		w.levels[i].Candidates += n
+		w.levels[i].Extended += n
 		return
 	}
 	cands := w.candidates(i)
 	if lo, hi, bounded := w.window(i); bounded {
 		cands = setops.Clip(cands, lo, hi)
 	}
+	w.levels[i].Candidates += uint64(len(cands))
+	var ext uint64
 	wantLabel := w.labels[i]
 	for _, v := range cands {
 		if wantLabel != pattern.Unlabeled && w.g.Label(v) != wantLabel {
@@ -278,6 +301,7 @@ func (w *btWorker) descend(i int) {
 		if w.usedAt(v, i) {
 			continue
 		}
+		ext++
 		if last {
 			w.emit(v, i)
 			continue
@@ -286,6 +310,7 @@ func (w *btWorker) descend(i int) {
 		w.byVertex[w.pl.Order[i]] = v
 		w.descend(i + 1)
 	}
+	w.levels[i].Extended += ext
 }
 
 // candidates computes the level-i candidate set from the plan's Connect

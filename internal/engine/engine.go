@@ -83,6 +83,46 @@ type Stats struct {
 	MaterializeTime time.Duration // match assembly and emission time
 	UDFTime         time.Duration // time inside user callbacks
 	TotalTime       time.Duration // wall-clock for the whole operation
+
+	// Levels holds per-exploration-level selectivity counters, indexed by
+	// plan level (0 = root). The ratio Extended/Candidates at each level
+	// is the measured selectivity the §5.2 cost model predicts via
+	// candidate-set sizes; comparing the two per level is how calibration
+	// localizes mispredictions. Count-only last levels record their
+	// extension count in both fields (the candidate set is never
+	// materialized, so the scan width is unknown by design).
+	Levels []LevelStats
+	// Workers holds each worker's busy time and match yield for the
+	// execution, the raw material for load-skew and straggler analysis.
+	// Merged executions (Add) accumulate entries by worker ID.
+	Workers []WorkerStats
+}
+
+// LevelStats instruments one exploration level: how many candidate
+// vertices the level considered and how many survived its filters
+// (symmetry window, label, already-bound) to be bound or counted.
+type LevelStats struct {
+	Candidates uint64 // candidate vertices considered at this level
+	Extended   uint64 // candidates bound (or counted) at this level
+}
+
+// Selectivity returns Extended/Candidates, the level's measured
+// survival fraction (0 when nothing was considered).
+func (l LevelStats) Selectivity() float64 {
+	if l.Candidates == 0 {
+		return 0
+	}
+	return float64(l.Extended) / float64(l.Candidates)
+}
+
+// WorkerStats is one worker's contribution to an execution: its busy
+// wall-clock inside the work loop and the matches it found. A worker
+// whose Time far exceeds its siblings' is a straggler (typically stuck
+// under a hub vertex after the shared block cursor ran out).
+type WorkerStats struct {
+	Worker  int           `json:"worker"`
+	Time    time.Duration `json:"time_ns"`
+	Matches uint64        `json:"matches"`
 }
 
 // Clone returns an independent copy of s, for callers that want to
@@ -93,6 +133,8 @@ func (s *Stats) Clone() *Stats {
 		return nil
 	}
 	cp := *s
+	cp.Levels = append([]LevelStats(nil), s.Levels...)
+	cp.Workers = append([]WorkerStats(nil), s.Workers...)
 	return &cp
 }
 
@@ -115,6 +157,36 @@ func (s *Stats) Add(other *Stats) {
 	s.MaterializeTime += other.MaterializeTime
 	s.UDFTime += other.UDFTime
 	s.TotalTime += other.TotalTime
+	for i, l := range other.Levels {
+		s.AddLevel(i, l.Candidates, l.Extended)
+	}
+	for _, w := range other.Workers {
+		s.AddWorker(w)
+	}
+}
+
+// AddLevel accumulates level-i selectivity counters, growing Levels as
+// needed. Workers call it once per execution from their private Stats;
+// the merge side inherits it through Add.
+func (s *Stats) AddLevel(i int, candidates, extended uint64) {
+	for len(s.Levels) <= i {
+		s.Levels = append(s.Levels, LevelStats{})
+	}
+	s.Levels[i].Candidates += candidates
+	s.Levels[i].Extended += extended
+}
+
+// AddWorker accumulates one worker's contribution, merging by worker ID
+// so repeated executions (CountAll loops) sum each worker's totals.
+func (s *Stats) AddWorker(w WorkerStats) {
+	for i := range s.Workers {
+		if s.Workers[i].Worker == w.Worker {
+			s.Workers[i].Time += w.Time
+			s.Workers[i].Matches += w.Matches
+			return
+		}
+	}
+	s.Workers = append(s.Workers, w)
 }
 
 // AddSetops folds a worker's kernel-level counters (setops.Stats) into s.

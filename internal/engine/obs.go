@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 
 	"morphing/internal/obs"
 )
@@ -41,6 +42,13 @@ const (
 	// wall-clock, one observation per Count/Match/CountAll.
 	MetricMineDurationNS = "engine_mine_duration_ns"
 
+	// Per-worker skew histograms: one observation per worker per
+	// execution. A wide spread between p50 and p99 of
+	// MetricWorkerTimeNS is load skew; a lone top-bucket observation is
+	// a straggler (typically a worker stuck under a hub vertex).
+	MetricWorkerTimeNS  = "engine_worker_time_ns"
+	MetricWorkerMatches = "engine_worker_matches"
+
 	// Interruption counters, one increment per aborted execution:
 	// cooperative cancellation, deadline expiry, and visitor/UDF panics
 	// contained by the workers (see PublishAbort).
@@ -73,6 +81,32 @@ func PublishStats(o *obs.Observer, st *Stats) {
 	o.Counter(MetricUDFTimeNS).Add(0, uint64(st.UDFTime))
 	o.Counter(MetricRunTimeNS).Add(0, uint64(st.TotalTime))
 	o.Histogram(MetricMineDurationNS).Observe(0, uint64(st.TotalTime))
+	for i, l := range st.Levels {
+		if l.Candidates == 0 && l.Extended == 0 {
+			continue
+		}
+		o.Counter(LevelCandidatesMetric(i)).Add(0, l.Candidates)
+		o.Counter(LevelExtendedMetric(i)).Add(0, l.Extended)
+	}
+	wt := o.Histogram(MetricWorkerTimeNS)
+	wm := o.Histogram(MetricWorkerMatches)
+	for _, w := range st.Workers {
+		wt.Observe(w.Worker, uint64(w.Time))
+		wm.Observe(w.Worker, w.Matches)
+	}
+}
+
+// LevelCandidatesMetric names the per-level candidate counter for
+// exploration level i (flat names — the registry has no label support).
+func LevelCandidatesMetric(i int) string {
+	return fmt.Sprintf("engine_level_%d_candidates_total", i)
+}
+
+// LevelExtendedMetric names the per-level extension counter for level i.
+// Extended/Candidates at one level is the measured selectivity the cost
+// model's candidate-set estimates must track.
+func LevelExtendedMetric(i int) string {
+	return fmt.Sprintf("engine_level_%d_extended_total", i)
 }
 
 // PublishAbort records an interrupted execution in the registry: one

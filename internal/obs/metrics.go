@@ -130,7 +130,8 @@ func (h *Histogram) Observe(worker int, v uint64) {
 	s.buckets[bits.Len64(v)].Add(1)
 }
 
-// Snapshot merges all shards into one distribution.
+// Snapshot merges all shards into one distribution and fills the
+// approximate P50/P95/P99 summary fields (see Quantile).
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	var out HistogramSnapshot
 	if h == nil {
@@ -144,6 +145,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 			out.Buckets[b] += s.buckets[b].Load()
 		}
 	}
+	out.P50 = out.Quantile(0.50)
+	out.P95 = out.Quantile(0.95)
+	out.P99 = out.Quantile(0.99)
 	return out
 }
 
@@ -156,11 +160,65 @@ func (h *Histogram) Name() string {
 }
 
 // HistogramSnapshot is a merged histogram: Buckets[i] counts observations
-// v with bits.Len64(v) == i (upper bound 2^i - 1).
+// v with bits.Len64(v) == i (upper bound 2^i - 1). P50/P95/P99 are the
+// approximate quantiles computed from the buckets at snapshot time; they
+// ride along in the /vars JSON and in run reports.
 type HistogramSnapshot struct {
 	Count   uint64              `json:"count"`
 	Sum     uint64              `json:"sum"`
 	Buckets [histBuckets]uint64 `json:"buckets"`
+	P50     uint64              `json:"p50"`
+	P95     uint64              `json:"p95"`
+	P99     uint64              `json:"p99"`
+}
+
+// Quantile approximates the q-quantile (q in [0,1]) of the recorded
+// distribution from the log2 bucket counts: the target rank is located by
+// cumulative count, then interpolated linearly inside its bucket's value
+// range. The error is bounded by the bucket width (a factor of 2), which
+// is plenty to tell a straggling worker or a mispredicted selectivity
+// from its peers. Zero observations yield 0; q outside [0,1] is clamped.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based: ceil(q * count), at least 1.
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		if s.Buckets[i] == 0 {
+			continue
+		}
+		if cum+s.Buckets[i] < rank {
+			cum += s.Buckets[i]
+			continue
+		}
+		if i == 0 {
+			return 0 // bucket 0 holds exactly-zero observations
+		}
+		lo := float64(uint64(1) << uint(i-1)) // inclusive lower bound 2^(i-1)
+		hi := 2 * lo                          // exclusive upper bound 2^i
+		if i >= 64 {
+			hi = float64(math.MaxUint64)
+		}
+		// Position of the target rank within this bucket, in (0, 1].
+		frac := float64(rank-cum) / float64(s.Buckets[i])
+		v := lo + frac*(hi-lo)
+		if v >= float64(math.MaxUint64) {
+			return math.MaxUint64
+		}
+		return uint64(v)
+	}
+	return BucketUpperBound(histBuckets - 1)
 }
 
 // BucketUpperBound returns the inclusive upper bound of bucket i.

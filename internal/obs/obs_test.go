@@ -113,6 +113,71 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations of 100ns and one straggler at ~1ms: the p50 must
+	// stay in the 100ns bucket and the p99+ must not (p99 rank 100 of 101
+	// still lands in the dense bucket; p50 certainly does).
+	for i := 0; i < 100; i++ {
+		h.Observe(i, 100)
+	}
+	h.Observe(0, 1_000_000)
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 < 64 || p50 > 127 {
+		t.Fatalf("p50 = %d, want within the [64,128) bucket", p50)
+	}
+	if p100 := s.Quantile(1.0); p100 < 1<<19 || p100 > 1<<20 {
+		t.Fatalf("p100 = %d, want within the straggler's bucket [2^19, 2^20)", p100)
+	}
+	if s.P50 != s.Quantile(0.50) || s.P95 != s.Quantile(0.95) || s.P99 != s.Quantile(0.99) {
+		t.Fatal("snapshot summary fields disagree with Quantile()")
+	}
+	if s.Quantile(0.5) < s.Quantile(0.0) || s.Quantile(1.0) < s.Quantile(0.99) {
+		t.Fatal("quantiles not monotone")
+	}
+
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	var zeros Histogram
+	zeros.Observe(0, 0)
+	zeros.Observe(1, 0)
+	if q := zeros.Snapshot().Quantile(0.99); q != 0 {
+		t.Fatalf("all-zero histogram p99 = %d, want 0", q)
+	}
+	// Clamping: out-of-range q must not panic and stay in range.
+	if s.Quantile(-1) > s.Quantile(2) {
+		t.Fatal("clamped quantiles out of order")
+	}
+}
+
+func TestSnapshotQuantilesOnVars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("worker_time_ns")
+	for i := 0; i < 10; i++ {
+		h.Observe(i, 1000)
+	}
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Histograms map[string]struct {
+			P50 uint64 `json:"p50"`
+			P95 uint64 `json:"p95"`
+			P99 uint64 `json:"p99"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	got := decoded.Histograms["worker_time_ns"]
+	if got.P50 == 0 || got.P95 == 0 || got.P99 == 0 {
+		t.Fatalf("expected nonzero quantiles in /vars JSON, got %+v", got)
+	}
+}
+
 func TestSnapshotPrometheusText(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("engine_matches_total").Add(0, 42)

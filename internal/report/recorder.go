@@ -1,0 +1,87 @@
+package report
+
+import (
+	"sync"
+
+	"morphing/internal/core"
+)
+
+// Recorder captures a RunReport for every pipeline execution that
+// completes while it is installed, via core.SetRunHook. Safe for
+// concurrent pipelines: the hook fires on each pipeline's goroutine and
+// the recorder serializes appends internally.
+type Recorder struct {
+	mu      sync.Mutex
+	max     int
+	dropped int
+	reports []*RunReport
+	prev    func(*core.RunStats)
+	active  bool
+}
+
+// NewRecorder returns a recorder keeping at most max reports (0 = 256);
+// executions past the cap are counted in Dropped rather than retained.
+func NewRecorder(max int) *Recorder {
+	if max <= 0 {
+		max = 256
+	}
+	return &Recorder{max: max}
+}
+
+// Install registers the recorder as the process-wide run hook, saving
+// whatever hook was previously installed so Close can restore it.
+func (rec *Recorder) Install() {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.active {
+		return
+	}
+	rec.prev = core.SetRunHook(rec.observe)
+	rec.active = true
+}
+
+// Close uninstalls the recorder, restoring the previous hook.
+func (rec *Recorder) Close() {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if !rec.active {
+		return
+	}
+	core.SetRunHook(rec.prev)
+	rec.prev = nil
+	rec.active = false
+}
+
+func (rec *Recorder) observe(st *core.RunStats) {
+	// Build the report before taking the lock: FromRunStats copies
+	// everything it needs, so concurrent pipelines only contend on the
+	// append.
+	r := FromRunStats(st)
+	rec.mu.Lock()
+	if len(rec.reports) < rec.max {
+		rec.reports = append(rec.reports, r)
+	} else {
+		rec.dropped++
+	}
+	prev := rec.prev
+	rec.mu.Unlock()
+	if prev != nil {
+		prev(st)
+	}
+}
+
+// Reports returns the captured reports in completion order.
+func (rec *Recorder) Reports() []*RunReport {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	out := make([]*RunReport, len(rec.reports))
+	copy(out, rec.reports)
+	return out
+}
+
+// Dropped returns how many executions arrived after the cap was full.
+func (rec *Recorder) Dropped() int {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.dropped
+}

@@ -1,0 +1,351 @@
+// Package report turns a pipeline execution's RunStats into a
+// self-contained, serializable run report: the EXPLAIN side (which
+// alternative sets Algorithm 1 considered, what the cost model charged
+// them, and what won), the calibration side (predicted vs. measured
+// matches and cost per executed pattern), and the execution side
+// (per-level selectivity, per-worker skew). The same RunReport backs
+// `morphcli explain`, the -report JSON flags, and morphbench's report
+// artifacts.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"morphing/internal/canon"
+	"morphing/internal/core"
+	"morphing/internal/engine"
+	"morphing/internal/obs"
+	"morphing/internal/pattern"
+)
+
+// Schema identifies the report format; bump on incompatible changes.
+const Schema = "morphing-run-report/v1"
+
+// QueryReport is one input query and what transformation did to it.
+type QueryReport struct {
+	Pattern string `json:"pattern"`
+	Name    string `json:"name,omitempty"`
+	Morphed bool   `json:"morphed"`
+}
+
+// PatternReport is the calibration record for one executed alternative:
+// the cost model's predictions next to the engine's measurements.
+type PatternReport struct {
+	Pattern          string  `json:"pattern"`
+	Name             string  `json:"name,omitempty"`
+	Variant          string  `json:"variant"`
+	EstCost          float64 `json:"est_cost"`
+	EstMatches       float64 `json:"est_matches"`
+	Matches          uint64  `json:"matches"`
+	TimeNS           int64   `json:"time_ns"`
+	CalibrationRatio float64 `json:"calibration_ratio"`
+}
+
+// LevelReport is one exploration level's measured selectivity.
+type LevelReport struct {
+	Level       int     `json:"level"`
+	Candidates  uint64  `json:"candidates"`
+	Extended    uint64  `json:"extended"`
+	Selectivity float64 `json:"selectivity"`
+}
+
+// MiningReport summarizes the matching phase across all alternatives.
+type MiningReport struct {
+	Matches     uint64               `json:"matches"`
+	SetOps      uint64               `json:"set_ops"`
+	SetElems    uint64               `json:"set_elems"`
+	TotalTimeNS int64                `json:"total_time_ns"`
+	Levels      []LevelReport        `json:"levels,omitempty"`
+	Workers     []engine.WorkerStats `json:"workers,omitempty"`
+	// Skew is max worker busy time over the mean (1 = perfectly
+	// balanced); 0 when no worker telemetry was recorded.
+	Skew float64 `json:"skew,omitempty"`
+}
+
+// RunReport is the full serializable record of one pipeline execution.
+type RunReport struct {
+	Schema        string `json:"schema"`
+	Engine        string `json:"engine"`
+	GraphVertices int    `json:"graph_vertices"`
+	GraphEdges    uint64 `json:"graph_edges"`
+	Phase         string `json:"phase"`
+
+	Policy     string        `json:"policy,omitempty"`
+	Queries    []QueryReport `json:"queries"`
+	CostBefore float64       `json:"cost_before"`
+	CostAfter  float64       `json:"cost_after"`
+
+	TransformNS    int64  `json:"transform_ns"`
+	ConvertNS      int64  `json:"convert_ns"`
+	ConversionMode string `json:"conversion_mode,omitempty"`
+	EstimatedBytes uint64 `json:"estimated_bytes,omitempty"`
+
+	Mining   *MiningReport   `json:"mining,omitempty"`
+	Patterns []PatternReport `json:"patterns,omitempty"`
+
+	// Selection is the Algorithm 1 trace (explain mode only).
+	Selection *core.SelectionExplain `json:"selection,omitempty"`
+
+	// Registry optionally embeds a metrics snapshot taken after the run
+	// (the -report flags attach the observer's registry here).
+	Registry *obs.Snapshot `json:"registry,omitempty"`
+}
+
+// FromRunStats builds a RunReport from a completed (or interrupted)
+// execution's RunStats. The report copies everything it needs, so it
+// remains valid after the RunStats producer moves on.
+func FromRunStats(st *core.RunStats) *RunReport {
+	if st == nil {
+		return nil
+	}
+	r := &RunReport{
+		Schema:         Schema,
+		Engine:         st.Engine,
+		GraphVertices:  st.GraphVertices,
+		GraphEdges:     st.GraphEdges,
+		Phase:          st.Phase,
+		TransformNS:    int64(st.Transform),
+		ConvertNS:      int64(st.Convert),
+		ConversionMode: st.ConversionMode,
+		EstimatedBytes: st.EstimatedBytes,
+	}
+	if sel := st.Selection; sel != nil {
+		r.Policy = sel.Policy.String()
+		r.CostBefore = sel.CostBefore
+		r.CostAfter = sel.CostAfter
+		r.Selection = sel.Explain
+		for _, q := range sel.Queries {
+			r.Queries = append(r.Queries, QueryReport{
+				Pattern: q.Pattern.String(),
+				Name:    FriendlyName(q.Pattern),
+				Morphed: q.Morphed,
+			})
+		}
+	}
+	for _, pp := range st.PerPattern {
+		r.Patterns = append(r.Patterns, PatternReport{
+			Pattern:          pp.Pattern,
+			Name:             friendlyNameString(pp.Pattern),
+			Variant:          pp.Variant,
+			EstCost:          pp.EstCost,
+			EstMatches:       pp.EstMatches,
+			Matches:          pp.Matches,
+			TimeNS:           int64(pp.Time),
+			CalibrationRatio: pp.CalibrationRatio(),
+		})
+	}
+	if m := st.Mining; m != nil {
+		mr := &MiningReport{
+			Matches:     m.Matches,
+			SetOps:      m.SetOps,
+			SetElems:    m.SetElems,
+			TotalTimeNS: int64(m.TotalTime),
+		}
+		for i, l := range m.Levels {
+			mr.Levels = append(mr.Levels, LevelReport{
+				Level: i, Candidates: l.Candidates, Extended: l.Extended,
+				Selectivity: l.Selectivity(),
+			})
+		}
+		mr.Workers = append(mr.Workers, m.Workers...)
+		sort.Slice(mr.Workers, func(i, j int) bool { return mr.Workers[i].Worker < mr.Workers[j].Worker })
+		mr.Skew = workerSkew(mr.Workers)
+		r.Mining = mr
+	}
+	return r
+}
+
+// workerSkew returns max busy time over mean busy time (0 without data).
+func workerSkew(ws []engine.WorkerStats) float64 {
+	if len(ws) == 0 {
+		return 0
+	}
+	var sum, max time.Duration
+	for _, w := range ws {
+		sum += w.Time
+		if w.Time > max {
+			max = w.Time
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(ws))
+	return float64(max) / mean
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the report for humans: the EXPLAIN view of the plan
+// (queries, winner, and — when the trace is present — the scored
+// candidate alternative sets, rejected ones included), followed by
+// calibration and execution telemetry. Lines carrying wall-clock are
+// emitted only when timings are nonzero, so golden tests can normalize
+// them away.
+func (r *RunReport) WriteText(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("== run report (%s) ==\n", r.Schema)
+	p("engine: %s  graph: %d vertices, %d edges  phase: %s\n",
+		r.Engine, r.GraphVertices, r.GraphEdges, r.Phase)
+	if r.Policy != "" {
+		p("policy: %s\n", r.Policy)
+	}
+	p("\n-- queries --\n")
+	for _, q := range r.Queries {
+		how := "mined as-is"
+		if q.Morphed {
+			how = "morphed"
+		}
+		p("  %-28s %s (%s)\n", nameOr(q.Name, ""), q.Pattern, how)
+	}
+	p("modeled cost: %.6g -> %.6g", r.CostBefore, r.CostAfter)
+	if r.CostBefore > 0 {
+		p("  (x%.3g)", r.CostBefore/r.CostAfter)
+	}
+	p("\n")
+
+	if r.Selection != nil {
+		p("\n-- alternative sets considered (Algorithm 1) --\n")
+		for _, cm := range r.Selection.Candidates {
+			verdict := "rejected"
+			if cm.Accepted {
+				verdict = "ACCEPTED"
+			}
+			p("  [%s] parent %s: replace cost %.6g with cost %.6g\n",
+				verdict, cm.Parent, cm.CostOut, cm.CostIn)
+			for _, s := range cm.Removed {
+				p("    - %s %s (cost %.6g)\n", s.Pattern, s.Variant, s.Cost)
+			}
+			for _, s := range cm.Added {
+				if s.Free {
+					p("    + %s %s (already scheduled: free)\n", s.Pattern, s.Variant)
+				} else {
+					p("    + %s %s (cost %.6g)\n", s.Pattern, s.Variant, s.Cost)
+				}
+			}
+		}
+		if r.Selection.Truncated > 0 {
+			p("  ... %d more rejected candidates truncated\n", r.Selection.Truncated)
+		}
+	}
+
+	if len(r.Patterns) > 0 {
+		p("\n-- mined patterns (winner set) + calibration --\n")
+		for _, pr := range r.Patterns {
+			p("  %-28s %s [%s]\n", nameOr(pr.Name, ""), pr.Pattern, pr.Variant)
+			p("    est cost %.6g, est matches %.6g; measured matches %d (ratio %.3g)\n",
+				pr.EstCost, pr.EstMatches, pr.Matches, pr.CalibrationRatio)
+			if pr.TimeNS > 0 {
+				p("    time %v\n", time.Duration(pr.TimeNS))
+			}
+		}
+	}
+
+	if m := r.Mining; m != nil {
+		p("\n-- execution --\n")
+		p("  matches: %d  set ops: %d (%d elems scanned)\n", m.Matches, m.SetOps, m.SetElems)
+		if len(m.Levels) > 0 {
+			p("  per-level selectivity:\n")
+			for _, l := range m.Levels {
+				p("    level %d: %d candidates -> %d extended (%.4g)\n",
+					l.Level, l.Candidates, l.Extended, l.Selectivity)
+			}
+		}
+		if len(m.Workers) > 0 {
+			p("  workers: %d", len(m.Workers))
+			if m.Skew > 0 {
+				p("  skew (max/mean busy): %.3g", m.Skew)
+			}
+			p("\n")
+			for _, ws := range m.Workers {
+				if ws.Time > 0 {
+					p("    worker %d: %v busy, %d matches\n", ws.Worker, ws.Time, ws.Matches)
+				} else {
+					p("    worker %d: %d matches\n", ws.Worker, ws.Matches)
+				}
+			}
+		}
+		if m.TotalTimeNS > 0 {
+			p("  mining wall-clock (summed over workers' executions): %v\n", time.Duration(m.TotalTimeNS))
+		}
+	}
+	if r.ConversionMode != "" {
+		p("\nconversion: %s", r.ConversionMode)
+		if r.EstimatedBytes > 0 {
+			p(" (estimated match bytes: %d)", r.EstimatedBytes)
+		}
+		p("\n")
+	}
+	if r.TransformNS > 0 || r.ConvertNS > 0 {
+		p("transform: %v  convert: %v\n", time.Duration(r.TransformNS), time.Duration(r.ConvertNS))
+	}
+	return err
+}
+
+func nameOr(name, fallback string) string {
+	if name != "" {
+		return name
+	}
+	return fallback
+}
+
+// namedIndex maps structure IDs of the paper's named patterns to their
+// figure names, built once on first use.
+var (
+	namedIndex map[uint64]string
+	namedOnce  sync.Once
+)
+
+func namedByID() map[uint64]string {
+	namedOnce.Do(func() {
+		idx := map[uint64]string{}
+		add := func(ns []pattern.Named) {
+			for _, n := range ns {
+				id := canon.StructureID(n.Pattern)
+				if _, dup := idx[id]; !dup {
+					idx[id] = n.Name
+				}
+			}
+		}
+		add(pattern.Fig1Patterns())
+		add(pattern.Fig11Patterns())
+		namedIndex = idx
+	})
+	return namedIndex
+}
+
+// FriendlyName returns the paper's figure name for p's structure
+// ("triangle", "4-cycle", ...) or "" when the structure is not one of
+// the named patterns. Labeled patterns are never named (the figures'
+// patterns are unlabeled).
+func FriendlyName(p *pattern.Pattern) string {
+	if p == nil || p.Labeled() {
+		return ""
+	}
+	return namedByID()[canon.StructureID(p)]
+}
+
+// friendlyNameString is FriendlyName over the textual pattern format.
+func friendlyNameString(s string) string {
+	p, err := pattern.Parse(s)
+	if err != nil {
+		return ""
+	}
+	return FriendlyName(p)
+}

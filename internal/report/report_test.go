@@ -1,0 +1,211 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"morphing/internal/core"
+	"morphing/internal/graph"
+	"morphing/internal/obs"
+	"morphing/internal/pattern"
+	"morphing/internal/peregrine"
+)
+
+// chordRing builds the deterministic test graph shared by these tests: a
+// cycle plus stride-2 chords, dense in triangles and 4-cycles.
+func chordRing(n int) *graph.Graph {
+	var edges [][2]uint32
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]uint32{uint32(i), uint32((i + 1) % n)})
+		edges = append(edges, [2]uint32{uint32(i), uint32((i + 2) % n)})
+	}
+	g, err := graph.FromEdges(n, edges, nil)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func explainedRun(t *testing.T, threads int) *core.RunStats {
+	t.Helper()
+	g := chordRing(256)
+	r := &core.Runner{Engine: peregrine.New(threads), Explain: true}
+	queries := []*pattern.Pattern{
+		pattern.Triangle(),
+		pattern.FourCycle().AsVertexInduced(),
+	}
+	_, st, err := r.Counts(g, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestFromRunStats(t *testing.T) {
+	st := explainedRun(t, 2)
+	rep := FromRunStats(st)
+
+	if rep.Schema != Schema {
+		t.Errorf("schema %q", rep.Schema)
+	}
+	if rep.Engine != "Peregrine" || rep.GraphVertices != 256 || rep.GraphEdges == 0 {
+		t.Errorf("run identity: %q %d %d", rep.Engine, rep.GraphVertices, rep.GraphEdges)
+	}
+	if len(rep.Queries) != 2 {
+		t.Fatalf("%d queries", len(rep.Queries))
+	}
+	if rep.Queries[0].Name != "triangle" || rep.Queries[1].Name != "4-cycle" {
+		t.Errorf("friendly names: %q, %q", rep.Queries[0].Name, rep.Queries[1].Name)
+	}
+	if len(rep.Patterns) != len(st.Selection.Mine) {
+		t.Fatalf("%d pattern reports, want %d", len(rep.Patterns), len(st.Selection.Mine))
+	}
+	for _, pr := range rep.Patterns {
+		if pr.CalibrationRatio <= 0 || math.IsInf(pr.CalibrationRatio, 0) || math.IsNaN(pr.CalibrationRatio) {
+			t.Errorf("pattern %s: calibration ratio %v not finite-positive", pr.Pattern, pr.CalibrationRatio)
+		}
+		if pr.EstCost <= 0 {
+			t.Errorf("pattern %s: no cost estimate", pr.Pattern)
+		}
+	}
+	if rep.Mining == nil {
+		t.Fatal("no mining report")
+	}
+	if len(rep.Mining.Levels) == 0 {
+		t.Error("no per-level selectivity")
+	}
+	for _, l := range rep.Mining.Levels {
+		if l.Extended > l.Candidates {
+			t.Errorf("level %d: extended %d > candidates %d", l.Level, l.Extended, l.Candidates)
+		}
+	}
+	if len(rep.Mining.Workers) == 0 {
+		t.Error("no worker telemetry")
+	}
+	if rep.Selection == nil || len(rep.Selection.NodeCosts) == 0 {
+		t.Error("no selection trace")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	rep := FromRunStats(explainedRun(t, 1))
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.Schema != Schema || len(back.Patterns) != len(rep.Patterns) {
+		t.Errorf("round trip lost data: %q, %d patterns", back.Schema, len(back.Patterns))
+	}
+	for _, pr := range back.Patterns {
+		if pr.Matches == 0 && pr.EstMatches == 0 {
+			t.Errorf("pattern %s: neither predicted nor measured matches survived", pr.Pattern)
+		}
+	}
+}
+
+func TestWriteTextShowsRejectedAlternatives(t *testing.T) {
+	rep := FromRunStats(explainedRun(t, 2))
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"-- queries --",
+		"triangle",
+		"Algorithm 1",
+		"[rejected]",
+		"est cost",
+		"measured matches",
+		"per-level selectivity",
+		"workers:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestReportConcurrentWorkers exercises the report path under -race:
+// several explained pipelines run concurrently on multi-worker engines
+// while one Recorder captures them all.
+func TestReportConcurrentWorkers(t *testing.T) {
+	rec := NewRecorder(0)
+	rec.Install()
+	defer rec.Close()
+
+	g := chordRing(512)
+	const runs = 4
+	var wg sync.WaitGroup
+	errs := make([]error, runs)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &core.Runner{Engine: peregrine.New(4), Explain: true, Obs: &obs.Observer{Metrics: obs.NewRegistry()}}
+			_, _, errs[i] = r.Counts(g, []*pattern.Pattern{pattern.Triangle()})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	reports := rec.Reports()
+	if len(reports) != runs {
+		t.Fatalf("recorded %d reports, want %d", len(reports), runs)
+	}
+	for _, rep := range reports {
+		if len(rep.Mining.Workers) != 4 {
+			t.Errorf("report has %d worker entries, want 4", len(rep.Mining.Workers))
+		}
+		if rep.Mining.Matches == 0 {
+			t.Error("report lost its match count")
+		}
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	rec := NewRecorder(1)
+	rec.Install()
+	defer rec.Close()
+	g := chordRing(64)
+	r := &core.Runner{Engine: peregrine.New(1)}
+	for i := 0; i < 3; i++ {
+		if _, _, err := r.Counts(g, []*pattern.Pattern{pattern.Triangle()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(rec.Reports()); got != 1 {
+		t.Errorf("kept %d reports, want 1", got)
+	}
+	if rec.Dropped() != 2 {
+		t.Errorf("dropped %d, want 2", rec.Dropped())
+	}
+}
+
+func TestFriendlyName(t *testing.T) {
+	cases := []struct {
+		p    *pattern.Pattern
+		want string
+	}{
+		{pattern.Triangle(), "triangle"},
+		{pattern.FourClique(), "4-clique"},
+		{pattern.FourCycle().AsVertexInduced(), "4-cycle"}, // variant-insensitive
+		{pattern.Path(6), ""},                              // unnamed structure
+	}
+	for _, c := range cases {
+		if got := FriendlyName(c.p); got != c.want {
+			t.Errorf("FriendlyName(%v) = %q, want %q", c.p, got, c.want)
+		}
+	}
+}
