@@ -11,6 +11,7 @@
 //	morphbench -fig 12a -listen :8080       # live /metrics + /vars + pprof
 //	morphbench -fig 12a -cpuprofile cpu.pb  # offline pprof capture
 //	morphbench kernels                      # setops kernel microbench -> BENCH_kernels.json
+//	morphbench trie                         # trie vs per-pattern bench -> BENCH_trie.json
 //
 // Scale 1.0 corresponds to the paper's full-size graphs (do not attempt
 // FR at 1.0 on a laptop). Output goes to stdout; progress to stderr.
@@ -39,11 +40,18 @@ import (
 )
 
 func main() {
-	// The kernels microbench has its own flags; dispatch before the main
-	// flag set sees the command word.
+	// The kernels and trie microbenches have their own flags; dispatch
+	// before the main flag set sees the command word.
 	if len(os.Args) > 1 && os.Args[1] == "kernels" {
 		if err := cmdKernels(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "morphbench: kernels:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trie" {
+		if err := cmdTrie(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "morphbench: trie:", err)
 			os.Exit(1)
 		}
 		return

@@ -40,7 +40,27 @@ type Engine struct {
 	Obs *obs.Observer
 }
 
-var _ engine.CtxEngine = (*Engine)(nil)
+var (
+	_ engine.CtxEngine = (*Engine)(nil)
+	_ engine.Planner   = (*Engine)(nil)
+)
+
+// PlanPattern implements engine.Planner: AutoZero schedules with its own
+// highest-degree-connected order — the same plans its merged trie
+// interprets, so the generic trie path preserves this engine's matching
+// orders.
+func (e *Engine) PlanPattern(_ *graph.Graph, p *pattern.Pattern) (*plan.Plan, error) {
+	pl, err := plan.BuildWithOrder(p, order(p))
+	if err != nil {
+		return nil, fmt.Errorf("autozero: %w", err)
+	}
+	return pl, nil
+}
+
+// ExecConfig implements engine.Planner.
+func (e *Engine) ExecConfig() (engine.ExecOptions, *obs.Observer) {
+	return engine.ExecOptions{Threads: e.Threads, Instrument: e.Instrument}, e.Obs
+}
 
 // New returns an engine with the given worker count.
 func New(threads int) *Engine { return &Engine{Threads: threads} }

@@ -42,7 +42,35 @@ type Engine struct {
 	Obs *obs.Observer
 }
 
-var _ engine.CtxEngine = (*Engine)(nil)
+var (
+	_ engine.CtxEngine = (*Engine)(nil)
+	_ engine.Planner   = (*Engine)(nil)
+)
+
+// PlanPattern implements engine.Planner. BigJoin derives its dataflow
+// stages from the default plan (see run), so the trie path reuses the
+// same orders; unsupported semantics are rejected exactly like run.
+func (e *Engine) PlanPattern(_ *graph.Graph, p *pattern.Pattern) (*plan.Plan, error) {
+	if p.HasExplicitAntiEdges() {
+		return nil, fmt.Errorf("bigjoin: %w", engine.ErrInducedUnsupported)
+	}
+	if p.Induced() == pattern.VertexInduced {
+		if !p.IsClique() {
+			return nil, fmt.Errorf("bigjoin: %w", engine.ErrInducedUnsupported)
+		}
+		p = p.AsEdgeInduced()
+	}
+	pl, err := plan.Build(p)
+	if err != nil {
+		return nil, fmt.Errorf("bigjoin: %w", err)
+	}
+	return pl, nil
+}
+
+// ExecConfig implements engine.Planner.
+func (e *Engine) ExecConfig() (engine.ExecOptions, *obs.Observer) {
+	return engine.ExecOptions{Threads: e.Threads, Instrument: e.Instrument}, e.Obs
+}
 
 // New returns an engine with the given worker budget.
 func New(threads int) *Engine { return &Engine{Threads: threads} }

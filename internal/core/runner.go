@@ -13,6 +13,7 @@ import (
 	"morphing/internal/graph"
 	"morphing/internal/obs"
 	"morphing/internal/pattern"
+	"morphing/internal/plan"
 )
 
 // Runner glues the Subgraph Morphing pipeline of Fig. 5 to a matching
@@ -32,6 +33,9 @@ type Runner struct {
 	PerMatchCost float64
 	// SelectOptions tunes Algorithm 1.
 	SelectOptions SelectOptions
+	// RunOptions tunes execution of the selected alternatives (as opposed
+	// to their selection), currently the trie-routing mode.
+	RunOptions RunOptions
 	// Explain turns on the explainability path: selection records its
 	// Algorithm 1 trace (Selection.Explain), choices are annotated with
 	// the cost model's predictions, and mining runs pattern by pattern so
@@ -57,6 +61,74 @@ type Runner struct {
 	// publishes RunStats through its registry. nil falls back to
 	// obs.Default().
 	Obs *obs.Observer
+}
+
+// TrieMode selects how counting runs execute the winner set: one pass
+// through the merged plan trie (engine.BacktrackTrie) or pattern by
+// pattern.
+type TrieMode int
+
+const (
+	// TrieAuto mines the whole winner set in one trie-driven pass
+	// whenever at least two patterns share a non-trivial matching-order
+	// prefix (>= minTrieSharedPrefix levels) and the engine can plan;
+	// otherwise it falls back to per-pattern mining.
+	TrieAuto TrieMode = iota
+	// TrieOn forces the trie path whenever the engine can plan at least
+	// two patterns, even without a shared prefix.
+	TrieOn
+	// TrieOff always mines per pattern.
+	TrieOff
+)
+
+// minTrieSharedPrefix is TrieAuto's threshold: some pair of winner
+// patterns must share at least the root scan plus one intersection level
+// for a one-pass execution to beat per-pattern mining.
+const minTrieSharedPrefix = 2
+
+func (m TrieMode) String() string {
+	switch m {
+	case TrieOn:
+		return "on"
+	case TrieOff:
+		return "off"
+	default:
+		return "auto"
+	}
+}
+
+// ParseTrieMode parses the -trie flag values auto|on|off.
+func ParseTrieMode(s string) (TrieMode, error) {
+	switch s {
+	case "", "auto":
+		return TrieAuto, nil
+	case "on":
+		return TrieOn, nil
+	case "off":
+		return TrieOff, nil
+	}
+	return TrieAuto, fmt.Errorf("core: unknown trie mode %q (want auto, on or off)", s)
+}
+
+// RunOptions tunes how the runner executes the selected alternatives.
+type RunOptions struct {
+	// Trie selects one-pass multi-pattern execution (see TrieMode).
+	Trie TrieMode
+}
+
+// TrieDecision records whether (and why) a counting run routed the winner
+// set through the one-pass trie executor, including the merged trie's
+// sharing statistics when a trie was built. It is reported even on the
+// fallback path so EXPLAIN output shows the routing decision.
+type TrieDecision struct {
+	Mode   string `json:"mode"`
+	Used   bool   `json:"used"`
+	Reason string `json:"reason"`
+
+	Patterns        int `json:"patterns,omitempty"`
+	Nodes           int `json:"nodes,omitempty"`
+	SharedLevels    int `json:"shared_levels,omitempty"`
+	MaxSharedPrefix int `json:"max_shared_prefix,omitempty"`
 }
 
 // Pipeline phase names recorded in RunStats.Phase: the stage a run last
@@ -107,6 +179,9 @@ type RunStats struct {
 	// Converting an incomplete mined set is unsound, so interrupted runs
 	// surface raw per-alternative progress instead of query results.
 	Partial []PartialCount
+	// Trie records the one-pass trie routing decision for counting runs
+	// (nil for pipelines that never consider the trie path).
+	Trie *TrieDecision
 	// ConversionMode records how results were (or would have been)
 	// converted: "batched" or "on-the-fly" (MemoryBudget degradation).
 	ConversionMode string
@@ -354,6 +429,8 @@ func (r *Runner) CountsCtx(ctx context.Context, g *graph.Graph, queries []*patte
 		minePatterns[i] = c.Pattern
 	}
 	stats.Phase = PhaseMine
+	dec, tr, planner := r.planTrie(g, minePatterns)
+	stats.Trie = dec
 	spM := o.StartSpan("mine",
 		obs.Str("engine", r.Engine.Name()), obs.Int("patterns", len(minePatterns)))
 	var counts []uint64
@@ -361,11 +438,21 @@ func (r *Runner) CountsCtx(ctx context.Context, g *graph.Graph, queries []*patte
 		// EXPLAIN ANALYZE semantics: mine pattern by pattern so each
 		// choice gets its own measured matches and wall time next to the
 		// model's predictions (see Runner.Explain for the caveat about
-		// engines that merge schedules across patterns).
+		// engines that merge schedules across patterns). The trie decision
+		// is still reported — as what a plain run would do.
+		if dec.Used {
+			dec.Used = false
+			dec.Reason += "; explain mode mines per pattern for calibration"
+		}
 		counts, err = r.mineCountsExplained(ctx, g, sel, stats)
 	} else {
 		var mst *engine.Stats
-		counts, mst, err = engine.CountAllCtx(ctx, r.Engine, g, minePatterns)
+		if dec.Used {
+			opts, eo := planner.ExecConfig()
+			counts, mst, err = engine.BacktrackTrieCtx(ctx, g, tr, opts, eo)
+		} else {
+			counts, mst, err = engine.CountAllCtx(ctx, r.Engine, g, minePatterns)
+		}
 		// Clone: the snapshot in RunStats must not alias a struct the
 		// engine may keep touching (see the single-merger invariant on
 		// engine.Stats).
@@ -407,6 +494,46 @@ func (r *Runner) CountsCtx(ctx context.Context, g *graph.Graph, queries []*patte
 	}
 	publishRunStats(o, stats)
 	return out, stats, nil
+}
+
+// planTrie makes the trie-routing decision for a counting run: it builds
+// the merged plan trie when the mode and engine allow it, and reports the
+// decision (and the trie's sharing statistics) either way. tr and planner
+// are non-nil exactly when dec.Used is true.
+func (r *Runner) planTrie(g *graph.Graph, ps []*pattern.Pattern) (*TrieDecision, *plan.Trie, engine.Planner) {
+	mode := r.RunOptions.Trie
+	dec := &TrieDecision{Mode: mode.String()}
+	if mode == TrieOff {
+		dec.Reason = "disabled"
+		return dec, nil, nil
+	}
+	if len(ps) < 2 {
+		dec.Reason = "fewer than two patterns to mine"
+		return dec, nil, nil
+	}
+	planner, ok := r.Engine.(engine.Planner)
+	if !ok {
+		dec.Reason = fmt.Sprintf("engine %s exposes no plans", r.Engine.Name())
+		return dec, nil, nil
+	}
+	tr, err := engine.BuildTrie(planner, g, ps)
+	if err != nil {
+		dec.Reason = "planning failed: " + err.Error()
+		return dec, nil, nil
+	}
+	dec.Patterns = len(ps)
+	dec.Nodes = tr.Nodes
+	dec.SharedLevels = tr.SharedLevels
+	dec.MaxSharedPrefix = tr.MaxSharedPrefix
+	if mode == TrieAuto && tr.MaxSharedPrefix < minTrieSharedPrefix {
+		dec.Reason = fmt.Sprintf("no non-trivial shared prefix (max %d level(s), need %d)",
+			tr.MaxSharedPrefix, minTrieSharedPrefix)
+		return dec, nil, nil
+	}
+	dec.Used = true
+	dec.Reason = fmt.Sprintf("%d patterns in one pass: %d trie nodes, %d shared levels, max shared prefix %d",
+		len(ps), tr.Nodes, tr.SharedLevels, tr.MaxSharedPrefix)
+	return dec, tr, planner
 }
 
 // mineCountsExplained mines each alternative individually, pairing every

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"morphing/internal/dataset"
+	"morphing/internal/engine"
+	"morphing/internal/graph"
+	"morphing/internal/pattern"
+	"morphing/internal/peregrine"
+)
+
+// noPlanEngine hides the Planner surface of a real engine, standing in
+// for execution models that cannot expose exploration plans.
+type noPlanEngine struct {
+	engine.Engine
+}
+
+func routingGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := dataset.ErdosRenyi(60, 6, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPlanTrieDecisions pins every planTrie fallback reason and the
+// one-pass acceptance, since EXPLAIN output and the run report surface
+// them verbatim.
+func TestPlanTrieDecisions(t *testing.T) {
+	g := routingGraph(t)
+	motifs := []*pattern.Pattern{
+		pattern.Triangle(), pattern.FourStar(), pattern.FourClique(),
+	}
+
+	t.Run("off", func(t *testing.T) {
+		r := &Runner{Engine: peregrine.New(1), RunOptions: RunOptions{Trie: TrieOff}}
+		dec, tr, _ := r.planTrie(g, motifs)
+		if dec.Used || tr != nil || dec.Reason != "disabled" {
+			t.Fatalf("TrieOff: used=%v reason=%q", dec.Used, dec.Reason)
+		}
+	})
+
+	t.Run("single pattern", func(t *testing.T) {
+		r := &Runner{Engine: peregrine.New(1)}
+		dec, tr, _ := r.planTrie(g, motifs[:1])
+		if dec.Used || tr != nil || !strings.Contains(dec.Reason, "fewer than two") {
+			t.Fatalf("single pattern: used=%v reason=%q", dec.Used, dec.Reason)
+		}
+	})
+
+	t.Run("non-planner engine", func(t *testing.T) {
+		r := &Runner{Engine: noPlanEngine{peregrine.New(1)}, RunOptions: RunOptions{Trie: TrieOn}}
+		dec, tr, _ := r.planTrie(g, motifs)
+		if dec.Used || tr != nil || !strings.Contains(dec.Reason, "no plans") {
+			t.Fatalf("non-planner: used=%v reason=%q", dec.Used, dec.Reason)
+		}
+	})
+
+	t.Run("auto below threshold", func(t *testing.T) {
+		// Distinct root labels force disjoint tries: no shared prefix at
+		// all, so auto mode keeps per-pattern mining.
+		a := pattern.MustNew(3, [][2]int{{0, 1}, {0, 2}, {1, 2}},
+			pattern.WithLabels([]int32{1, 1, 1}))
+		b := pattern.MustNew(3, [][2]int{{0, 1}, {0, 2}},
+			pattern.WithLabels([]int32{2, 2, 2}))
+		r := &Runner{Engine: peregrine.New(1)}
+		dec, tr, _ := r.planTrie(g, []*pattern.Pattern{a, b})
+		if dec.Used || tr != nil || !strings.Contains(dec.Reason, "no non-trivial shared prefix") {
+			t.Fatalf("below threshold: used=%v reason=%q", dec.Used, dec.Reason)
+		}
+		if dec.MaxSharedPrefix >= 2 {
+			t.Fatalf("disjoint-label tries report max shared prefix %d", dec.MaxSharedPrefix)
+		}
+		// TrieOn overrides the threshold: same winner set, forced one pass.
+		r.RunOptions.Trie = TrieOn
+		if dec, tr, _ := r.planTrie(g, []*pattern.Pattern{a, b}); !dec.Used || tr == nil {
+			t.Fatalf("TrieOn below threshold: used=%v reason=%q", dec.Used, dec.Reason)
+		}
+	})
+
+	t.Run("auto accepts shared prefix", func(t *testing.T) {
+		r := &Runner{Engine: peregrine.New(1)}
+		dec, tr, planner := r.planTrie(g, motifs)
+		if !dec.Used || tr == nil || planner == nil {
+			t.Fatalf("auto: used=%v reason=%q", dec.Used, dec.Reason)
+		}
+		if dec.MaxSharedPrefix < 2 || dec.Patterns != len(motifs) || dec.Nodes != tr.Nodes {
+			t.Fatalf("decision stats %+v disagree with trie %s", dec, tr)
+		}
+	})
+}
+
+// TestRunnerTrieCountsMatch runs the same queries through the one-pass
+// and per-pattern routes end to end: query counts must agree exactly, and
+// the run stats must record the route taken.
+func TestRunnerTrieCountsMatch(t *testing.T) {
+	g := routingGraph(t)
+	queries := []*pattern.Pattern{
+		pattern.FourCycle().AsVertexInduced(),
+		pattern.FourStar().AsVertexInduced(),
+		pattern.TailedTriangle(),
+	}
+	on := &Runner{Engine: peregrine.New(2), RunOptions: RunOptions{Trie: TrieOn}}
+	off := &Runner{Engine: peregrine.New(2), RunOptions: RunOptions{Trie: TrieOff}}
+
+	wantCounts, offStats, err := off.Counts(g, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offStats.Trie == nil || offStats.Trie.Used {
+		t.Fatalf("TrieOff run recorded decision %+v", offStats.Trie)
+	}
+	if offStats.Mining.TriePasses != 0 {
+		t.Fatalf("TrieOff run recorded %d trie passes", offStats.Mining.TriePasses)
+	}
+
+	gotCounts, onStats, err := on.Counts(g, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onStats.Trie == nil || !onStats.Trie.Used {
+		t.Fatalf("TrieOn run recorded decision %+v", onStats.Trie)
+	}
+	if onStats.Mining.TriePasses != 1 {
+		t.Fatalf("TrieOn run recorded %d trie passes", onStats.Mining.TriePasses)
+	}
+	if len(onStats.Mining.TrieNodes) == 0 {
+		t.Fatal("TrieOn run recorded no per-node selectivity")
+	}
+	for i := range wantCounts {
+		if gotCounts[i] != wantCounts[i] {
+			t.Fatalf("query %d: trie route counted %d, per-pattern %d", i, gotCounts[i], wantCounts[i])
+		}
+	}
+
+	auto := &Runner{Engine: peregrine.New(2)}
+	autoCounts, autoStats, err := auto.Counts(g, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if autoStats.Trie == nil || !autoStats.Trie.Used {
+		t.Fatalf("auto mode skipped a winner set with shared prefixes: %+v", autoStats.Trie)
+	}
+	for i := range wantCounts {
+		if autoCounts[i] != wantCounts[i] {
+			t.Fatalf("query %d: auto route counted %d, want %d", i, autoCounts[i], wantCounts[i])
+		}
+	}
+}

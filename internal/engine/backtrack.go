@@ -32,6 +32,11 @@ type ExecOptions struct {
 	// limit (workers drain their current root vertex). This implements
 	// Peregrine-style early termination for existence-style queries.
 	MatchLimit uint64
+	// NoTailSteal disables the tail work-stealing pass that splits the
+	// heaviest in-flight block once the block cursor runs dry (see
+	// steal.go). On by default; the switch exists for A/B skew
+	// measurements and debugging.
+	NoTailSteal bool
 }
 
 // ThreadCount resolves the effective worker count (GOMAXPROCS when
@@ -111,12 +116,14 @@ func BacktrackCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, visit Visi
 	var panicErr *PanicError // first recovered panic wins
 	maxDeg := g.MaxDegree()
 	workers := make([]*btWorker, threads)
+	ranges := make([]*vertexRange, threads)
 	for t := 0; t < threads; t++ {
 		workers[t] = newBTWorker(t, g, pl, visit, opts.Instrument, maxDeg)
 		if opts.MatchLimit > 0 {
 			workers[t].limit = opts.MatchLimit
 			workers[t].found = &found
 		}
+		ranges[t] = &workers[t].rng
 	}
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
@@ -155,16 +162,45 @@ func BacktrackCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, visit Visi
 				}
 				b := int(atomic.AddInt64(&cursor, 1)) - 1
 				if b >= numBlocks {
-					return
+					break
 				}
-				fi.BlockClaimed(w.id)
 				lo := uint32(b * blockSize)
 				hi := uint32((b + 1) * blockSize)
 				if hi > uint32(n) {
 					hi = uint32(n)
 				}
+				w.rng.reset(lo, hi, !opts.NoTailSteal)
+				// After reset: a stall-injected straggler holds an armed,
+				// stealable range, the scenario tail stealing exists for.
+				fi.BlockClaimed(w.id)
 				before := w.count
-				w.runRoot(lo, hi)
+				w.runRoot()
+				liveMatches.Add(w.id, w.count-before)
+			}
+			// Tail: the cursor is dry but a sibling may still be grinding
+			// through a heavy block — split its remaining range and take the
+			// upper half (once per block, see steal.go).
+			for !opts.NoTailSteal {
+				if abort.Load() {
+					return
+				}
+				select {
+				case <-done:
+					abort.Store(true)
+					return
+				default:
+				}
+				if w.limit > 0 && atomic.LoadUint64(w.found) >= w.limit {
+					return
+				}
+				lo, hi, ok := stealFrom(ranges, w.id)
+				if !ok {
+					return
+				}
+				w.steals++
+				w.rng.reset(lo, hi, false)
+				before := w.count
+				w.runRoot()
 				liveMatches.Add(w.id, w.count-before)
 			}
 		}(workers[t])
@@ -175,6 +211,7 @@ func BacktrackCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, visit Visi
 	st := &Stats{}
 	for _, w := range workers {
 		total += w.count
+		w.st.TailSteals += w.steals
 		w.st.AddSetops(w.sst)
 		for i, l := range w.levels {
 			w.st.AddLevel(i, l.Candidates, l.Extended)
@@ -208,8 +245,10 @@ type btWorker struct {
 	levels []LevelStats  // per-level selectivity, folded into st at merge
 	busy   time.Duration // wall-clock inside the work loop
 	count  uint64
-	limit  uint64  // early-termination threshold (0 = off)
-	found  *uint64 // shared found-so-far counter when limit > 0
+	steals uint64      // tail-steal splits this worker performed
+	rng    vertexRange // in-flight level-0 range, stealable by idle siblings
+	limit  uint64      // early-termination threshold (0 = off)
+	found  *uint64     // shared found-so-far counter when limit > 0
 
 	match    []uint32 // data vertex bound at each level
 	byVertex []uint32 // data vertex bound to each pattern vertex
@@ -245,11 +284,17 @@ func newBTWorker(id int, g *graph.Graph, pl *plan.Plan, visit Visitor, instrumen
 	return w
 }
 
-// runRoot explores matches whose level-0 vertex lies in [lo, hi).
-func (w *btWorker) runRoot(lo, hi uint32) {
+// runRoot explores matches whose level-0 vertex lies in the worker's
+// armed range, claiming vertices one at a time so an idle sibling can
+// steal the unclaimed tail mid-flight.
+func (w *btWorker) runRoot() {
 	k := w.pl.Pattern.N()
 	wantLabel := w.labels[0]
-	for v := lo; v < hi; v++ {
+	for {
+		v, ok := w.rng.next()
+		if !ok {
+			return
+		}
 		if w.limit > 0 && atomic.LoadUint64(w.found) >= w.limit {
 			return
 		}

@@ -78,6 +78,15 @@ type Stats struct {
 	UDFCalls     uint64 // user-defined-function invocations
 	Branches     uint64 // data-dependent branches (edge probes, filters)
 	Matches      uint64 // unique matches found
+	TailSteals   uint64 // tail work-stealing block splits performed
+
+	// Trie-execution counters (BacktrackTrie): how many one-pass
+	// multi-pattern executions ran, how many patterns they covered, and
+	// how many plan levels merging shared (candidate computations saved
+	// relative to per-pattern passes).
+	TriePasses       uint64
+	TriePatterns     uint64
+	TrieSharedLevels uint64
 
 	SetOpTime       time.Duration // candidate-generation time
 	MaterializeTime time.Duration // match assembly and emission time
@@ -96,6 +105,12 @@ type Stats struct {
 	// execution, the raw material for load-skew and straggler analysis.
 	// Merged executions (Add) accumulate entries by worker ID.
 	Workers []WorkerStats
+
+	// TrieNodes holds per-trie-node selectivity for trie-driven
+	// executions (BacktrackTrie), keyed by the merged trie's dense node
+	// IDs. Merging (Add) accumulates by node ID, which is only meaningful
+	// across executions of the same merged trie.
+	TrieNodes []TrieNodeStats
 }
 
 // LevelStats instruments one exploration level: how many candidate
@@ -113,6 +128,29 @@ func (l LevelStats) Selectivity() float64 {
 		return 0
 	}
 	return float64(l.Extended) / float64(l.Candidates)
+}
+
+// TrieNodeStats instruments one node of a merged plan trie: how many
+// partial embeddings reached it (Enters), how many candidate vertices its
+// shared computation produced, and how many survived its filters. A node
+// with a high Patterns fan-in (see plan.TrieNode) and high Enters is
+// where one-pass execution amortizes the most work.
+type TrieNodeStats struct {
+	Node       int    `json:"node"`
+	Depth      int    `json:"depth"`
+	Patterns   int    `json:"patterns"`
+	Enters     uint64 `json:"enters"`
+	Candidates uint64 `json:"candidates"`
+	Extended   uint64 `json:"extended"`
+}
+
+// Selectivity returns Extended/Candidates for the node (0 when nothing
+// was considered).
+func (t TrieNodeStats) Selectivity() float64 {
+	if t.Candidates == 0 {
+		return 0
+	}
+	return float64(t.Extended) / float64(t.Candidates)
 }
 
 // WorkerStats is one worker's contribution to an execution: its busy
@@ -135,6 +173,7 @@ func (s *Stats) Clone() *Stats {
 	cp := *s
 	cp.Levels = append([]LevelStats(nil), s.Levels...)
 	cp.Workers = append([]WorkerStats(nil), s.Workers...)
+	cp.TrieNodes = append([]TrieNodeStats(nil), s.TrieNodes...)
 	return &cp
 }
 
@@ -153,6 +192,10 @@ func (s *Stats) Add(other *Stats) {
 	s.UDFCalls += other.UDFCalls
 	s.Branches += other.Branches
 	s.Matches += other.Matches
+	s.TailSteals += other.TailSteals
+	s.TriePasses += other.TriePasses
+	s.TriePatterns += other.TriePatterns
+	s.TrieSharedLevels += other.TrieSharedLevels
 	s.SetOpTime += other.SetOpTime
 	s.MaterializeTime += other.MaterializeTime
 	s.UDFTime += other.UDFTime
@@ -163,6 +206,23 @@ func (s *Stats) Add(other *Stats) {
 	for _, w := range other.Workers {
 		s.AddWorker(w)
 	}
+	for _, t := range other.TrieNodes {
+		s.AddTrieNode(t)
+	}
+}
+
+// AddTrieNode accumulates one trie node's selectivity counters, merging
+// by node ID (meaningful only across executions of the same merged trie).
+func (s *Stats) AddTrieNode(t TrieNodeStats) {
+	for i := range s.TrieNodes {
+		if s.TrieNodes[i].Node == t.Node {
+			s.TrieNodes[i].Enters += t.Enters
+			s.TrieNodes[i].Candidates += t.Candidates
+			s.TrieNodes[i].Extended += t.Extended
+			return
+		}
+	}
+	s.TrieNodes = append(s.TrieNodes, t)
 }
 
 // AddLevel accumulates level-i selectivity counters, growing Levels as

@@ -49,6 +49,19 @@ const (
 	MetricWorkerTimeNS  = "engine_worker_time_ns"
 	MetricWorkerMatches = "engine_worker_matches"
 
+	// MetricTailSteals counts tail work-stealing splits: an idle worker
+	// halving the heaviest in-flight block's remaining vertex range after
+	// the block cursor ran dry. Rising steals with falling
+	// engine_worker_time_ns skew is the mechanism working as intended.
+	MetricTailSteals = "engine_tail_steals_total"
+
+	// Trie (one-pass multi-pattern) execution: total plan levels the
+	// merged trie shared (candidate computations saved versus mining each
+	// pattern separately), and a histogram of how many patterns each
+	// trie pass covered.
+	MetricTrieSharedLevels    = "engine_trie_shared_levels_total"
+	MetricTriePatternsPerPass = "engine_trie_patterns_per_pass"
+
 	// Interruption counters, one increment per aborted execution:
 	// cooperative cancellation, deadline expiry, and visitor/UDF panics
 	// contained by the workers (see PublishAbort).
@@ -76,6 +89,11 @@ func PublishStats(o *obs.Observer, st *Stats) {
 	o.Counter(MetricMaterialized).Add(0, st.Materialized)
 	o.Counter(MetricUDFCalls).Add(0, st.UDFCalls)
 	o.Counter(MetricBranches).Add(0, st.Branches)
+	o.Counter(MetricTailSteals).Add(0, st.TailSteals)
+	o.Counter(MetricTrieSharedLevels).Add(0, st.TrieSharedLevels)
+	if st.TriePasses > 0 {
+		o.Histogram(MetricTriePatternsPerPass).Observe(0, st.TriePatterns/st.TriePasses)
+	}
 	o.Counter(MetricSetOpTimeNS).Add(0, uint64(st.SetOpTime))
 	o.Counter(MetricMaterializeTimeNS).Add(0, uint64(st.MaterializeTime))
 	o.Counter(MetricUDFTimeNS).Add(0, uint64(st.UDFTime))

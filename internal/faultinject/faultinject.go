@@ -107,6 +107,21 @@ func (in *Injector) Visitor(visit func(worker int, m []uint32)) func(worker int,
 	}
 }
 
+// MatchesCounted is the panic-at-match-N injection point for count-only
+// executors that tally matches in bulk instead of delivering them to a
+// visitor: n matches just completed on worker. The panic fires when the
+// running total crosses the configured ordinal, mirroring Visitor's
+// behavior at bulk granularity.
+func (in *Injector) MatchesCounted(worker int, n uint64) {
+	if in == nil || in.cfg.PanicAtMatch == 0 || n == 0 {
+		return
+	}
+	total := in.matches.Add(n)
+	if total >= in.cfg.PanicAtMatch && total-n < in.cfg.PanicAtMatch {
+		panic(in.cfg.PanicMessage)
+	}
+}
+
 // BlockClaimed is the stall-worker injection point: executors call it
 // each time a worker claims a work block or dataflow batch.
 func (in *Injector) BlockClaimed(worker int) {

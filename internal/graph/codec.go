@@ -35,6 +35,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		return v
 	}
 	var edges [][2]uint32
+	seen := map[[2]uint32]bool{}
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -65,9 +66,24 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("graph: line %d: bad edge %q", lineNo, line)
 		}
 		if u == v {
-			continue // tolerate self loops in external files by dropping them
+			// A self loop is never valid input for simple-graph mining;
+			// dropping it silently would make counts differ from other
+			// systems reading the same file, so fail loudly.
+			return nil, fmt.Errorf("graph: line %d: self loop %d-%d", lineNo, u, v)
 		}
-		edges = append(edges, [2]uint32{intern(u), intern(v)})
+		a, b := intern(u), intern(v)
+		// SNAP-style files commonly list both orientations of an edge;
+		// dedupe here so the builder sees each undirected edge once and
+		// the CSR degrees match the file's logical edge set.
+		k := [2]uint32{a, b}
+		if b < a {
+			k = [2]uint32{b, a}
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		edges = append(edges, [2]uint32{a, b})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("graph: read: %w", err)

@@ -57,6 +57,48 @@ func (g *Graph) HasEdge(u, v uint32) bool {
 	return lo < len(a) && a[lo] == v
 }
 
+// VerifySorted checks every CSR invariant the set-operation kernels rely
+// on: monotone offsets, strictly ascending adjacency rows (sorted, no
+// duplicate edges), no self loops, and symmetric adjacency (u lists v iff
+// v lists u). It is O(E log d) and meant for tests and debug assertions,
+// not hot paths; a nil error means the structure is sound.
+func (g *Graph) VerifySorted() error {
+	n := g.NumVertices()
+	if len(g.offsets) != n+1 {
+		return fmt.Errorf("graph: %d offsets for %d vertices", len(g.offsets), n)
+	}
+	if g.offsets[n] != uint64(len(g.adj)) {
+		return fmt.Errorf("graph: offsets end at %d, adjacency has %d entries", g.offsets[n], len(g.adj))
+	}
+	var dir uint64
+	for v := 0; v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+		row := g.Neighbors(uint32(v))
+		for i, u := range row {
+			if int(u) >= n {
+				return fmt.Errorf("graph: vertex %d lists out-of-range neighbor %d", v, u)
+			}
+			if u == uint32(v) {
+				return fmt.Errorf("graph: self loop on vertex %d", v)
+			}
+			if i > 0 && row[i-1] >= u {
+				return fmt.Errorf("graph: adjacency of %d not strictly ascending at index %d (%d, %d)",
+					v, i, row[i-1], u)
+			}
+			if !g.HasEdge(u, uint32(v)) {
+				return fmt.Errorf("graph: asymmetric edge: %d lists %d but not vice versa", v, u)
+			}
+		}
+		dir += uint64(len(row))
+	}
+	if dir != 2*g.nEdges {
+		return fmt.Errorf("graph: %d directed entries for %d undirected edges", dir, g.nEdges)
+	}
+	return nil
+}
+
 // Labeled reports whether the graph carries vertex labels.
 func (g *Graph) Labeled() bool { return g.labels != nil }
 

@@ -145,15 +145,20 @@ func TestReadEdgeListFormats(t *testing.T) {
 3 5
 
 5 7
-3 3
+7 5
+3 5
 `
 	g, err := ReadEdgeList(strings.NewReader(input))
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Sparse IDs 3,5,7 densified; self loop 3-3 dropped.
+	// Sparse IDs 3,5,7 densified; the duplicate 3-5 and the reversed
+	// orientation 7-5 are deduped, not double-counted.
 	if g.NumVertices() != 3 || g.NumEdges() != 2 {
 		t.Fatalf("got %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.VerifySorted(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -163,11 +168,50 @@ func TestReadEdgeListErrors(t *testing.T) {
 		"a b\n",
 		"v 1\n",
 		"v x 2\n",
+		"3 3\n", // self loops are rejected, not silently dropped
 	}
 	for _, s := range bad {
 		if _, err := ReadEdgeList(strings.NewReader(s)); err == nil {
 			t.Errorf("input %q: expected error", s)
 		}
+	}
+	// The self-loop error carries the offending line number.
+	_, err := ReadEdgeList(strings.NewReader("# header\n1 2\n4 4\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "self loop") {
+		t.Errorf("self loop error = %v, want line 3 self loop", err)
+	}
+}
+
+func TestVerifySorted(t *testing.T) {
+	g, err := FromEdges(5, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.VerifySorted(); err != nil {
+		t.Fatalf("valid graph failed verification: %v", err)
+	}
+	// Corrupt a copy of the adjacency in the ways VerifySorted guards
+	// against and check each is caught.
+	corrupt := func(mutate func(h *Graph)) error {
+		h := &Graph{
+			offsets: append([]uint64(nil), g.offsets...),
+			adj:     append([]uint32(nil), g.adj...),
+			nEdges:  g.nEdges,
+		}
+		mutate(h)
+		return h.VerifySorted()
+	}
+	if err := corrupt(func(h *Graph) { h.adj[0], h.adj[1] = h.adj[1], h.adj[0] }); err == nil {
+		t.Error("unsorted row not detected")
+	}
+	if err := corrupt(func(h *Graph) { h.adj[0] = 0 }); err == nil {
+		t.Error("self loop not detected")
+	}
+	if err := corrupt(func(h *Graph) { h.adj[len(h.adj)-1] = 2 }); err == nil {
+		t.Error("asymmetric edge not detected")
+	}
+	if err := corrupt(func(h *Graph) { h.nEdges++ }); err == nil {
+		t.Error("edge-count mismatch not detected")
 	}
 }
 

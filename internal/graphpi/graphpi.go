@@ -39,7 +39,23 @@ type Engine struct {
 	sums map[*graph.Graph]graph.Summary // per-graph summary cache
 }
 
-var _ engine.CtxEngine = (*Engine)(nil)
+var (
+	_ engine.CtxEngine = (*Engine)(nil)
+	_ engine.Planner   = (*Engine)(nil)
+)
+
+// PlanPattern implements engine.Planner: the cost-model-selected order
+// (planFor), so trie execution preserves GraphPi's per-pattern order
+// choices. Vertex-induced non-cliques are rejected exactly like the
+// native matching paths.
+func (e *Engine) PlanPattern(g *graph.Graph, p *pattern.Pattern) (*plan.Plan, error) {
+	return e.planFor(g, p)
+}
+
+// ExecConfig implements engine.Planner.
+func (e *Engine) ExecConfig() (engine.ExecOptions, *obs.Observer) {
+	return e.opts(), e.Obs
+}
 
 // New returns an engine with the given worker count.
 func New(threads int) *Engine { return &Engine{Threads: threads} }

@@ -30,7 +30,10 @@ type Engine struct {
 	Obs *obs.Observer
 }
 
-var _ engine.CtxEngine = (*Engine)(nil)
+var (
+	_ engine.CtxEngine = (*Engine)(nil)
+	_ engine.Planner   = (*Engine)(nil)
+)
 
 // New returns an engine with the given worker count.
 func New(threads int) *Engine { return &Engine{Threads: threads} }
@@ -49,6 +52,21 @@ func (e *Engine) opts() engine.ExecOptions {
 // span opens a mine/<pattern> phase span on the engine's observer.
 func (e *Engine) span(p *pattern.Pattern) *obs.Span {
 	return obs.Or(e.Obs).StartSpan("mine/"+p.String(), obs.Str("engine", e.Name()))
+}
+
+// PlanPattern implements engine.Planner: Peregrine's pattern analysis is
+// the default degree-greedy plan.
+func (e *Engine) PlanPattern(_ *graph.Graph, p *pattern.Pattern) (*plan.Plan, error) {
+	pl, err := plan.Build(p)
+	if err != nil {
+		return nil, fmt.Errorf("peregrine: %w", err)
+	}
+	return pl, nil
+}
+
+// ExecConfig implements engine.Planner.
+func (e *Engine) ExecConfig() (engine.ExecOptions, *obs.Observer) {
+	return e.opts(), e.Obs
 }
 
 // Count returns the number of unique matches of p in g.

@@ -138,7 +138,12 @@ func DefaultOrder(p *pattern.Pattern) []int {
 	order = append(order, start)
 	placed[start] = true
 	for len(order) < n {
-		best, bestKey := -1, -1
+		// Explicit lexicographic comparison (back edges, then degree, then
+		// lowest index). A packed integer key is tempting but collides when
+		// one criterion's range bleeds into the next's decade, and a
+		// collision here makes the order — and everything built on it,
+		// including multi-pattern trie merging — depend on scan direction.
+		best, bestBack, bestDeg := -1, -1, -1
 		for v := 0; v < n; v++ {
 			if placed[v] {
 				continue
@@ -149,9 +154,9 @@ func DefaultOrder(p *pattern.Pattern) []int {
 					back++
 				}
 			}
-			key := back*1000 + p.Degree(v)*10 + (n - v)
-			if key > bestKey {
-				best, bestKey = v, key
+			deg := p.Degree(v)
+			if back > bestBack || back == bestBack && deg > bestDeg {
+				best, bestBack, bestDeg = v, back, deg
 			}
 		}
 		order = append(order, best)

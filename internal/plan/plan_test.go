@@ -18,6 +18,37 @@ func TestDefaultOrderIsConnectedPermutation(t *testing.T) {
 	}
 }
 
+// TestDefaultOrderTieBreak pins the tie-break rule on equal-degree
+// vertices: more back edges first, then higher degree, then the lowest
+// pattern index. Trie merging requires this to be stable across runs and
+// immune to packed-key collisions between the criteria.
+func TestDefaultOrderTieBreak(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *pattern.Pattern
+		want []int
+	}{
+		// 4-cycle: every vertex has degree 2, so after [0, 1] both 2 and
+		// 3 tie on one back edge and equal degree — the lowest index wins.
+		{"4-cycle", pattern.FourCycle(), []int{0, 1, 2, 3}},
+		// 4-star: the hub leads, the leaves (all degree 1, one back edge
+		// each) follow in index order.
+		{"4-star", pattern.FourStar(), []int{0, 1, 2, 3}},
+		// triangle: fully symmetric, index order.
+		{"triangle", pattern.Triangle(), []int{0, 1, 2}},
+		// tailed triangle: hub 0 (degree 3), then 1 and 2 (two back
+		// edges once 0 and 1 are placed), tail 3 last.
+		{"tailed-triangle", pattern.TailedTriangle(), []int{0, 1, 2, 3}},
+	}
+	for _, tc := range cases {
+		for i := 0; i < 3; i++ { // identical across repeated invocations
+			if got := DefaultOrder(tc.p); !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("%s: DefaultOrder = %v, want %v", tc.name, got, tc.want)
+			}
+		}
+	}
+}
+
 func TestBuildRejectsBadInput(t *testing.T) {
 	p := pattern.FourCycle()
 	if _, err := BuildWithOrder(p, []int{0, 1, 2}); err == nil {

@@ -1,0 +1,214 @@
+package plan
+
+import (
+	"fmt"
+
+	"morphing/internal/pattern"
+)
+
+// This file implements multi-pattern plan merging: the winner set of a
+// morphed query rarely consists of unrelated patterns — Algorithm 1
+// replaces one pattern with near-identical alternatives, so their matching
+// orders share long prefixes. MergePlans folds a set of per-pattern Plans
+// into a prefix trie in which each shared prefix is represented once; a
+// trie-driven executor (engine.BacktrackTrie) then enumerates every shared
+// partial embedding a single time and fans out into the per-pattern
+// subtrees, paying the expensive shallow exploration levels once per set
+// instead of once per pattern.
+//
+// Sharing rule. Two plans share the trie node at level i when, for every
+// level j <= i, they agree on the level's candidate signature: the
+// Connect set (levels intersected), the Disconnect set (levels
+// subtracted) and the label constraint. Equal signatures imply the bound
+// partial patterns are isomorphic — Build records *every* back edge and
+// anti-edge of the prefix in Connect/Disconnect, so the signature sequence
+// IS the partial structure — and therefore the enumerated partial
+// embeddings are identical sets. Symmetry-breaking conditions are
+// deliberately excluded from the signature: conditions that diverge
+// between plans are pushed down to the branch point as per-child filters
+// (TrieBranch), so plans whose prefixes differ only in symmetry windows
+// still share candidate generation and apply their own windows to the
+// shared candidate set.
+
+// TrieNode is one shared exploration level: a candidate computation
+// (intersect Connect, subtract Disconnect, filter Label) executed once per
+// partial embedding reaching it, with one or more symmetry branches
+// hanging off it.
+type TrieNode struct {
+	// ID is the dense node index within the owning Trie, used to key
+	// per-node selectivity counters.
+	ID int
+	// Depth is the exploration level this node binds (0 = root scan).
+	Depth int
+
+	Connect    []int
+	Disconnect []int
+	Label      int32
+
+	// Patterns is the number of distinct plans whose path traverses this
+	// node — the fan-in the shared candidate computation amortizes.
+	Patterns int
+
+	Branches []*TrieBranch
+}
+
+// TrieBranch applies one symmetry-condition set (a per-child filter pushed
+// down from plans that agree on the enclosing node's candidate signature
+// but diverge in conditions) to the node's candidates. Leaves lists the
+// plans whose final level is this branch; Children continue deeper plans.
+type TrieBranch struct {
+	Greater []int
+	Smaller []int
+
+	Leaves   []int // plan indices completing at this branch
+	Children []*TrieNode
+}
+
+// Trie is a set of plans merged on shared matching-order prefixes.
+type Trie struct {
+	// Plans are the merged plans, in input order; executor counts are
+	// reported per plan index.
+	Plans []*Plan
+	Roots []*TrieNode
+
+	// Nodes is the total trie node count (Σ per-plan levels minus shared
+	// levels).
+	Nodes int
+	// SharedLevels counts the levels that reused an existing node during
+	// merging — the candidate computations a trie-driven pass saves
+	// relative to mining each plan separately.
+	SharedLevels int
+	// MaxSharedPrefix is the deepest consecutive-from-root prefix length
+	// shared by at least two plans. A value >= 2 means some pair of
+	// patterns shares at least the root scan and one intersection level —
+	// the "non-trivial prefix" threshold Runner's auto mode uses.
+	MaxSharedPrefix int
+	// MaxDepth is the deepest plan's level count.
+	MaxDepth int
+}
+
+// MergePlans folds plans into a prefix trie. Every plan must be non-nil
+// with a non-nil pattern; the trie retains the given slice order for
+// reporting counts per plan.
+func MergePlans(plans []*Plan) (*Trie, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("plan: MergePlans needs at least one plan")
+	}
+	t := &Trie{Plans: plans}
+	for idx, pl := range plans {
+		if pl == nil || pl.Pattern == nil {
+			return nil, fmt.Errorf("plan: MergePlans: plan %d is nil", idx)
+		}
+		if err := t.insert(pl, idx); err != nil {
+			return nil, err
+		}
+		if n := pl.Pattern.N(); n > t.MaxDepth {
+			t.MaxDepth = n
+		}
+	}
+	return t, nil
+}
+
+// insert threads one plan through the trie, reusing nodes whose candidate
+// signatures match and branches whose condition sets match, and creating
+// the remainder.
+func (t *Trie) insert(pl *Plan, idx int) error {
+	n := pl.Pattern.N()
+	if n == 0 {
+		return fmt.Errorf("plan: MergePlans: plan %d has no levels", idx)
+	}
+	nodes := &t.Roots
+	var br *TrieBranch
+	sharedPrefix := 0
+	prefixIntact := true
+	for i := 0; i < n; i++ {
+		label := pl.Pattern.Label(pl.Order[i])
+		var node *TrieNode
+		for _, c := range *nodes {
+			if c.Label == label && equalInts(c.Connect, pl.Connect[i]) &&
+				equalInts(c.Disconnect, pl.Disconnect[i]) {
+				node = c
+				break
+			}
+		}
+		if node == nil {
+			node = &TrieNode{
+				ID:         t.Nodes,
+				Depth:      i,
+				Connect:    pl.Connect[i],
+				Disconnect: pl.Disconnect[i],
+				Label:      label,
+			}
+			t.Nodes++
+			*nodes = append(*nodes, node)
+			prefixIntact = false
+		} else {
+			t.SharedLevels++
+			if prefixIntact {
+				sharedPrefix = i + 1
+			}
+		}
+		node.Patterns++
+		br = nil
+		for _, b := range node.Branches {
+			if equalInts(b.Greater, pl.Greater[i]) && equalInts(b.Smaller, pl.Smaller[i]) {
+				br = b
+				break
+			}
+		}
+		if br == nil {
+			br = &TrieBranch{Greater: pl.Greater[i], Smaller: pl.Smaller[i]}
+			node.Branches = append(node.Branches, br)
+		}
+		nodes = &br.Children
+	}
+	br.Leaves = append(br.Leaves, idx)
+	if sharedPrefix > t.MaxSharedPrefix {
+		t.MaxSharedPrefix = sharedPrefix
+	}
+	return nil
+}
+
+// Walk visits every node in the trie, parents before children, in
+// deterministic insertion order.
+func (t *Trie) Walk(visit func(*TrieNode)) {
+	var rec func(ns []*TrieNode)
+	rec = func(ns []*TrieNode) {
+		for _, n := range ns {
+			visit(n)
+			for _, b := range n.Branches {
+				rec(b.Children)
+			}
+		}
+	}
+	rec(t.Roots)
+}
+
+// String summarizes the trie's sharing structure.
+func (t *Trie) String() string {
+	return fmt.Sprintf("plan-trie{%d plans, %d nodes, %d shared levels, max shared prefix %d}",
+		len(t.Plans), t.Nodes, t.SharedLevels, t.MaxSharedPrefix)
+}
+
+// Labeled reports whether any merged plan constrains a level's label.
+func (t *Trie) Labeled() bool {
+	labeled := false
+	t.Walk(func(n *TrieNode) {
+		if n.Label != pattern.Unlabeled {
+			labeled = true
+		}
+	})
+	return labeled
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

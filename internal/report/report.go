@@ -54,6 +54,18 @@ type LevelReport struct {
 	Selectivity float64 `json:"selectivity"`
 }
 
+// TrieNodeReport is one merged-trie node's measured selectivity: where
+// the one-pass executor's shared candidate computations paid off.
+type TrieNodeReport struct {
+	Node        int     `json:"node"`
+	Depth       int     `json:"depth"`
+	Patterns    int     `json:"patterns"`
+	Enters      uint64  `json:"enters"`
+	Candidates  uint64  `json:"candidates"`
+	Extended    uint64  `json:"extended"`
+	Selectivity float64 `json:"selectivity"`
+}
+
 // MiningReport summarizes the matching phase across all alternatives.
 type MiningReport struct {
 	Matches     uint64               `json:"matches"`
@@ -65,6 +77,14 @@ type MiningReport struct {
 	// Skew is max worker busy time over the mean (1 = perfectly
 	// balanced); 0 when no worker telemetry was recorded.
 	Skew float64 `json:"skew,omitempty"`
+	// TailSteals counts tail work-stealing block splits (idle workers
+	// halving a straggler's remaining level-0 range).
+	TailSteals uint64 `json:"tail_steals,omitempty"`
+	// Trie execution telemetry, present when the run went through the
+	// one-pass trie executor: plan levels the merged trie shared, and
+	// per-trie-node selectivity.
+	TrieSharedLevels uint64           `json:"trie_shared_levels,omitempty"`
+	TrieNodes        []TrieNodeReport `json:"trie_nodes,omitempty"`
 }
 
 // RunReport is the full serializable record of one pipeline execution.
@@ -84,6 +104,10 @@ type RunReport struct {
 	ConvertNS      int64  `json:"convert_ns"`
 	ConversionMode string `json:"conversion_mode,omitempty"`
 	EstimatedBytes uint64 `json:"estimated_bytes,omitempty"`
+
+	// Trie records the multi-pattern trie routing decision: whether the
+	// winner set was mined in one shared-prefix pass, and why (or why not).
+	Trie *core.TrieDecision `json:"trie,omitempty"`
 
 	Mining   *MiningReport   `json:"mining,omitempty"`
 	Patterns []PatternReport `json:"patterns,omitempty"`
@@ -139,12 +163,17 @@ func FromRunStats(st *core.RunStats) *RunReport {
 			CalibrationRatio: pp.CalibrationRatio(),
 		})
 	}
+	if td := st.Trie; td != nil {
+		cp := *td
+		r.Trie = &cp
+	}
 	if m := st.Mining; m != nil {
 		mr := &MiningReport{
 			Matches:     m.Matches,
 			SetOps:      m.SetOps,
 			SetElems:    m.SetElems,
 			TotalTimeNS: int64(m.TotalTime),
+			TailSteals:  m.TailSteals,
 		}
 		for i, l := range m.Levels {
 			mr.Levels = append(mr.Levels, LevelReport{
@@ -155,6 +184,17 @@ func FromRunStats(st *core.RunStats) *RunReport {
 		mr.Workers = append(mr.Workers, m.Workers...)
 		sort.Slice(mr.Workers, func(i, j int) bool { return mr.Workers[i].Worker < mr.Workers[j].Worker })
 		mr.Skew = workerSkew(mr.Workers)
+		if m.TriePasses > 0 {
+			mr.TrieSharedLevels = m.TrieSharedLevels
+			for _, tn := range m.TrieNodes {
+				mr.TrieNodes = append(mr.TrieNodes, TrieNodeReport{
+					Node: tn.Node, Depth: tn.Depth, Patterns: tn.Patterns,
+					Enters: tn.Enters, Candidates: tn.Candidates, Extended: tn.Extended,
+					Selectivity: tn.Selectivity(),
+				})
+			}
+			sort.Slice(mr.TrieNodes, func(i, j int) bool { return mr.TrieNodes[i].Node < mr.TrieNodes[j].Node })
+		}
 		r.Mining = mr
 	}
 	return r
@@ -245,6 +285,16 @@ func (r *RunReport) WriteText(w io.Writer) error {
 		}
 	}
 
+	if td := r.Trie; td != nil {
+		route := "per pattern"
+		if td.Used {
+			route = "one pass (shared-prefix trie)"
+		}
+		p("\n-- multi-pattern execution --\n")
+		p("  trie mode %s: %s\n", td.Mode, route)
+		p("    %s\n", td.Reason)
+	}
+
 	if len(r.Patterns) > 0 {
 		p("\n-- mined patterns (winner set) + calibration --\n")
 		for _, pr := range r.Patterns {
@@ -266,6 +316,16 @@ func (r *RunReport) WriteText(w io.Writer) error {
 				p("    level %d: %d candidates -> %d extended (%.4g)\n",
 					l.Level, l.Candidates, l.Extended, l.Selectivity)
 			}
+		}
+		if len(m.TrieNodes) > 0 {
+			p("  per-trie-node selectivity (%d plan levels shared):\n", m.TrieSharedLevels)
+			for _, tn := range m.TrieNodes {
+				p("    node %d depth %d [%d pattern(s)]: %d enters, %d candidates -> %d extended (%.4g)\n",
+					tn.Node, tn.Depth, tn.Patterns, tn.Enters, tn.Candidates, tn.Extended, tn.Selectivity)
+			}
+		}
+		if m.TailSteals > 0 {
+			p("  tail steals: %d\n", m.TailSteals)
 		}
 		if len(m.Workers) > 0 {
 			p("  workers: %d", len(m.Workers))
