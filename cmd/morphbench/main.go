@@ -12,6 +12,7 @@
 //	morphbench -fig 12a -cpuprofile cpu.pb  # offline pprof capture
 //	morphbench kernels                      # setops kernel microbench -> BENCH_kernels.json
 //	morphbench trie                         # trie vs per-pattern bench -> BENCH_trie.json
+//	morphbench regress -baseline BENCH_kernels.json -fresh new.json  # perf regression gate
 //
 // Scale 1.0 corresponds to the paper's full-size graphs (do not attempt
 // FR at 1.0 on a laptop). Output goes to stdout; progress to stderr.
@@ -56,6 +57,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "regress" {
+		if err := cmdRegress(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "morphbench: regress:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		fig      = flag.String("fig", "", "comma-separated experiment IDs (e.g. 12a,13c)")
 		all      = flag.Bool("all", false, "run every experiment")
@@ -72,8 +80,22 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "overall deadline for the whole run; expired experiments abort at the next work-block boundary (0 = none)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		queryLog = flag.String("querylog", "", "append the structured JSONL query log (run lifecycle events) to this file")
+		flightDir = flag.String("flightdir", "", "dump flight-recorder bundles for anomalous runs into this directory (default $MORPH_FLIGHT_DIR)")
 	)
 	flag.Parse()
+	if *queryLog != "" {
+		ql, err := obs.OpenEventLog(*queryLog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "morphbench: -querylog:", err)
+			os.Exit(1)
+		}
+		defer ql.Close()
+		obs.SetDefaultEventLog(ql)
+	}
+	if *flightDir != "" {
+		os.Setenv(obs.EnvFlightDir, *flightDir)
+	}
 
 	stopProf, err := obs.StartProfiles(*cpuProf, *memProf)
 	if err != nil {

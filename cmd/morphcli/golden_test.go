@@ -16,6 +16,10 @@ var update = flag.Bool("update", false, "rewrite golden files with the current o
 // a fixed-seed dataset and get normalized to DUR before comparison.
 var durations = regexp.MustCompile(`([0-9]+h)?([0-9]+m)?[0-9]+(\.[0-9]+)?(ns|µs|ms|s)`)
 
+// runIDs matches obs run identifiers ("r3f0a1c-0002"): unique per process
+// and per execution, so they get normalized like durations.
+var runIDs = regexp.MustCompile(`r[0-9a-f]{6}-[0-9]{4}`)
+
 // TestExplainGolden pins the full `morphcli explain` text report on a
 // fixed-seed synthetic dataset: the query rewrites, the Algorithm 1
 // trace with accepted AND rejected candidate alternative sets and their
@@ -31,7 +35,8 @@ func TestExplainGolden(t *testing.T) {
 	if err := cmdExplain(args, &buf); err != nil {
 		t.Fatal(err)
 	}
-	got := durations.ReplaceAll(buf.Bytes(), []byte("DUR"))
+	got := runIDs.ReplaceAll(buf.Bytes(), []byte("RUNID"))
+	got = durations.ReplaceAll(got, []byte("DUR"))
 
 	golden := filepath.Join("testdata", "explain.golden")
 	if *update {

@@ -48,10 +48,19 @@ import (
 	"morphing/internal/report"
 )
 
+// runFlight is the flight-recorder policy handed to every Runner,
+// assembled in main from -flightdir and -slowquery. It stays nil when
+// command functions run without main (tests), falling back to
+// obs.DefaultFlightPolicy inside the Runner.
+var runFlight *obs.FlightPolicy
+
 func main() {
 	listen := flag.String("listen", "", "serve /metrics, /vars and /debug/pprof on this address while running")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	queryLog := flag.String("querylog", "", "append the structured JSONL query log (run lifecycle events) to this file")
+	flightDir := flag.String("flightdir", "", "dump flight-recorder bundles for anomalous runs into this directory (default $MORPH_FLIGHT_DIR)")
+	slowQuery := flag.Duration("slowquery", 0, "treat runs slower than this wall time as anomalous (flight-recorder trigger)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -68,6 +77,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "morphcli: profile:", err)
 		}
 	}()
+	if *queryLog != "" {
+		ql, err := obs.OpenEventLog(*queryLog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "morphcli: -querylog:", err)
+			os.Exit(1)
+		}
+		defer ql.Close()
+		obs.SetDefaultEventLog(ql)
+	}
+	if *flightDir != "" {
+		os.Setenv(obs.EnvFlightDir, *flightDir)
+	}
+	flightPolicy := obs.DefaultFlightPolicy()
+	flightPolicy.SlowQuery = *slowQuery
+	runFlight = &flightPolicy
 	if *listen != "" {
 		ln, err := obs.Serve(*listen, obs.DefaultRegistry())
 		if err != nil {
@@ -240,6 +264,11 @@ func countEngine(name string, threads int) (engine.Engine, error) {
 // went, what the cost model decided, and the process-wide metric registry
 // snapshot — everything a script needs from one pipeline execution.
 type countReport struct {
+	// RunID/Label identify the execution's run scope; QueryLog is its
+	// retained lifecycle event stream (same records the -querylog JSONL
+	// stream carries, tagged with the same run ID).
+	RunID    string       `json:"run_id,omitempty"`
+	Label    string       `json:"label,omitempty"`
 	Graph    string       `json:"graph"`
 	Scale    float64      `json:"scale"`
 	Engine   string       `json:"engine"`
@@ -259,6 +288,7 @@ type countReport struct {
 	TransformNS    int64         `json:"transform_ns"`
 	ConvertNS      int64         `json:"convert_ns"`
 	Mining         *engine.Stats `json:"mining"`
+	QueryLog       []obs.Event   `json:"query_log,omitempty"`
 	Registry       obs.Snapshot  `json:"registry"`
 }
 
@@ -344,7 +374,7 @@ func cmdCount(args []string) error {
 		defer cancel()
 	}
 	r := &core.Runner{Engine: eng, DisableMorphing: *baseline, Explain: *reportOut != "",
-		RunOptions: core.RunOptions{Trie: trieMode}}
+		RunOptions: core.RunOptions{Trie: trieMode}, Label: "count", Flight: runFlight}
 	counts, st, err := r.CountsCtx(ctx, g, queries)
 	prog.Stop()
 	if err != nil {
@@ -382,6 +412,9 @@ func cmdCount(args []string) error {
 
 	if *statsMode == "json" {
 		rep := countReport{
+			RunID:          st.RunID,
+			Label:          st.RunLabel,
+			QueryLog:       st.Events,
 			Graph:          *graphName,
 			Scale:          *scale,
 			Engine:         eng.Name(),
@@ -594,7 +627,7 @@ func cmdExplain(args []string, w io.Writer) error {
 		return err
 	}
 	r := &core.Runner{Engine: eng, DisableMorphing: *baseline, Explain: true,
-		RunOptions: core.RunOptions{Trie: trieMode}}
+		RunOptions: core.RunOptions{Trie: trieMode}, Label: "explain", Flight: runFlight}
 	_, st, err := r.Counts(g, queries)
 	if err != nil {
 		return err

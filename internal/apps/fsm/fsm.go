@@ -84,6 +84,7 @@ func MineCtx(ctx context.Context, g *graph.Graph, eng engine.Engine, opts Option
 		DisableMorphing: !opts.Morph,
 		PerMatchCost:    perMatch,
 		MemoryBudget:    opts.MemoryBudget,
+		Label:           "fsm",
 	}
 	stats := &Stats{}
 

@@ -49,7 +49,7 @@ func CountCtx(ctx context.Context, g *graph.Graph, size int, eng engine.Engine, 
 	for i, b := range bases {
 		queries[i] = b.AsVertexInduced()
 	}
-	r := &core.Runner{Engine: eng, DisableMorphing: !morph}
+	r := &core.Runner{Engine: eng, DisableMorphing: !morph, Label: "mc"}
 	counts, stats, err := r.CountsCtx(ctx, g, queries)
 	if err != nil {
 		if engine.Interrupted(err) && stats != nil {

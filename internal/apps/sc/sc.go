@@ -31,7 +31,7 @@ func CountCtx(ctx context.Context, g *graph.Graph, queries []*pattern.Pattern, e
 	if len(queries) == 0 {
 		return nil, nil, fmt.Errorf("sc: empty query set")
 	}
-	r := &core.Runner{Engine: eng, DisableMorphing: !morph}
+	r := &core.Runner{Engine: eng, DisableMorphing: !morph, Label: "sc"}
 	return r.CountsCtx(ctx, g, queries)
 }
 

@@ -9,6 +9,7 @@ package se
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 	"morphing/internal/costmodel"
 	"morphing/internal/engine"
 	"morphing/internal/graph"
+	"morphing/internal/obs"
 	"morphing/internal/pattern"
 )
 
@@ -61,7 +63,63 @@ func Enumerate(g *graph.Graph, eng engine.Engine, queries []*pattern.Pattern, fi
 // the delivered/filtered tallies accumulated before the abort — is
 // returned alongside the typed error; matches already handed to onMatch
 // stay delivered.
+//
+// Each call runs inside its own observability run scope (obs.StartRun):
+// engine metrics and spans are tagged with the run ID, the query log
+// records the lifecycle, and anomalous endings dump the flight recorder.
 func EnumerateCtx(ctx context.Context, g *graph.Graph, eng engine.Engine, queries []*pattern.Pattern, filter Filter, onMatch func(query int, m []uint32), opts Options) (*Result, error) {
+	rc := obs.StartRun(nil, "se", obs.DefaultFlightPolicy())
+	rc.Event("admitted",
+		obs.Str("engine", eng.Name()), obs.Str("pipeline", "enumerate"),
+		obs.Int("queries", len(queries)), obs.Bool("morph", opts.Morph))
+	res, err := enumerateRun(obs.ContextWithRun(ctx, rc), g, eng, queries, filter, onMatch, opts)
+	finishRun(rc, res, err)
+	return res, err
+}
+
+// finishRun emits the terminal query-log event and lets the flight
+// recorder classify (and possibly dump) the run.
+func finishRun(rc *obs.RunContext, res *Result, err error) {
+	out := obs.RunOutcome{}
+	name := "completed"
+	var attrs []obs.Attr
+	if err != nil {
+		out.Err = err.Error()
+		switch {
+		case errors.Is(err, engine.ErrCanceled):
+			out.ErrKind = "canceled"
+		case errors.Is(err, engine.ErrDeadlineExceeded):
+			out.ErrKind = "deadline"
+		default:
+			var pe *engine.PanicError
+			if errors.As(err, &pe) {
+				out.ErrKind = "panic"
+			} else {
+				out.ErrKind = "error"
+			}
+		}
+		if out.ErrKind == "error" {
+			name = "failed"
+		} else {
+			name = "interrupted"
+		}
+		attrs = append(attrs, obs.Str("kind", out.ErrKind), obs.Str("error", out.Err))
+	}
+	if res != nil {
+		var delivered, filtered uint64
+		for i := range res.Delivered {
+			delivered += res.Delivered[i]
+			filtered += res.Filtered[i]
+		}
+		attrs = append(attrs, obs.U64("delivered", delivered), obs.U64("filtered", filtered))
+	}
+	rc.Event(name, attrs...)
+	rc.Finish(out)
+}
+
+// enumerateRun is the EnumerateCtx body, executed inside the run scope
+// the ctx carries.
+func enumerateRun(ctx context.Context, g *graph.Graph, eng engine.Engine, queries []*pattern.Pattern, filter Filter, onMatch func(query int, m []uint32), opts Options) (*Result, error) {
 	for i, q := range queries {
 		if q.Induced() != pattern.EdgeInduced {
 			return nil, fmt.Errorf("se: query %d must be edge-induced (on-the-fly conversion is additive)", i)
@@ -123,8 +181,8 @@ func EnumerateCtx(ctx context.Context, g *graph.Graph, eng engine.Engine, querie
 		perMatch = costmodel.ProfileUDF(func(m []uint32) { filter(m) },
 			queries[0].N(), 4096, uint32(g.NumVertices()), 1e8)
 	}
-	r := &core.Runner{Engine: eng, PerMatchCost: perMatch}
-	sel, err := r.TransformForStreaming(g, queries)
+	r := &core.Runner{Engine: eng, PerMatchCost: perMatch, Label: "se"}
+	sel, err := r.TransformForStreamingCtx(ctx, g, queries)
 	if err != nil {
 		return nil, err
 	}

@@ -143,7 +143,7 @@ func (e *Engine) MatchCtx(ctx context.Context, g *graph.Graph, p *pattern.Patter
 	if err != nil {
 		return nil, fmt.Errorf("autozero: %w", err)
 	}
-	defer obs.Or(e.Obs).StartSpan("mine/"+p.String(), obs.Str("engine", e.Name())).End()
+	defer obs.FromContext(ctx, e.Obs).StartSpan("mine/"+p.String(), obs.Str("engine", e.Name())).End()
 	_, st, err := engine.BacktrackCtx(ctx, g, pl, visit, engine.ExecOptions{Threads: e.Threads, Instrument: e.Instrument}, e.Obs)
 	return st, err
 }
@@ -171,7 +171,9 @@ func (e *Engine) CountAllCtx(ctx context.Context, g *graph.Graph, ps []*pattern.
 	fi := faultinject.Active()
 	ctx, fiStop := fi.Context(ctx)
 	defer fiStop()
-	o := obs.Or(e.Obs)
+	// Run scope on the context wins over the engine's observer (see
+	// engine.BacktrackCtx).
+	o := obs.FromContext(ctx, e.Obs)
 	defer o.StartSpan("mine/merged", obs.Str("engine", e.Name()), obs.Int("patterns", len(ps))).End()
 	liveMatches := o.Counter(engine.MetricMatches)
 	var tr trie

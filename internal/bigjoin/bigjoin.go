@@ -181,7 +181,7 @@ func (e *Engine) CountVertexInducedViaFilterCtx(ctx context.Context, g *graph.Gr
 	st.Matches = kept
 	// run already published its own counters; only the filter UDF's probe
 	// branches are new.
-	obs.Or(e.Obs).Counter(engine.MetricBranches).Add(0, filterBranches)
+	obs.FromContext(ctx, e.Obs).Counter(engine.MetricBranches).Add(0, filterBranches)
 	return kept, st, err
 }
 
@@ -248,7 +248,9 @@ func (e *Engine) run(ctx context.Context, g *graph.Graph, p *pattern.Pattern, vi
 	ctx, fiStop := fi.Context(ctx)
 	defer fiStop()
 	visit = fi.Visitor(visit)
-	o := obs.Or(e.Obs)
+	// Run scope on the context wins over the engine's observer (see
+	// engine.BacktrackCtx).
+	o := obs.FromContext(ctx, e.Obs)
 	defer o.StartSpan("mine/"+p.String(), obs.Str("engine", e.Name())).End()
 	liveMatches := o.Counter(engine.MetricMatches)
 	if p.HasExplicitAntiEdges() {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -61,6 +62,14 @@ type Runner struct {
 	// publishes RunStats through its registry. nil falls back to
 	// obs.Default().
 	Obs *obs.Observer
+	// Label tags this runner's executions in the query log, run reports
+	// and flight-recorder dumps (conventionally the app name: "sc",
+	// "mc", "fsm", "se").
+	Label string
+	// Flight configures the per-run flight recorder (ring sizes, dump
+	// directory, anomaly thresholds). nil uses obs.DefaultFlightPolicy,
+	// whose dump directory comes from MORPH_FLIGHT_DIR.
+	Flight *obs.FlightPolicy
 }
 
 // TrieMode selects how counting runs execute the winner set: one pass
@@ -188,6 +197,19 @@ type RunStats struct {
 	// EstimatedBytes is the cost model's estimate of materialized match
 	// bytes for the selected alternatives, set when MemoryBudget > 0.
 	EstimatedBytes uint64
+
+	// RunID is the unique identifier of this execution's run scope;
+	// every span, counter delta and query-log line the run emitted
+	// carries it.
+	RunID string
+	// RunLabel is the Runner.Label the run executed under.
+	RunLabel string
+	// Events is the run's retained lifecycle event ring (admitted,
+	// decisions, degradation, terminal), oldest first.
+	Events []obs.Event
+	// FlightDump is the flight-recorder bundle directory when the run
+	// ended anomalously and a dump was written; "" otherwise.
+	FlightDump string
 }
 
 // PatternRunStats is the calibration record for one executed alternative
@@ -230,10 +252,116 @@ func (r *Runner) policyFor(agg aggr.Aggregation) (Policy, error) {
 // obs resolves the runner's observability sink.
 func (r *Runner) obs() *obs.Observer { return obs.Or(r.Obs) }
 
+// startRun opens the per-query run scope: a child metrics registry, a
+// ring tracer tagged with the run ID, and the lifecycle event stream.
+// The returned context carries the scope so every layer below —
+// selection, conversion, the engines, the trie executor — resolves it
+// via obs.FromContext without signature changes.
+func (r *Runner) startRun(ctx context.Context, pipeline string, queries int) (*obs.RunContext, context.Context) {
+	policy := obs.DefaultFlightPolicy()
+	if r.Flight != nil {
+		policy = *r.Flight
+	}
+	rc := obs.StartRun(r.Obs, r.Label, policy)
+	rc.Event("admitted",
+		obs.Str("engine", r.Engine.Name()), obs.Str("pipeline", pipeline),
+		obs.Int("queries", queries), obs.Bool("morph", !r.DisableMorphing))
+	return rc, obs.ContextWithRun(ctx, rc)
+}
+
+// finishRun emits the run's terminal query-log event, classifies the
+// ending against the flight policy (dumping the recorder on anomaly),
+// and stamps the run identity into st. It is the single exit point of
+// every pipeline: success, interruption, and failure all pass through.
+func (r *Runner) finishRun(rc *obs.RunContext, st *RunStats, err error) {
+	kind := runErrKind(err)
+	out := obs.RunOutcome{ErrKind: kind}
+	if err != nil {
+		out.Err = err.Error()
+	}
+	name := "completed"
+	attrs := []obs.Attr{obs.Str("wall", rc.Wall().String())}
+	if st != nil {
+		attrs = append(attrs, obs.Str("phase", st.Phase))
+		if len(st.PerPattern) > 0 {
+			out.Calibration = st.MeanCalibrationRatio()
+			attrs = append(attrs, obs.F64("calibration_ratio", out.Calibration))
+		}
+		if st.Mining != nil {
+			attrs = append(attrs, obs.U64("matches", st.Mining.Matches))
+		}
+		for _, pc := range st.Partial {
+			attrs = append(attrs, obs.U64("partial/"+pc.Pattern.String(), pc.Count))
+		}
+	}
+	switch kind {
+	case "":
+	case "error":
+		name = "failed"
+		attrs = append(attrs, obs.Str("error", out.Err))
+	default:
+		name = "interrupted"
+		attrs = append(attrs, obs.Str("kind", kind), obs.Str("error", out.Err))
+	}
+	rc.Event(name, attrs...)
+	dump := rc.Finish(out)
+	if st != nil {
+		st.RunID = rc.ID()
+		st.RunLabel = rc.Label()
+		st.Events = rc.Events()
+		st.FlightDump = dump
+		if err == nil {
+			// Publication (and the run hook behind it) happens here, after
+			// the run identity and event stream are stamped, so recorders
+			// see the complete picture.
+			publishRunStats(rc.Observer(), st)
+		}
+	}
+}
+
+// runErrKind classifies a pipeline error for the query log and the
+// flight recorder: "" (success), "canceled", "deadline", "panic" for the
+// typed interruptions, "error" otherwise.
+func runErrKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, engine.ErrCanceled):
+		return "canceled"
+	case errors.Is(err, engine.ErrDeadlineExceeded):
+		return "deadline"
+	}
+	var pe *engine.PanicError
+	if errors.As(err, &pe) {
+		return "panic"
+	}
+	return "error"
+}
+
+// MeanCalibrationRatio averages the per-pattern calibration ratios (0
+// when the run carried no calibration records).
+func (st *RunStats) MeanCalibrationRatio() float64 {
+	if len(st.PerPattern) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, pp := range st.PerPattern {
+		sum += pp.CalibrationRatio()
+	}
+	return sum / float64(len(st.PerPattern))
+}
+
 // Transform runs pattern transformation for a query set: S-DAG build plus
 // Algorithm 1 under the policy derived for agg.
 func (r *Runner) Transform(g *graph.Graph, queries []*pattern.Pattern, agg aggr.Aggregation) (*Selection, error) {
-	o := r.obs()
+	return r.transformCtx(context.Background(), g, queries, agg)
+}
+
+// transformCtx is Transform resolving its observer through the context,
+// so a run scope (obs.ContextWithRun) captures the transform and select
+// spans in its per-run tracer and registry.
+func (r *Runner) transformCtx(ctx context.Context, g *graph.Graph, queries []*pattern.Pattern, agg aggr.Aggregation) (*Selection, error) {
+	o := obs.FromContext(ctx, r.Obs)
 	sp := o.StartSpan("transform",
 		obs.Str("engine", r.Engine.Name()), obs.Int("queries", len(queries)))
 	defer sp.End()
@@ -289,10 +417,17 @@ func (r *Runner) selectOptions() SelectOptions {
 // the additive direction is sound (PolicyVertexOnly) and the engine must
 // support vertex-induced matching.
 func (r *Runner) TransformForStreaming(g *graph.Graph, queries []*pattern.Pattern) (*Selection, error) {
+	return r.TransformForStreamingCtx(context.Background(), g, queries)
+}
+
+// TransformForStreamingCtx is TransformForStreaming resolving its
+// observer through the context, for callers (the SE app) that carry a
+// run scope.
+func (r *Runner) TransformForStreamingCtx(ctx context.Context, g *graph.Graph, queries []*pattern.Pattern) (*Selection, error) {
 	if !r.Engine.SupportsInduced(pattern.VertexInduced) {
 		return nil, fmt.Errorf("core: engine %q cannot mine vertex-induced patterns; on-the-fly conversion unavailable", r.Engine.Name())
 	}
-	o := r.obs()
+	o := obs.FromContext(ctx, r.Obs)
 	sp := o.StartSpan("transform",
 		obs.Str("engine", r.Engine.Name()), obs.Int("queries", len(queries)),
 		obs.Str("mode", "streaming"))
@@ -410,19 +545,31 @@ func (r *Runner) Counts(g *graph.Graph, queries []*pattern.Pattern) ([]uint64, *
 // per-alternative partial counts cannot be soundly converted into query
 // results, so they are surfaced raw instead.
 func (r *Runner) CountsCtx(ctx context.Context, g *graph.Graph, queries []*pattern.Pattern) ([]uint64, *RunStats, error) {
-	o := r.obs()
+	rc, ctx := r.startRun(ctx, "counts", len(queries))
+	out, st, err := r.countsRun(ctx, rc, g, queries)
+	r.finishRun(rc, st, err)
+	return out, st, err
+}
+
+// countsRun is the CountsCtx body, executed inside the run scope rc (the
+// ctx already carries it).
+func (r *Runner) countsRun(ctx context.Context, rc *obs.RunContext, g *graph.Graph, queries []*pattern.Pattern) ([]uint64, *RunStats, error) {
+	o := rc.Observer()
 	agg := aggr.Count{}
 	t0 := time.Now()
 	if err := engine.CtxErr(ctx); err != nil {
 		return nil, nil, err
 	}
-	sel, err := r.Transform(g, queries, agg)
+	sel, err := r.transformCtx(ctx, g, queries, agg)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats := &RunStats{Selection: sel, Transform: time.Since(t0),
 		Phase: PhaseTransform, ConversionMode: "batched",
 		Engine: r.Engine.Name(), GraphVertices: g.NumVertices(), GraphEdges: g.NumEdges()}
+	rc.Event("transformed",
+		obs.Int("mine_patterns", len(sel.Mine)), obs.Int("queries", len(sel.Queries)),
+		obs.F64("cost_before", sel.CostBefore), obs.F64("cost_after", sel.CostAfter))
 
 	minePatterns := make([]*pattern.Pattern, len(sel.Mine))
 	for i, c := range sel.Mine {
@@ -431,19 +578,20 @@ func (r *Runner) CountsCtx(ctx context.Context, g *graph.Graph, queries []*patte
 	stats.Phase = PhaseMine
 	dec, tr, planner := r.planTrie(g, minePatterns)
 	stats.Trie = dec
-	spM := o.StartSpan("mine",
-		obs.Str("engine", r.Engine.Name()), obs.Int("patterns", len(minePatterns)))
-	var counts []uint64
-	if r.Explain {
+	if r.Explain && dec.Used {
 		// EXPLAIN ANALYZE semantics: mine pattern by pattern so each
 		// choice gets its own measured matches and wall time next to the
 		// model's predictions (see Runner.Explain for the caveat about
 		// engines that merge schedules across patterns). The trie decision
 		// is still reported — as what a plain run would do.
-		if dec.Used {
-			dec.Used = false
-			dec.Reason += "; explain mode mines per pattern for calibration"
-		}
+		dec.Used = false
+		dec.Reason += "; explain mode mines per pattern for calibration"
+	}
+	rc.Event("trie_decision", obs.Bool("used", dec.Used), obs.Str("reason", dec.Reason))
+	spM := o.StartSpan("mine",
+		obs.Str("engine", r.Engine.Name()), obs.Int("patterns", len(minePatterns)))
+	var counts []uint64
+	if r.Explain {
 		counts, err = r.mineCountsExplained(ctx, g, sel, stats)
 	} else {
 		var mst *engine.Stats
@@ -492,7 +640,6 @@ func (r *Runner) CountsCtx(ctx context.Context, g *graph.Graph, queries []*patte
 	for i, v := range vals {
 		out[i] = v.(uint64)
 	}
-	publishRunStats(o, stats)
 	return out, stats, nil
 }
 
@@ -585,19 +732,30 @@ func (r *Runner) MNITables(g *graph.Graph, queries []*pattern.Pattern) ([]*aggr.
 // intermediate tables for per-match conversion work. Interrupted runs
 // follow the same partial-result contract as CountsCtx.
 func (r *Runner) MNITablesCtx(ctx context.Context, g *graph.Graph, queries []*pattern.Pattern) ([]*aggr.Table, *RunStats, error) {
-	o := r.obs()
+	rc, ctx := r.startRun(ctx, "mni", len(queries))
+	out, st, err := r.mniRun(ctx, rc, g, queries)
+	r.finishRun(rc, st, err)
+	return out, st, err
+}
+
+// mniRun is the MNITablesCtx body, executed inside the run scope rc.
+func (r *Runner) mniRun(ctx context.Context, rc *obs.RunContext, g *graph.Graph, queries []*pattern.Pattern) ([]*aggr.Table, *RunStats, error) {
+	o := rc.Observer()
 	agg := aggr.MNI{}
 	t0 := time.Now()
 	if err := engine.CtxErr(ctx); err != nil {
 		return nil, nil, err
 	}
-	sel, err := r.Transform(g, queries, agg)
+	sel, err := r.transformCtx(ctx, g, queries, agg)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats := &RunStats{Selection: sel, Transform: time.Since(t0),
 		Phase: PhaseTransform, ConversionMode: "batched",
 		Engine: r.Engine.Name(), GraphVertices: g.NumVertices(), GraphEdges: g.NumEdges()}
+	rc.Event("transformed",
+		obs.Int("mine_patterns", len(sel.Mine)), obs.Int("queries", len(sel.Queries)),
+		obs.F64("cost_before", sel.CostBefore), obs.F64("cost_after", sel.CostAfter))
 
 	// Graceful degradation decision: estimate the batched path's match
 	// volume; above budget, switch to on-the-fly conversion if the
@@ -612,6 +770,9 @@ func (r *Runner) MNITablesCtx(ctx context.Context, g *graph.Graph, queries []*pa
 				streamTargets = ts
 				stats.ConversionMode = "on-the-fly"
 				o.Counter(MetricDegraded).Inc(0)
+				rc.Event("degraded",
+					obs.U64("estimated_bytes", stats.EstimatedBytes),
+					obs.U64("budget_bytes", r.MemoryBudget))
 			}
 		}
 	}
@@ -674,7 +835,6 @@ func (r *Runner) MNITablesCtx(ctx context.Context, g *graph.Graph, queries []*pa
 	for i, v := range vals {
 		out[i] = v.(*aggr.Table)
 	}
-	publishRunStats(o, stats)
 	return out, stats, nil
 }
 
@@ -769,7 +929,6 @@ func (r *Runner) mniOnTheFly(ctx context.Context, o *obs.Observer, g *graph.Grap
 	spA.End()
 	stats.Convert = time.Since(t1)
 	stats.Phase = PhaseDone
-	publishRunStats(o, stats)
 	return out, stats, nil
 }
 

@@ -101,7 +101,10 @@ func BacktrackCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, visit Visi
 	}
 	numBlocks := (n + blockSize - 1) / blockSize
 
-	o = obs.Or(o)
+	// A run scope on the context (obs.ContextWithRun) wins over the
+	// caller's explicit observer: metrics and spans land in the current
+	// query's scope and forward into the global registry from there.
+	o = obs.FromContext(ctx, o)
 	// Workers keep counters on private fields inside hot loops and flush
 	// match deltas to this sharded cell at block granularity, so live
 	// readers (progress, /metrics) see movement without slowing matching.

@@ -79,7 +79,9 @@ func BacktrackTrieCtx(ctx context.Context, g *graph.Graph, tr *plan.Trie, opts E
 	ctx, fiStop := fi.Context(ctx)
 	defer fiStop()
 	start := time.Now()
-	o = obs.Or(o)
+	// Run scope on the context wins over the caller's explicit observer
+	// (see BacktrackCtx).
+	o = obs.FromContext(ctx, o)
 	defer o.StartSpan("mine/trie",
 		obs.Int("patterns", len(tr.Plans)),
 		obs.Int("shared_levels", tr.SharedLevels)).End()

@@ -73,9 +73,10 @@ func (e *Engine) opts() engine.ExecOptions {
 	return engine.ExecOptions{Threads: e.Threads, Instrument: e.Instrument}
 }
 
-// span opens a mine/<pattern> phase span on the engine's observer.
-func (e *Engine) span(p *pattern.Pattern) *obs.Span {
-	return obs.Or(e.Obs).StartSpan("mine/"+p.String(), obs.Str("engine", e.Name()))
+// span opens a mine/<pattern> phase span on the resolved observer: the
+// context's run scope when one is attached, the engine's own otherwise.
+func (e *Engine) span(ctx context.Context, p *pattern.Pattern) *obs.Span {
+	return obs.FromContext(ctx, e.Obs).StartSpan("mine/"+p.String(), obs.Str("engine", e.Name()))
 }
 
 func (e *Engine) summary(g *graph.Graph) graph.Summary {
@@ -137,7 +138,7 @@ func (e *Engine) CountCtx(ctx context.Context, g *graph.Graph, p *pattern.Patter
 	if err != nil {
 		return 0, nil, err
 	}
-	defer e.span(p).End()
+	defer e.span(ctx, p).End()
 	return engine.BacktrackCtx(ctx, g, pl, nil, e.opts(), e.Obs)
 }
 
@@ -176,7 +177,7 @@ func (e *Engine) MatchCtx(ctx context.Context, g *graph.Graph, p *pattern.Patter
 	if err != nil {
 		return nil, err
 	}
-	defer e.span(p).End()
+	defer e.span(ctx, p).End()
 	_, st, err := engine.BacktrackCtx(ctx, g, pl, visit, e.opts(), e.Obs)
 	return st, err
 }
@@ -199,7 +200,7 @@ func (e *Engine) CountVertexInducedViaFilterCtx(ctx context.Context, g *graph.Gr
 	if err != nil {
 		return 0, nil, err
 	}
-	defer obs.Or(e.Obs).StartSpan("mine/"+p.String(),
+	defer obs.FromContext(ctx, e.Obs).StartSpan("mine/"+p.String(),
 		obs.Str("engine", e.Name()), obs.Str("mode", "filter-udf")).End()
 	return CountViaFilterCtx(ctx, g, pl, p.NonEdges(), e.opts(), e.Obs)
 }
@@ -259,6 +260,6 @@ func CountViaFilterCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, nonEd
 	st.Matches = kept
 	// Backtrack already published its own counters; only the filter UDF's
 	// probe branches are new.
-	obs.Or(o).Counter(engine.MetricBranches).Add(0, filterBranches)
+	obs.FromContext(ctx, o).Counter(engine.MetricBranches).Add(0, filterBranches)
 	return kept, st, err
 }

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one structured query-lifecycle record: admission, the
+// morph/trie decisions, degradation, interruption, completion. Events
+// flow to the EventLog (the JSONL query log), into the run's flight
+// recorder ring, and into the final RunReport.
+type Event struct {
+	Time  time.Time      `json:"time"`
+	Run   string         `json:"run,omitempty"`
+	Name  string         `json:"event"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// NewEvent builds an event stamped now, with attrs folded into a map.
+func NewEvent(run, name string, attrs ...Attr) Event {
+	return Event{Time: time.Now(), Run: run, Name: name, Attrs: AttrMap(attrs)}
+}
+
+// AttrMap folds a list of attributes into a map (nil when empty).
+func AttrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// EventLog is a slog-backed JSONL sink for query-lifecycle events: one
+// JSON object per line, with the event name as "msg" and the run ID as
+// "run". A nil *EventLog is valid and drops everything, so emit sites
+// need no enabled checks. Safe for concurrent runs: slog handlers
+// serialize their writes.
+type EventLog struct {
+	logger *slog.Logger
+
+	mu     sync.Mutex
+	closer io.Closer
+}
+
+// NewEventLog returns an event log writing JSONL to w.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{logger: slog.New(slog.NewJSONHandler(w, nil))}
+}
+
+// OpenEventLog opens (creating or appending to) a JSONL query log at
+// path. Close flushes and closes the file.
+func OpenEventLog(path string) (*EventLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := NewEventLog(f)
+	l.closer = f
+	return l, nil
+}
+
+// Emit writes one event line. The event's own timestamp is recorded as
+// "ts" alongside slog's "time" so replayed events keep their original
+// instant.
+func (l *EventLog) Emit(e Event) {
+	if l == nil || l.logger == nil {
+		return
+	}
+	attrs := make([]slog.Attr, 0, len(e.Attrs)+2)
+	if e.Run != "" {
+		attrs = append(attrs, slog.String("run", e.Run))
+	}
+	if !e.Time.IsZero() {
+		attrs = append(attrs, slog.Time("ts", e.Time))
+	}
+	for k, v := range e.Attrs {
+		attrs = append(attrs, slog.Any(k, v))
+	}
+	l.logger.LogAttrs(context.Background(), slog.LevelInfo, e.Name, attrs...)
+}
+
+// Event builds and emits an event in one call, returning it so callers
+// (the RunContext ring) can retain the same record they logged.
+func (l *EventLog) Event(run, name string, attrs ...Attr) Event {
+	e := NewEvent(run, name, attrs...)
+	l.Emit(e)
+	return e
+}
+
+// Close closes the underlying file when the log was opened from a path;
+// logs built on a caller-owned writer are left open.
+func (l *EventLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closer == nil {
+		return nil
+	}
+	err := l.closer.Close()
+	l.closer = nil
+	return err
+}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 )
 
 // Handler serves the runtime observability surface for a registry:
@@ -37,16 +38,48 @@ func Handler(reg *Registry) *http.ServeMux {
 	return mux
 }
 
+// Server is a running observability endpoint. Close shuts down the
+// http.Server (closing the listener AND all accepted connections) and
+// waits for the serve goroutine to exit, so tests can assert no
+// goroutine or listener outlives it.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done sync.WaitGroup
+}
+
 // Serve starts the observability endpoint on addr in a background
-// goroutine and returns the listener (close it to stop serving; its Addr
-// reports the bound address when addr used port 0). This is what the
-// binaries' -listen flag calls.
-func Serve(addr string, reg *Registry) (net.Listener, error) {
+// goroutine. Its Addr reports the bound address when addr used port 0;
+// Close stops it. This is what the binaries' -listen flag calls.
+func Serve(addr string, reg *Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg)}
-	go srv.Serve(ln)
-	return ln, nil
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg)}}
+	s.done.Add(1)
+	go func() {
+		defer s.done.Done()
+		s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr {
+	if s == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the server: the listener and every accepted connection are
+// closed, and Close blocks until the serve goroutine has exited.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	s.done.Wait()
+	return err
 }

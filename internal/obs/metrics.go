@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -29,17 +30,25 @@ type cell struct {
 // a Registry. All methods are safe on a nil receiver (they no-op or
 // return zero), which is how disabled observability stays branch-free at
 // call sites.
+//
+// A counter obtained from a child registry (NewChildRegistry) carries a
+// parent link: every Add lands on the child's own shard AND is forwarded
+// up the chain, so a per-run scope stays disjoint while the global
+// registry's total always equals the sum over runs.
 type Counter struct {
-	name  string
-	cells [shardCount]cell
+	name   string
+	parent *Counter // same-named metric in the parent registry (nil at the root)
+	cells  [shardCount]cell
 }
 
-// Add increments the counter by n on the worker's shard.
+// Add increments the counter by n on the worker's shard, forwarding the
+// delta to the parent scope when this counter lives in a child registry.
 func (c *Counter) Add(worker int, n uint64) {
 	if c == nil || n == 0 {
 		return
 	}
 	c.cells[worker&(shardCount-1)].v.Add(n)
+	c.parent.Add(worker, n)
 }
 
 // Inc increments the counter by one on the worker's shard.
@@ -66,10 +75,13 @@ func (c *Counter) Name() string {
 }
 
 // Gauge is a last-value metric (selection sizes, modeled costs). Stores
-// are single atomics; floats travel as IEEE-754 bits.
+// are single atomics; floats travel as IEEE-754 bits. Gauges from child
+// registries forward every Set to the parent scope (last writer wins
+// globally, as with any gauge shared by concurrent runs).
 type Gauge struct {
-	name string
-	v    atomic.Uint64
+	name   string
+	parent *Gauge
+	v      atomic.Uint64
 }
 
 // Set records the gauge's current value.
@@ -78,6 +90,7 @@ func (g *Gauge) Set(v float64) {
 		return
 	}
 	g.v.Store(math.Float64bits(v))
+	g.parent.Set(v)
 }
 
 // Value returns the last value set (0 before any Set).
@@ -113,13 +126,16 @@ type histShard struct {
 
 // Histogram is a log2-bucketed distribution backed by sharded cells,
 // sized for durations in nanoseconds and work counts. Like Counter, all
-// methods are nil-safe.
+// methods are nil-safe, and histograms from child registries forward
+// every observation to the parent scope.
 type Histogram struct {
 	name   string
+	parent *Histogram
 	shards [shardCount]histShard
 }
 
-// Observe records one sample on the worker's shard.
+// Observe records one sample on the worker's shard, forwarding it to the
+// parent scope when this histogram lives in a child registry.
 func (h *Histogram) Observe(worker int, v uint64) {
 	if h == nil {
 		return
@@ -128,6 +144,7 @@ func (h *Histogram) Observe(worker int, v uint64) {
 	s.count.Add(1)
 	s.sum.Add(v)
 	s.buckets[bits.Len64(v)].Add(1)
+	h.parent.Observe(worker, v)
 }
 
 // Snapshot merges all shards into one distribution and fills the
@@ -237,11 +254,20 @@ func BucketUpperBound(i int) uint64 {
 // execution and hold the returned pointers, so the registry itself is
 // never on a per-match path. A nil *Registry is valid and returns nil
 // (inert) metrics.
+//
+// A registry may be a child of another (NewChildRegistry): metrics
+// created in the child link to the same-named metric in the parent, and
+// every write forwards up the chain. This is the mechanism behind
+// per-run metric scopes — a RunContext's registry is a child of the
+// process registry, so a run's counters are disjoint per run while the
+// global totals remain the sum over runs.
 type Registry struct {
 	mu         sync.RWMutex
+	parent     *Registry
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	help       map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -251,6 +277,23 @@ func NewRegistry() *Registry {
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 	}
+}
+
+// NewChildRegistry returns an empty registry whose metrics forward every
+// write to the same-named metric in parent (created there on demand). A
+// nil parent yields a plain root registry.
+func NewChildRegistry(parent *Registry) *Registry {
+	r := NewRegistry()
+	r.parent = parent
+	return r
+}
+
+// Parent returns the registry this one forwards into (nil at the root).
+func (r *Registry) Parent() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.parent
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -264,10 +307,13 @@ func (r *Registry) Counter(name string) *Counter {
 	if c != nil {
 		return c
 	}
+	// Resolve the parent's metric outside r.mu: the parent lookup takes
+	// the parent's lock and must not nest inside the child's.
+	parent := r.parent.Counter(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if c = r.counters[name]; c == nil {
-		c = &Counter{name: name}
+		c = &Counter{name: name, parent: parent}
 		r.counters[name] = c
 	}
 	return c
@@ -284,10 +330,11 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if g != nil {
 		return g
 	}
+	parent := r.parent.Gauge(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if g = r.gauges[name]; g == nil {
-		g = &Gauge{name: name}
+		g = &Gauge{name: name, parent: parent}
 		r.gauges[name] = g
 	}
 	return g
@@ -304,13 +351,42 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if h != nil {
 		return h
 	}
+	parent := r.parent.Histogram(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h = r.histograms[name]; h == nil {
-		h = &Histogram{name: name}
+		h = &Histogram{name: name, parent: parent}
 		r.histograms[name] = h
 	}
 	return h
+}
+
+// SetHelp registers the Prometheus HELP text for a metric name; the
+// /metrics exposition emits it ahead of the TYPE line. Help set on a
+// child registry stays local to that scope.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.help == nil {
+		r.help = make(map[string]string)
+	}
+	r.help[name] = help
+}
+
+// helpFor resolves a metric's HELP text, walking up the parent chain.
+func (r *Registry) helpFor(name string) string {
+	for reg := r; reg != nil; reg = reg.parent {
+		reg.mu.RLock()
+		h := reg.help[name]
+		reg.mu.RUnlock()
+		if h != "" {
+			return h
+		}
+	}
+	return ""
 }
 
 // Snapshot merges every metric's shards into a point-in-time view.
@@ -324,15 +400,29 @@ func (r *Registry) Snapshot() Snapshot {
 		return s
 	}
 	r.mu.RLock()
-	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
+		names = append(names, name)
 	}
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
+		names = append(names, name)
 	}
 	for name, h := range r.histograms {
 		s.Histograms[name] = h.Snapshot()
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	// Resolve help after releasing r.mu: helpFor re-locks r on its walk up
+	// the parent chain.
+	for _, name := range names {
+		if h := r.helpFor(name); h != "" {
+			if s.Help == nil {
+				s.Help = map[string]string{}
+			}
+			s.Help[name] = h
+		}
 	}
 	return s
 }
@@ -343,30 +433,35 @@ type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Help       map[string]string            `json:"help,omitempty"`
 }
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
-// format (the /metrics endpoint). Metric names are emitted as registered;
-// registered names use [a-z0-9_] so no escaping is needed.
+// format (the /metrics endpoint): a # HELP and # TYPE line per metric,
+// and cumulative le-labelled buckets ending in +Inf for histograms.
+// Metric names are emitted as registered; registered names use
+// [a-z0-9_] so no escaping is needed. Help text has backslashes and
+// newlines escaped per the exposition spec.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, name := range sortedKeys(s.Counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+		if err := s.writeHeader(w, name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, s.Gauges[name]); err != nil {
+		if err := s.writeHeader(w, name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", name, s.Gauges[name]); err != nil {
 			return err
 		}
 	}
-	histNames := make([]string, 0, len(s.Histograms))
-	for name := range s.Histograms {
-		histNames = append(histNames, name)
-	}
-	sort.Strings(histNames)
-	for _, name := range histNames {
+	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		if err := s.writeHeader(w, name, "histogram"); err != nil {
 			return err
 		}
 		var cum uint64
@@ -385,6 +480,18 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeHeader emits the # HELP and # TYPE comment lines for one metric.
+func (s Snapshot) writeHeader(w io.Writer, name, typ string) error {
+	help := s.Help[name]
+	if help == "" {
+		help = "morphing metric " + name
+	}
+	help = strings.ReplaceAll(help, `\`, `\\`)
+	help = strings.ReplaceAll(help, "\n", `\n`)
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	return err
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -17,14 +17,18 @@
 // mine > mine/<pattern-id>, convert, aggregate.
 package obs
 
-// Observer bundles the two observability sinks a component emits into.
-// Either field may be nil: a nil Metrics drops measurements, a nil Tracer
-// drops spans. The zero value observes nothing.
+// Observer bundles the observability sinks a component emits into. Any
+// field may be nil: a nil Metrics drops measurements, a nil Tracer drops
+// spans, a nil Events drops lifecycle events. The zero value observes
+// nothing.
 type Observer struct {
 	// Metrics receives counters, gauges and histograms.
 	Metrics *Registry
 	// Tracer receives phase spans.
 	Tracer *Tracer
+	// Events receives structured query-lifecycle events (the JSONL
+	// query log).
+	Events *EventLog
 }
 
 // defaultObserver is the process-wide sink components fall back to when
@@ -42,6 +46,11 @@ func DefaultRegistry() *Registry { return defaultObserver.Metrics }
 // starting work that should be traced (typically from main, right after
 // flag parsing); it is not synchronized against concurrent span starts.
 func SetDefaultTracer(t *Tracer) { defaultObserver.Tracer = t }
+
+// SetDefaultEventLog installs l as the process-wide query log (the
+// -querylog flag). Like SetDefaultTracer, call it from main before any
+// runs start.
+func SetDefaultEventLog(l *EventLog) { defaultObserver.Events = l }
 
 // Or returns o when non-nil and the process-wide default otherwise. It is
 // how engines and the runner resolve their optional Obs field.

@@ -1,0 +1,356 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChildRegistryForwardsToParent(t *testing.T) {
+	parent := NewRegistry()
+	a := NewChildRegistry(parent)
+	b := NewChildRegistry(parent)
+
+	a.Counter("matches_total").Add(0, 3)
+	b.Counter("matches_total").Add(1, 4)
+	if got := a.Counter("matches_total").Value(); got != 3 {
+		t.Fatalf("child a counter = %d, want 3", got)
+	}
+	if got := b.Counter("matches_total").Value(); got != 4 {
+		t.Fatalf("child b counter = %d, want 4", got)
+	}
+	if got := parent.Counter("matches_total").Value(); got != 7 {
+		t.Fatalf("parent counter = %d, want 7 (sum of children)", got)
+	}
+
+	a.Gauge("cost").Set(2.5)
+	if parent.Gauge("cost").Value() != 2.5 {
+		t.Fatal("gauge write did not forward to parent")
+	}
+
+	a.Histogram("lat_ns").Observe(0, 100)
+	b.Histogram("lat_ns").Observe(0, 200)
+	if got := parent.Histogram("lat_ns").Snapshot().Count; got != 2 {
+		t.Fatalf("parent histogram count = %d, want 2", got)
+	}
+	if got := a.Histogram("lat_ns").Snapshot().Count; got != 1 {
+		t.Fatalf("child histogram count = %d, want 1", got)
+	}
+
+	// Pre-existing parent metrics receive forwards too: linking is by
+	// name at child-metric creation time, not by creation order.
+	parent.Counter("pre_total").Add(0, 1)
+	a.Counter("pre_total").Inc(0)
+	if got := parent.Counter("pre_total").Value(); got != 2 {
+		t.Fatalf("pre-existing parent counter = %d, want 2", got)
+	}
+}
+
+func TestRingTracerBoundsAndMirror(t *testing.T) {
+	mirror := NewTracer()
+	tr := NewRingTracer(4, mirror, Str("run", "r-test"))
+	for i := 0; i < 10; i++ {
+		tr.Start(fmt.Sprintf("span%d", i)).End()
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("ring retained %d events, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("ring dropped = %d, want 6", tr.Dropped())
+	}
+	// The mirror is unbounded and sees everything, tagged with the run.
+	if mirror.Len() != 10 {
+		t.Fatalf("mirror has %d events, want 10", mirror.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("ring trace is not valid Chrome trace JSON: %v", err)
+	}
+	// Oldest-first after wrap: spans 6..9 survive.
+	if doc.TraceEvents[0].Name != "span6" || doc.TraceEvents[3].Name != "span9" {
+		t.Fatalf("ring order wrong: %v", doc.TraceEvents)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Args["run"] != "r-test" {
+			t.Fatalf("event %s missing run base attr: %v", e.Name, e.Args)
+		}
+	}
+
+	var mbuf bytes.Buffer
+	if err := mirror.WriteChromeTrace(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mbuf.String(), `"run":"r-test"`) {
+		t.Fatal("mirrored events lost the run base attr")
+	}
+}
+
+func TestEventLogJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.Event("r1", "admitted", Str("engine", "Peregrine"), Int("queries", 3))
+	l.Event("r1", "completed", Int("matches", 42))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("querylog lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("querylog line not JSON: %q: %v", line, err)
+		}
+		if m["run"] != "r1" {
+			t.Fatalf("querylog line missing run: %q", line)
+		}
+	}
+	if !strings.Contains(lines[0], `"engine":"Peregrine"`) {
+		t.Fatalf("attrs not flattened into the JSON line: %q", lines[0])
+	}
+
+	// Nil event logs are inert.
+	var nl *EventLog
+	nl.Event("r", "x")
+	nl.Emit(Event{})
+	if err := nl.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunContextScopesAreDisjoint(t *testing.T) {
+	var ql bytes.Buffer
+	parent := &Observer{Metrics: NewRegistry(), Tracer: NewTracer(), Events: NewEventLog(&ql)}
+
+	// Two concurrent runs hammer the same metric names and emit events;
+	// each run's scope must see only its own writes while the parent sees
+	// the sum (the PR's acceptance criterion, exercised under -race).
+	const perRun = 1000
+	runs := make([]*RunContext, 2)
+	var wg sync.WaitGroup
+	for i := range runs {
+		runs[i] = StartRun(parent, fmt.Sprintf("run%d", i), FlightPolicy{})
+		wg.Add(1)
+		go func(rc *RunContext, n int) {
+			defer wg.Done()
+			o := rc.Observer()
+			for j := 0; j < n; j++ {
+				o.Counter("matches_total").Inc(j)
+				o.StartSpan("mine/p1").End()
+			}
+			rc.Event("completed", Int("matches", n))
+		}(runs[i], perRun*(i+1))
+	}
+	wg.Wait()
+
+	for i, rc := range runs {
+		want := uint64(perRun * (i + 1))
+		if got := rc.Observer().Counter("matches_total").Value(); got != want {
+			t.Fatalf("run %d scope counter = %d, want %d", i, got, want)
+		}
+		evs := rc.Events()
+		if len(evs) != 1 || evs[0].Run != rc.ID() || evs[0].Name != "completed" {
+			t.Fatalf("run %d events = %+v, want its own completed event", i, evs)
+		}
+	}
+	if runs[0].ID() == runs[1].ID() {
+		t.Fatalf("run IDs collide: %s", runs[0].ID())
+	}
+	if got := parent.Metrics.Counter("matches_total").Value(); got != 3*perRun {
+		t.Fatalf("parent counter = %d, want %d (sum of runs)", got, 3*perRun)
+	}
+	// 3*perRun mirrored spans plus each run's "completed" instant marker.
+	if parent.Tracer.Len() != 3*perRun+2 {
+		t.Fatalf("parent tracer has %d events, want %d (mirrored from both runs)", parent.Tracer.Len(), 3*perRun+2)
+	}
+	// Both runs' terminal events reached the shared query log, each under
+	// its own run ID.
+	for _, rc := range runs {
+		if !strings.Contains(ql.String(), rc.ID()) {
+			t.Fatalf("query log missing run %s:\n%s", rc.ID(), ql.String())
+		}
+	}
+}
+
+func TestFlightRecorderDumpsOnAnomaly(t *testing.T) {
+	dir := t.TempDir()
+	parent := &Observer{Metrics: NewRegistry()}
+
+	rc := StartRun(parent, "count", FlightPolicy{Dir: dir})
+	rc.Observer().StartSpan("mine/p1").End()
+	rc.Event("admitted", Int("queries", 2))
+	dump := rc.Finish(RunOutcome{ErrKind: "deadline", Err: "context deadline exceeded"})
+	if dump == "" {
+		t.Fatal("deadline ending produced no flight dump")
+	}
+	if !strings.HasSuffix(dump, rc.ID()+"-deadline") {
+		t.Fatalf("dump dir %q not named <run>-<reason>", dump)
+	}
+
+	// trace.json must validate as Chrome trace JSON (acceptance criterion).
+	raw, err := os.ReadFile(filepath.Join(dump, "trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("dumped trace.json invalid: %v", err)
+	}
+	// The span and the event's instant marker are both in the trace.
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		names[e.Name] = true
+	}
+	if !names["mine/p1"] || !names["admitted"] {
+		t.Fatalf("dump trace missing span or event instant: %v", names)
+	}
+
+	evRaw, err := os.ReadFile(filepath.Join(dump, "events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(strings.SplitN(strings.TrimSpace(string(evRaw)), "\n", 2)[0]), &ev); err != nil {
+		t.Fatalf("events.jsonl line invalid: %v", err)
+	}
+	if ev.Run != rc.ID() || ev.Name != "admitted" {
+		t.Fatalf("dumped event = %+v", ev)
+	}
+
+	metaRaw, err := os.ReadFile(filepath.Join(dump, "meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta map[string]any
+	if err := json.Unmarshal(metaRaw, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta["reason"] != "deadline" || meta["run"] != rc.ID() || meta["err"] != "context deadline exceeded" {
+		t.Fatalf("meta.json = %v", meta)
+	}
+
+	// Finish is idempotent: a second call returns the same bundle.
+	if again := rc.Finish(RunOutcome{ErrKind: "panic"}); again != dump {
+		t.Fatalf("second Finish = %q, want %q", again, dump)
+	}
+}
+
+func TestFlightRecorderClassification(t *testing.T) {
+	dir := t.TempDir()
+	finish := func(policy FlightPolicy, out RunOutcome, delay time.Duration) string {
+		policy.Dir = dir
+		rc := StartRun(nil, "t", policy)
+		if delay > 0 {
+			rc.start = rc.start.Add(-delay) // backdate instead of sleeping
+		}
+		return rc.Finish(out)
+	}
+
+	if d := finish(FlightPolicy{}, RunOutcome{}, 0); d != "" {
+		t.Fatalf("normal run dumped: %s", d)
+	}
+	if d := finish(FlightPolicy{SlowQuery: time.Hour}, RunOutcome{}, 0); d != "" {
+		t.Fatalf("fast run dumped as slow: %s", d)
+	}
+	if d := finish(FlightPolicy{SlowQuery: time.Millisecond}, RunOutcome{}, time.Second); !strings.HasSuffix(d, "-slow") {
+		t.Fatalf("slow run not dumped: %q", d)
+	}
+	band := FlightPolicy{CalibrationMin: 0.5, CalibrationMax: 2}
+	if d := finish(band, RunOutcome{Calibration: 1.0}, 0); d != "" {
+		t.Fatalf("in-band calibration dumped: %s", d)
+	}
+	if d := finish(band, RunOutcome{Calibration: 10}, 0); !strings.HasSuffix(d, "-calibration") {
+		t.Fatalf("out-of-band calibration not dumped: %q", d)
+	}
+	if d := finish(band, RunOutcome{}, 0); d != "" {
+		t.Fatalf("unknown calibration (0) dumped: %s", d)
+	}
+	if d := finish(FlightPolicy{}, RunOutcome{ErrKind: "canceled"}, 0); !strings.HasSuffix(d, "-canceled") {
+		t.Fatalf("canceled run not dumped: %q", d)
+	}
+}
+
+func TestFlightRecorderDumpCap(t *testing.T) {
+	dir := t.TempDir()
+	policy := FlightPolicy{Dir: dir, MaxDumps: 2}
+	var ql bytes.Buffer
+	parent := &Observer{Metrics: NewRegistry(), Events: NewEventLog(&ql)}
+	var dumps int
+	for i := 0; i < 4; i++ {
+		rc := StartRun(parent, "t", policy)
+		if rc.Finish(RunOutcome{ErrKind: "error", Err: "boom"}) != "" {
+			dumps++
+		}
+	}
+	if dumps != 2 {
+		t.Fatalf("dumps = %d, want capped at 2", dumps)
+	}
+	if !strings.Contains(ql.String(), "flight_dump_failed") {
+		t.Fatal("capped dump left no breadcrumb in the query log")
+	}
+}
+
+func TestRunContextEventRing(t *testing.T) {
+	rc := StartRun(nil, "t", FlightPolicy{RingEvents: 3})
+	for i := 0; i < 5; i++ {
+		rc.Event(fmt.Sprintf("e%d", i))
+	}
+	evs := rc.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	if evs[0].Name != "e2" || evs[2].Name != "e4" {
+		t.Fatalf("event ring order wrong: %+v", evs)
+	}
+}
+
+func TestFromContextPrecedence(t *testing.T) {
+	fallback := &Observer{Metrics: NewRegistry()}
+	if FromContext(context.Background(), fallback) != fallback {
+		t.Fatal("bare context did not fall back to the explicit observer")
+	}
+	rc := StartRun(nil, "t", FlightPolicy{})
+	ctx := ContextWithRun(context.Background(), rc)
+	if FromContext(ctx, fallback) != rc.Observer() {
+		t.Fatal("run scope on the context did not win over the fallback")
+	}
+	if RunFrom(ctx) != rc {
+		t.Fatal("RunFrom lost the run context")
+	}
+	if RunFrom(context.Background()) != nil || RunFrom(nil) != nil {
+		t.Fatal("RunFrom invented a run context")
+	}
+
+	// Nil run contexts are inert end to end.
+	var nrc *RunContext
+	if nrc.ID() != "" || nrc.Observer() != nil || nrc.Finish(RunOutcome{}) != "" {
+		t.Fatal("nil RunContext not inert")
+	}
+	nrc.Event("x")
+	if ContextWithRun(context.Background(), nil) != context.Background() {
+		t.Fatal("attaching a nil run must be a no-op")
+	}
+}

@@ -25,15 +25,32 @@ func U64(key string, value uint64) Attr { return Attr{Key: key, Value: value} }
 // F64 builds a float attribute.
 func F64(key string, value float64) Attr { return Attr{Key: key, Value: value} }
 
+// Bool builds a boolean attribute.
+func Bool(key string, value bool) Attr { return Attr{Key: key, Value: value} }
+
 // Tracer records phase spans. Span starts allocate one small struct; End
 // appends one event under a mutex — tracing is meant for phase-granular
 // spans (transform, mine/<pattern>, convert), not per-match events, so
 // the lock is never contended on a hot path. A nil *Tracer is valid and
 // records nothing.
+//
+// A tracer may be bounded (NewRingTracer): when the ring is full, the
+// oldest events are overwritten and counted in Dropped. Ring tracers are
+// what RunContext uses for the flight recorder — a bounded recent-history
+// view per run. A ring tracer may also carry a mirror: every event is
+// forwarded to the mirror tracer (re-based into the mirror's own time
+// origin), so per-run recording composes with a process-wide -trace
+// collection without double bookkeeping at call sites. Base attrs (the
+// run ID) are prepended to every recorded event.
 type Tracer struct {
-	mu     sync.Mutex
-	origin time.Time
-	events []traceEvent
+	mu      sync.Mutex
+	origin  time.Time
+	events  []traceEvent
+	cap     int   // 0 = unbounded
+	start   int   // ring head when len(events) == cap
+	dropped int64 // events overwritten by the ring
+	mirror  *Tracer
+	base    []Attr
 }
 
 type traceEvent struct {
@@ -48,6 +65,51 @@ type traceEvent struct {
 // NewTracer returns a tracer whose timestamps are relative to now.
 func NewTracer() *Tracer { return &Tracer{origin: time.Now()} }
 
+// NewRingTracer returns a bounded tracer keeping the most recent cap
+// events (cap <= 0 means unbounded). Every event is also forwarded to
+// mirror (if non-nil) in the mirror's own time frame, and base attrs are
+// prepended to each event's attributes.
+func NewRingTracer(cap int, mirror *Tracer, base ...Attr) *Tracer {
+	if cap < 0 {
+		cap = 0
+	}
+	return &Tracer{origin: time.Now(), cap: cap, mirror: mirror, base: base}
+}
+
+// record appends one event, honoring the ring bound, base attrs, and the
+// mirror. begin/dur are wall-clock; each tracer re-bases them into its
+// own origin so a mirrored event lands at the same wall instant in both
+// timelines.
+func (t *Tracer) record(name string, phase byte, tid int64, begin time.Time, dur time.Duration, attrs []Attr) {
+	if t == nil {
+		return
+	}
+	if len(t.base) > 0 {
+		merged := make([]Attr, 0, len(t.base)+len(attrs))
+		merged = append(merged, t.base...)
+		merged = append(merged, attrs...)
+		attrs = merged
+	}
+	e := traceEvent{name: name, phase: phase, tid: tid, start: begin.Sub(t.origin), dur: dur, attrs: attrs}
+	t.mu.Lock()
+	if t.cap > 0 && len(t.events) >= t.cap {
+		t.events[t.start] = e
+		t.start = (t.start + 1) % t.cap
+		t.dropped++
+	} else {
+		t.events = append(t.events, e)
+	}
+	mirror := t.mirror
+	t.mu.Unlock()
+	// Forward outside t.mu: the mirror takes its own lock.
+	mirror.record(name, phase, tid, begin, dur, attrs)
+}
+
+// Instant records a zero-duration marker event.
+func (t *Tracer) Instant(name string, attrs ...Attr) {
+	t.record(name, 'i', 0, time.Now(), 0, attrs)
+}
+
 // Start opens a span. End it (usually via defer) to record it; spans
 // never ended are dropped. Nil-safe: a nil tracer returns a nil (inert)
 // span.
@@ -58,18 +120,7 @@ func (t *Tracer) Start(name string, attrs ...Attr) *Span {
 	return &Span{t: t, name: name, attrs: attrs, begin: time.Now()}
 }
 
-// Instant records a zero-duration marker event.
-func (t *Tracer) Instant(name string, attrs ...Attr) {
-	if t == nil {
-		return
-	}
-	now := time.Now()
-	t.mu.Lock()
-	t.events = append(t.events, traceEvent{name: name, phase: 'i', start: now.Sub(t.origin), attrs: attrs})
-	t.mu.Unlock()
-}
-
-// Len returns the number of recorded events.
+// Len returns the number of recorded events currently retained.
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
@@ -77,6 +128,16 @@ func (t *Tracer) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.events)
+}
+
+// Dropped returns how many events the ring bound has overwritten.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Span is one in-flight phase. All methods are nil-safe so call sites
@@ -118,18 +179,7 @@ func (s *Span) End() {
 		return
 	}
 	s.ended = true
-	end := time.Now()
-	t := s.t
-	t.mu.Lock()
-	t.events = append(t.events, traceEvent{
-		name:  s.name,
-		phase: 'X',
-		tid:   s.tid,
-		start: s.begin.Sub(t.origin),
-		dur:   end.Sub(s.begin),
-		attrs: s.attrs,
-	})
-	t.mu.Unlock()
+	s.t.record(s.name, 'X', s.tid, s.begin, time.Since(s.begin), s.attrs)
 }
 
 // chromeEvent is one Chrome trace_event JSON object. Timestamps and
@@ -149,7 +199,10 @@ func (t *Tracer) chromeEvents() []chromeEvent {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]chromeEvent, 0, len(t.events))
-	for _, e := range t.events {
+	for i := range t.events {
+		// Walk the ring oldest-first so the exported trace is in record
+		// order even after wraparound.
+		e := t.events[(t.start+i)%len(t.events)]
 		ce := chromeEvent{
 			Name: e.name,
 			Ph:   string(rune(e.phase)),

@@ -49,9 +49,10 @@ func (e *Engine) opts() engine.ExecOptions {
 	return engine.ExecOptions{Threads: e.Threads, Instrument: e.Instrument}
 }
 
-// span opens a mine/<pattern> phase span on the engine's observer.
-func (e *Engine) span(p *pattern.Pattern) *obs.Span {
-	return obs.Or(e.Obs).StartSpan("mine/"+p.String(), obs.Str("engine", e.Name()))
+// span opens a mine/<pattern> phase span on the resolved observer: the
+// context's run scope when one is attached, the engine's own otherwise.
+func (e *Engine) span(ctx context.Context, p *pattern.Pattern) *obs.Span {
+	return obs.FromContext(ctx, e.Obs).StartSpan("mine/"+p.String(), obs.Str("engine", e.Name()))
 }
 
 // PlanPattern implements engine.Planner: Peregrine's pattern analysis is
@@ -81,7 +82,7 @@ func (e *Engine) CountCtx(ctx context.Context, g *graph.Graph, p *pattern.Patter
 	if err != nil {
 		return 0, nil, fmt.Errorf("peregrine: %w", err)
 	}
-	defer e.span(p).End()
+	defer e.span(ctx, p).End()
 	return engine.BacktrackCtx(ctx, g, pl, nil, e.opts(), e.Obs)
 }
 
@@ -123,7 +124,7 @@ func (e *Engine) MatchCtx(ctx context.Context, g *graph.Graph, p *pattern.Patter
 	if err != nil {
 		return nil, fmt.Errorf("peregrine: %w", err)
 	}
-	defer e.span(p).End()
+	defer e.span(ctx, p).End()
 	_, st, err := engine.BacktrackCtx(ctx, g, pl, visit, e.opts(), e.Obs)
 	return st, err
 }
@@ -158,7 +159,7 @@ func (e *Engine) CountUpToCtx(ctx context.Context, g *graph.Graph, p *pattern.Pa
 	if err != nil {
 		return 0, nil, fmt.Errorf("peregrine: %w", err)
 	}
-	defer e.span(p).End()
+	defer e.span(ctx, p).End()
 	opts := e.opts()
 	opts.MatchLimit = limit
 	return engine.BacktrackCtx(ctx, g, pl, nil, opts, e.Obs)

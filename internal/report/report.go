@@ -95,6 +95,18 @@ type RunReport struct {
 	GraphEdges    uint64 `json:"graph_edges"`
 	Phase         string `json:"phase"`
 
+	// RunID and Label identify the execution's observability run scope:
+	// every span, metric delta and query-log line the run emitted
+	// carries RunID.
+	RunID string `json:"run_id,omitempty"`
+	Label string `json:"label,omitempty"`
+	// FlightDump is the flight-recorder bundle directory when the run
+	// ended anomalously and a dump was written.
+	FlightDump string `json:"flight_dump,omitempty"`
+	// QueryLog embeds the run's retained lifecycle events (the same
+	// records the JSONL query log carries), oldest first.
+	QueryLog []obs.Event `json:"query_log,omitempty"`
+
 	Policy     string        `json:"policy,omitempty"`
 	Queries    []QueryReport `json:"queries"`
 	CostBefore float64       `json:"cost_before"`
@@ -133,11 +145,15 @@ func FromRunStats(st *core.RunStats) *RunReport {
 		GraphVertices:  st.GraphVertices,
 		GraphEdges:     st.GraphEdges,
 		Phase:          st.Phase,
+		RunID:          st.RunID,
+		Label:          st.RunLabel,
+		FlightDump:     st.FlightDump,
 		TransformNS:    int64(st.Transform),
 		ConvertNS:      int64(st.Convert),
 		ConversionMode: st.ConversionMode,
 		EstimatedBytes: st.EstimatedBytes,
 	}
+	r.QueryLog = append(r.QueryLog, st.Events...)
 	if sel := st.Selection; sel != nil {
 		r.Policy = sel.Policy.String()
 		r.CostBefore = sel.CostBefore
@@ -241,8 +257,18 @@ func (r *RunReport) WriteText(w io.Writer) error {
 	}
 
 	p("== run report (%s) ==\n", r.Schema)
+	if r.RunID != "" {
+		p("run: %s", r.RunID)
+		if r.Label != "" {
+			p("  label: %s", r.Label)
+		}
+		p("\n")
+	}
 	p("engine: %s  graph: %d vertices, %d edges  phase: %s\n",
 		r.Engine, r.GraphVertices, r.GraphEdges, r.Phase)
+	if r.FlightDump != "" {
+		p("flight dump: %s\n", r.FlightDump)
+	}
 	if r.Policy != "" {
 		p("policy: %s\n", r.Policy)
 	}
