@@ -113,6 +113,8 @@ func main() {
 		err = cmdTransform(args)
 	case "count":
 		err = cmdCount(args)
+	case "query":
+		err = cmdQuery(args)
 	case "explain":
 		err = cmdExplain(args, os.Stdout)
 	case "names":
@@ -128,7 +130,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: morphcli [-listen addr] <pattern|equation|sdag|transform|count|explain|names> [args]`)
+	fmt.Fprintln(os.Stderr, `usage: morphcli [-listen addr] <pattern|equation|sdag|transform|count|query|explain|names> [args]`)
 }
 
 func cmdNames() {

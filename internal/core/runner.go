@@ -838,6 +838,40 @@ func (r *Runner) mniRun(ctx context.Context, rc *obs.RunContext, g *graph.Graph,
 	return out, stats, nil
 }
 
+// AdmissionEstimate is what the cost model predicts a query will do
+// before any mining happens: the serving layer's admission-control input.
+type AdmissionEstimate struct {
+	// MatchBytes is the estimated bytes of materialized matches for the
+	// winner set (the value MemoryBudget is compared against). For
+	// counting pipelines nothing is materialized, but the estimate is
+	// still the match-volume proxy admission control meters.
+	MatchBytes uint64 `json:"match_bytes"`
+	// Cost is the modeled execution cost of the winner set (§5.2 units).
+	Cost float64 `json:"cost"`
+	// MinePatterns is how many alternative patterns the winner set mines.
+	MinePatterns int `json:"mine_patterns"`
+}
+
+// EstimateAdmission runs pattern transformation only — S-DAG build plus
+// Algorithm 1, no mining — and returns the cost model's predictions for
+// the resulting winner set. This is the admission-control hook a serving
+// layer calls before committing a worker to the query: transform time is
+// negligible next to mining (§7), so estimating costs little, and the
+// full pipeline re-derives the same selection deterministically when the
+// query is admitted. agg chooses the policy direction exactly as the real
+// pipeline would (aggr.Count for counting, aggr.MNI for FSM support).
+func (r *Runner) EstimateAdmission(ctx context.Context, g *graph.Graph, queries []*pattern.Pattern, agg aggr.Aggregation) (AdmissionEstimate, error) {
+	sel, err := r.transformCtx(ctx, g, queries, agg)
+	if err != nil {
+		return AdmissionEstimate{}, err
+	}
+	return AdmissionEstimate{
+		MatchBytes:   r.estimateMatchBytes(g, sel),
+		Cost:         sel.CostAfter,
+		MinePatterns: len(sel.Mine),
+	}, nil
+}
+
 // estimateMatchBytes is the cost model's estimate of the bytes the
 // batched path materializes: expected matches per alternative times the
 // pattern's vertices times 4 (uint32 vertex IDs). The model estimates

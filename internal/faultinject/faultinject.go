@@ -10,12 +10,18 @@
 // atomic load per run and nothing per block. Arm refuses to install an
 // injector outside a test binary (testing.Testing()), so production
 // builds structurally cannot trip the faults — the hooks they call are
-// nil-receiver no-ops.
+// nil-receiver no-ops. The one deliberate exception is ArmFromEnv, which
+// arms from the MORPH_FAULT environment variable so a long-running daemon
+// (morphd) can be chaos-tested end to end; setting that variable is the
+// operator's explicit opt-in.
 package faultinject
 
 import (
 	"context"
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -68,19 +74,111 @@ var active atomic.Pointer[Injector]
 
 // Arm installs cfg as the process-wide injector and returns a disarm
 // function. It fails outside a test binary: the injection points are a
-// test-only contract and must never fire in production processes.
+// test-only contract and must never fire in production processes unless
+// the operator opts in explicitly through the environment (ArmFromEnv).
 // Arming while another Config is armed replaces it (last arm wins);
 // disarm only removes the injector it installed.
 func Arm(cfg Config) (func(), error) {
 	if !testing.Testing() {
 		return nil, fmt.Errorf("faultinject: refusing to arm outside a test binary")
 	}
+	return arm(cfg), nil
+}
+
+// arm installs cfg unconditionally; callers gate the entry points.
+func arm(cfg Config) func() {
 	in := &Injector{cfg: cfg}
 	if in.cfg.PanicMessage == "" {
 		in.cfg.PanicMessage = "faultinject: injected panic"
 	}
 	active.Store(in)
-	return func() { active.CompareAndSwap(in, nil) }, nil
+	return func() { active.CompareAndSwap(in, nil) }
+}
+
+// EnvFault is the environment variable ArmFromEnv reads: a fault spec in
+// the ParseSpec grammar. Setting it on a long-running process (morphd) is
+// the operator's explicit opt-in to chaos testing; an unset or empty
+// variable arms nothing and costs nothing.
+const EnvFault = "MORPH_FAULT"
+
+// ArmFromEnv arms the process-wide injector from $MORPH_FAULT. Unlike
+// Arm it works outside test binaries: the environment variable is an
+// explicit, deliberate act by whoever launched the process, which is
+// exactly the end-to-end chaos-testing contract — no test-only hooks leak
+// into production builds, and production deployments that never set the
+// variable structurally cannot trip the faults. It returns the armed
+// Config and a disarm function, or armed=false when the variable is
+// unset/empty.
+func ArmFromEnv() (cfg Config, disarm func(), armed bool, err error) {
+	spec := os.Getenv(EnvFault)
+	if spec == "" {
+		return Config{}, nil, false, nil
+	}
+	cfg, err = ParseSpec(spec)
+	if err != nil {
+		return Config{}, nil, false, fmt.Errorf("faultinject: $%s: %w", EnvFault, err)
+	}
+	return cfg, arm(cfg), true, nil
+}
+
+// ParseSpec parses a textual fault specification: comma-separated
+// clauses, each enabling one injection point.
+//
+//	panic@N            panic when the N-th match is delivered
+//	panic@N:MESSAGE    ... with an explicit panic value
+//	stall=W:DUR        worker W sleeps DUR at every work-block claim
+//	cancel=DUR         cancel the execution's context DUR after it starts
+//
+// Example: MORPH_FAULT=panic@100,stall=2:50ms,cancel=1s
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(clause, "panic@"):
+			rest := strings.TrimPrefix(clause, "panic@")
+			numStr, msg, hasMsg := strings.Cut(rest, ":")
+			n, err := strconv.ParseUint(numStr, 10, 64)
+			if err != nil || n == 0 {
+				return Config{}, fmt.Errorf("bad clause %q: want panic@N with N >= 1", clause)
+			}
+			cfg.PanicAtMatch = n
+			if hasMsg {
+				cfg.PanicMessage = msg
+			}
+		case strings.HasPrefix(clause, "stall="):
+			rest := strings.TrimPrefix(clause, "stall=")
+			workerStr, durStr, ok := strings.Cut(rest, ":")
+			if !ok {
+				return Config{}, fmt.Errorf("bad clause %q: want stall=WORKER:DURATION", clause)
+			}
+			w, err := strconv.Atoi(workerStr)
+			if err != nil || w < 0 {
+				return Config{}, fmt.Errorf("bad clause %q: worker must be a non-negative integer", clause)
+			}
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d <= 0 {
+				return Config{}, fmt.Errorf("bad clause %q: bad stall duration", clause)
+			}
+			cfg.StallWorker = w
+			cfg.StallFor = d
+		case strings.HasPrefix(clause, "cancel="):
+			d, err := time.ParseDuration(strings.TrimPrefix(clause, "cancel="))
+			if err != nil || d <= 0 {
+				return Config{}, fmt.Errorf("bad clause %q: bad cancel duration", clause)
+			}
+			cfg.CancelAfter = d
+		default:
+			return Config{}, fmt.Errorf("unknown clause %q (want panic@N[:msg], stall=W:dur, cancel=dur)", clause)
+		}
+	}
+	if cfg == (Config{}) {
+		return Config{}, fmt.Errorf("spec %q enables no injection point", spec)
+	}
+	return cfg, nil
 }
 
 // Active returns the armed injector, or nil. Executors call this once at

@@ -161,3 +161,90 @@ func TestBlockClaimedStallsOnlySelectedWorker(t *testing.T) {
 		t.Fatalf("selected worker stalled only %v, want >= 50ms", d)
 	}
 }
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Config
+		bad  bool
+	}{
+		{spec: "panic@100", want: Config{PanicAtMatch: 100}},
+		{spec: "panic@7:boom goes the miner", want: Config{PanicAtMatch: 7, PanicMessage: "boom goes the miner"}},
+		{spec: "stall=2:50ms", want: Config{StallWorker: 2, StallFor: 50 * time.Millisecond}},
+		{spec: "cancel=1s", want: Config{CancelAfter: time.Second}},
+		{spec: "panic@100, stall=2:50ms ,cancel=250ms", want: Config{
+			PanicAtMatch: 100, StallWorker: 2, StallFor: 50 * time.Millisecond, CancelAfter: 250 * time.Millisecond}},
+		{spec: "", bad: true},            // enables nothing
+		{spec: ",,", bad: true},         // enables nothing
+		{spec: "panic@0", bad: true},    // ordinal must be >= 1
+		{spec: "panic@x", bad: true},    // not a number
+		{spec: "stall=2", bad: true},    // missing duration
+		{spec: "stall=-1:1s", bad: true},
+		{spec: "stall=2:0s", bad: true}, // non-positive stall
+		{spec: "cancel=bogus", bad: true},
+		{spec: "cancel=-1s", bad: true},
+		{spec: "explode=now", bad: true}, // unknown clause
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.spec)
+		if tc.bad {
+			if err == nil {
+				t.Errorf("ParseSpec(%q) = %+v, want error", tc.spec, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	// Unset: nothing arms, no error.
+	t.Setenv(EnvFault, "")
+	if _, _, armed, err := ArmFromEnv(); armed || err != nil {
+		t.Fatalf("empty $%s: armed=%v err=%v, want unarmed nil", EnvFault, armed, err)
+	}
+	if Active() != nil {
+		t.Fatal("empty spec must not install an injector")
+	}
+
+	// A bad spec reports the variable name and arms nothing.
+	t.Setenv(EnvFault, "explode=now")
+	if _, _, armed, err := ArmFromEnv(); err == nil || armed {
+		t.Fatalf("bad spec: armed=%v err=%v, want error unarmed", armed, err)
+	}
+	if Active() != nil {
+		t.Fatal("bad spec must not install an injector")
+	}
+
+	// A valid spec arms the process-wide injector; disarm removes it.
+	t.Setenv(EnvFault, "panic@3:env boom")
+	cfg, disarm, armed, err := ArmFromEnv()
+	if err != nil || !armed {
+		t.Fatalf("valid spec: armed=%v err=%v", armed, err)
+	}
+	if cfg.PanicAtMatch != 3 || cfg.PanicMessage != "env boom" {
+		t.Fatalf("armed config = %+v", cfg)
+	}
+	if Active() == nil {
+		t.Fatal("valid spec must install the injector")
+	}
+	defer func() {
+		if r := recover(); r != "env boom" {
+			t.Fatalf("recovered %v, want the env-configured message", r)
+		}
+		disarm()
+		if Active() != nil {
+			t.Fatal("disarm left the injector installed")
+		}
+	}()
+	v := Active().Visitor(nil)
+	v(0, nil)
+	v(0, nil)
+	v(0, nil) // third match trips the panic
+}

@@ -46,6 +46,17 @@ type PatternReport struct {
 	CalibrationRatio float64 `json:"calibration_ratio"`
 }
 
+// PartialReport is one alternative pattern's mined progress at the moment
+// a run was interrupted: the same marked partial counts the CLI prints.
+// Query-level results cannot be soundly converted from an incomplete
+// mined set, so interrupted runs surface these raw per-alternative counts
+// instead of query results.
+type PartialReport struct {
+	Pattern string `json:"pattern"`
+	Name    string `json:"name,omitempty"`
+	Count   uint64 `json:"count"`
+}
+
 // LevelReport is one exploration level's measured selectivity.
 type LevelReport struct {
 	Level       int     `json:"level"`
@@ -121,6 +132,17 @@ type RunReport struct {
 	// winner set was mined in one shared-prefix pass, and why (or why not).
 	Trie *core.TrieDecision `json:"trie,omitempty"`
 
+	// Interrupted marks a run that ended on a typed interruption
+	// (cancel, deadline, contained panic); Partial then carries the
+	// per-alternative progress mined before the abort.
+	Interrupted bool            `json:"interrupted,omitempty"`
+	Partial     []PartialReport `json:"partial,omitempty"`
+
+	// CalibrationRatio is the mean per-pattern calibration ratio
+	// (predicted/measured matches, add-one smoothed); 0 when the run
+	// carried no calibration records.
+	CalibrationRatio float64 `json:"calibration_ratio,omitempty"`
+
 	Mining   *MiningReport   `json:"mining,omitempty"`
 	Patterns []PatternReport `json:"patterns,omitempty"`
 
@@ -167,6 +189,15 @@ func FromRunStats(st *core.RunStats) *RunReport {
 			})
 		}
 	}
+	for _, pc := range st.Partial {
+		r.Partial = append(r.Partial, PartialReport{
+			Pattern: pc.Pattern.String(),
+			Name:    FriendlyName(pc.Pattern),
+			Count:   pc.Count,
+		})
+	}
+	r.Interrupted = st.Phase != "" && st.Phase != core.PhaseDone
+	r.CalibrationRatio = st.MeanCalibrationRatio()
 	for _, pp := range st.PerPattern {
 		r.Patterns = append(r.Patterns, PatternReport{
 			Pattern:          pp.Pattern,
@@ -319,6 +350,14 @@ func (r *RunReport) WriteText(w io.Writer) error {
 		p("\n-- multi-pattern execution --\n")
 		p("  trie mode %s: %s\n", td.Mode, route)
 		p("    %s\n", td.Reason)
+	}
+
+	if r.Interrupted {
+		p("\n*** RUN INTERRUPTED — results below are PARTIAL (stopped in phase %q) ***\n", r.Phase)
+		for _, pc := range r.Partial {
+			p("  %-28s %s  %12d  [partial, mined alternative]\n",
+				nameOr(pc.Name, ""), pc.Pattern, pc.Count)
+		}
 	}
 
 	if len(r.Patterns) > 0 {

@@ -209,3 +209,75 @@ func TestFriendlyName(t *testing.T) {
 		}
 	}
 }
+
+// TestInterruptedRunSurvivesReport pins the server-path contract: an
+// interrupted run's Phase, per-alternative partial counts, and the
+// calibration ratio must survive the RunStats -> RunReport conversion
+// (they are what morphd attaches to deadline/cancel errors).
+func TestInterruptedRunSurvivesReport(t *testing.T) {
+	st := &core.RunStats{
+		Engine:        "Peregrine",
+		GraphVertices: 256,
+		GraphEdges:    512,
+		Phase:         core.PhaseMine,
+		Partial: []core.PartialCount{
+			{Pattern: pattern.Triangle(), Count: 42},
+			{Pattern: pattern.FourCycle().AsVertexInduced(), Count: 7},
+		},
+	}
+	rep := FromRunStats(st)
+	if !rep.Interrupted {
+		t.Fatal("Phase=mine must mark the report interrupted")
+	}
+	if rep.Phase != core.PhaseMine {
+		t.Errorf("phase %q", rep.Phase)
+	}
+	if len(rep.Partial) != 2 {
+		t.Fatalf("%d partial rows, want 2 (RunStats.Partial dropped)", len(rep.Partial))
+	}
+	if rep.Partial[0].Count != 42 || rep.Partial[1].Count != 7 {
+		t.Errorf("partial counts %d,%d", rep.Partial[0].Count, rep.Partial[1].Count)
+	}
+	if rep.Partial[0].Name != "triangle" {
+		t.Errorf("partial rows lost friendly names: %q", rep.Partial[0].Name)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "PARTIAL") || !strings.Contains(out, "42") {
+		t.Errorf("text report hides the interruption:\n%s", out)
+	}
+
+	// The full pipeline round trip: JSON keeps the interruption.
+	buf.Reset()
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Interrupted || len(back.Partial) != 2 {
+		t.Errorf("JSON round trip: interrupted=%v partial=%d", back.Interrupted, len(back.Partial))
+	}
+}
+
+// TestCompletedRunNotInterrupted guards the other direction: a finished
+// explain run must not be marked interrupted, and its mean calibration
+// ratio must survive into the report.
+func TestCompletedRunNotInterrupted(t *testing.T) {
+	st := explainedRun(t, 1)
+	rep := FromRunStats(st)
+	if rep.Interrupted || len(rep.Partial) != 0 {
+		t.Errorf("completed run reported interrupted=%v partial=%d", rep.Interrupted, len(rep.Partial))
+	}
+	if rep.Phase != core.PhaseDone {
+		t.Errorf("phase %q, want done", rep.Phase)
+	}
+	if rep.CalibrationRatio <= 0 {
+		t.Errorf("calibration ratio %v did not survive the report path", rep.CalibrationRatio)
+	}
+}

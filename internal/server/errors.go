@@ -1,0 +1,148 @@
+// Package server lifts the morphing library into a resident query
+// service: an HTTP daemon (cmd/morphd) that accepts pattern-mining
+// queries, schedules them over core.Runner, and streams run reports
+// back — with robustness as the first-class design axis. The pipeline
+// is
+//
+//	admission → bounded queue → worker pool (core.Runner) → stream
+//
+// guarded by cost-model-driven admission control, per-client fairness
+// quotas, a result cache with single-flight de-duplication, per-query
+// deadlines, panic isolation, and graceful drain. See DESIGN.md §13.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"morphing/internal/report"
+)
+
+// Code is a typed query-error class. The taxonomy splits along one axis
+// that clients act on: retryable errors are capacity conditions that
+// clear on their own (back off and resend the identical query), fatal
+// errors will fail the same way every time (fix the query or give up).
+type Code string
+
+const (
+	// CodeBadRequest — the request cannot be parsed or names unknown
+	// patterns/engines/apps. Fatal.
+	CodeBadRequest Code = "bad_request"
+	// CodeOverBudget — the cost model's match-volume estimate for this
+	// query alone exceeds the server's total admission budget: no amount
+	// of retrying makes it fit. Fatal.
+	CodeOverBudget Code = "over_budget"
+	// CodeOverloaded — the query would fit an idle server, but the
+	// in-flight queries' combined estimated match volume leaves no room
+	// right now. Retryable: capacity frees as queries finish.
+	CodeOverloaded Code = "overloaded"
+	// CodeQueueFull — the bounded query queue is at capacity
+	// (backpressure). Retryable with a retry-after hint.
+	CodeQueueFull Code = "queue_full"
+	// CodeQuotaExhausted — this client token is at its per-client
+	// in-flight quota (fairness). Retryable once one of the client's own
+	// queries finishes.
+	CodeQuotaExhausted Code = "quota_exhausted"
+	// CodeDraining — the server is shutting down and admits nothing new.
+	// Retryable (against a replacement instance).
+	CodeDraining Code = "draining"
+	// CodeDeadline — the query's deadline expired (while queued or
+	// mid-mining). Fatal for this deadline; partial counts are attached
+	// when mining had started.
+	CodeDeadline Code = "deadline"
+	// CodeCanceled — the query's context was canceled (client
+	// disconnect, or drain-deadline cancellation). Fatal; partial counts
+	// attached when available.
+	CodeCanceled Code = "canceled"
+	// CodePanic — the query tripped a contained panic
+	// (engine.PanicError). The query fails alone; the server keeps
+	// serving. Fatal (the same query would panic again).
+	CodePanic Code = "panic"
+	// CodeInternal — any other execution error. Fatal.
+	CodeInternal Code = "internal"
+)
+
+// Retryable reports whether the class is a transient capacity condition.
+func (c Code) Retryable() bool {
+	switch c {
+	case CodeOverloaded, CodeQueueFull, CodeQuotaExhausted, CodeDraining:
+		return true
+	}
+	return false
+}
+
+// HTTPStatus maps the class to the status of a pre-admission rejection.
+// (Post-admission failures arrive as the terminal event of a 200 stream;
+// the status is advisory there.)
+func (c Code) HTTPStatus() int {
+	switch c {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeOverBudget:
+		return http.StatusRequestEntityTooLarge
+	case CodeQueueFull, CodeQuotaExhausted:
+		return http.StatusTooManyRequests
+	case CodeOverloaded, CodeDraining:
+		return http.StatusServiceUnavailable
+	case CodeDeadline:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// QueryError is the typed error every failed query returns, on both
+// sides of the wire: the server builds it, the envelope carries it, the
+// client rehydrates it (errors.As-able) and retries only when Retryable.
+type QueryError struct {
+	Code       Code          `json:"code"`
+	Message    string        `json:"message"`
+	Retryable  bool          `json:"retryable"`
+	RetryAfter time.Duration `json:"-"`
+	// RetryAfterMS is RetryAfter on the wire.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+
+	// Phase is the pipeline stage an interrupted query stopped in, and
+	// Partial its per-alternative mined progress — the same marked
+	// partial counts morphcli prints for interrupted runs.
+	Phase   string                 `json:"phase,omitempty"`
+	Partial []report.PartialReport `json:"partial,omitempty"`
+	// Report is the interrupted run's full report when one was produced
+	// (run ID, query log, calibration — everything the success path
+	// returns).
+	Report *report.RunReport `json:"report,omitempty"`
+}
+
+func (e *QueryError) Error() string {
+	kind := "fatal"
+	if e.Retryable {
+		kind = "retryable"
+	}
+	return fmt.Sprintf("server: %s (%s): %s", e.Code, kind, e.Message)
+}
+
+// AsQueryError unwraps err to its typed QueryError, if it carries one.
+func AsQueryError(err error) (*QueryError, bool) {
+	var qe *QueryError
+	ok := errors.As(err, &qe)
+	return qe, ok
+}
+
+// errf builds a QueryError with Retryable derived from the code.
+func errf(code Code, format string, args ...any) *QueryError {
+	return &QueryError{Code: code, Message: fmt.Sprintf(format, args...), Retryable: code.Retryable()}
+}
+
+// withRetryAfter stamps the retry-after hint in both representations.
+func (e *QueryError) withRetryAfter(d time.Duration) *QueryError {
+	e.RetryAfter = d
+	e.RetryAfterMS = d.Milliseconds()
+	return e
+}
+
+// normalize rebuilds the derived fields after decoding from the wire.
+func (e *QueryError) normalize() {
+	e.RetryAfter = time.Duration(e.RetryAfterMS) * time.Millisecond
+}

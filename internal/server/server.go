@@ -1,0 +1,904 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"morphing/internal/aggr"
+	"morphing/internal/autozero"
+	"morphing/internal/bigjoin"
+	"morphing/internal/canon"
+	"morphing/internal/core"
+	"morphing/internal/engine"
+	"morphing/internal/graph"
+	"morphing/internal/graphpi"
+	"morphing/internal/obs"
+	"morphing/internal/pattern"
+	"morphing/internal/peregrine"
+	"morphing/internal/report"
+)
+
+// Server metric names, published into the observer's registry so /vars
+// and /metrics expose the serving layer next to the engine counters.
+const (
+	MetricQueries     = "server_queries_total"
+	MetricRejects     = "server_admission_rejects_total"
+	MetricCacheHits   = "server_cache_hits_total"
+	MetricCacheMisses = "server_cache_misses_total"
+	MetricCoalesced   = "server_coalesced_total"
+	MetricPanics      = "server_query_panics_total"
+	MetricInterrupted = "server_query_interrupted_total"
+	// MetricDrainCanceled counts queries force-canceled at the drain
+	// deadline.
+	MetricDrainCanceled = "server_drain_canceled_total"
+
+	GaugeQueueDepth = "server_queue_depth"
+	GaugeInFlight   = "server_inflight"
+	// GaugeBudgetInUse is the sum of in-flight queries' estimated match
+	// bytes (the quantity admission control meters against
+	// Config.AdmissionBudget).
+	GaugeBudgetInUse = "server_admission_bytes_inflight"
+	// GaugeDrainNS records how long the last (only) drain took.
+	GaugeDrainNS = "server_drain_duration_ns"
+)
+
+// rejectMetric is the per-code reject counter name.
+func rejectMetric(code Code) string { return "server_reject_" + string(code) + "_total" }
+
+// Config tunes the server. The zero value is usable: Defaults fills
+// every knob with a production-shaped default.
+type Config struct {
+	// Engine is the default matching engine name (peregrine, autozero,
+	// graphpi, bigjoin); requests may override per query.
+	Engine string
+	// Threads is the per-query engine worker count (0 = GOMAXPROCS).
+	Threads int
+	// MaxInFlight is the worker-pool size: at most this many queries
+	// mine concurrently.
+	MaxInFlight int
+	// MaxQueue bounds the admitted-but-not-started queue; a full queue
+	// rejects with queue_full (backpressure) rather than buffering
+	// without bound.
+	MaxQueue int
+	// PerClientInFlight caps one client token's admitted queries
+	// (queued + executing): the fairness quota. Combined with
+	// MaxInFlight it bounds the worker share any tenant can hold.
+	// 0 = unlimited.
+	PerClientInFlight int
+	// AdmissionBudget caps the combined cost-model match-volume estimate
+	// (bytes) of all admitted queries; 0 = unlimited. A query whose
+	// estimate alone exceeds the budget is rejected fatally
+	// (over_budget); one that merely doesn't fit *now* is rejected
+	// retryably (overloaded).
+	AdmissionBudget uint64
+	// MemoryBudget is handed to each query's core.Runner (batched →
+	// on-the-fly conversion degradation); 0 = unlimited.
+	MemoryBudget uint64
+	// DefaultDeadline applies when a request carries none; MaxDeadline
+	// clamps what a request may ask for.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// DrainTimeout bounds graceful drain: queries still running that
+	// long after drain starts are canceled (they return marked partial
+	// results).
+	DrainTimeout time.Duration
+	// RetryAfter is the hint attached to retryable rejections.
+	RetryAfter time.Duration
+	// CacheSize bounds the result cache (entries); 0 disables caching
+	// and single-flight coalescing.
+	CacheSize int
+	// Obs is the observability sink (nil = obs.Default()).
+	Obs *obs.Observer
+	// Flight is the per-query flight-recorder policy (nil = default).
+	Flight *obs.FlightPolicy
+}
+
+// Defaults fills zero fields with production-shaped values.
+func (c Config) Defaults() Config {
+	if c.Engine == "" {
+		c.Engine = "peregrine"
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 250 * time.Millisecond
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	return c
+}
+
+// task is one admitted query travelling from admission through the
+// queue to a worker and back to its handler.
+type task struct {
+	req      *QueryRequest
+	patterns []*pattern.Pattern
+	eng      engine.Engine
+	app      string
+	client   string
+
+	key       cacheKey
+	cacheable bool
+	fl        *flight // the flight this task leads (nil when not cacheable)
+
+	est        core.AdmissionEstimate
+	quotaHeld  bool
+	budgetHeld bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// events carries progress events to the streaming handler; sends are
+	// non-blocking (the buffer absorbs bursts, extra events are dropped)
+	// so a departed client never wedges a worker.
+	events chan StreamEvent
+	// done is closed exactly once when result/qerr are set.
+	done   chan struct{}
+	result *QueryResult
+	qerr   *QueryError
+}
+
+// Server is the resident query service. Construct with New, serve
+// Handler(), stop with Drain.
+type Server struct {
+	cfg     Config
+	o       *obs.Observer
+	engines map[string]engine.Engine
+
+	mu        sync.Mutex
+	g         *graph.Graph
+	epoch     uint64
+	draining  bool
+	queue     chan *task
+	queued    int
+	executing int
+	admitted  map[*task]struct{}
+	clients   map[string]int
+	budgetUse uint64
+	cache     *resultCache
+
+	workers sync.WaitGroup // worker goroutines
+	tasks   sync.WaitGroup // admitted tasks not yet settled
+
+	drainOnce sync.Once
+	drainErr  error
+
+	// testExec replaces real query execution in tests (deterministic
+	// blocking/fault scenarios). Never set in production.
+	testExec func(t *task) (*QueryResult, *QueryError)
+}
+
+// New builds a server over g and starts its worker pool.
+func New(g *graph.Graph, cfg Config) (*Server, error) {
+	cfg = cfg.Defaults()
+	engines := map[string]engine.Engine{
+		"peregrine": &peregrine.Engine{Threads: cfg.Threads},
+		"autozero":  &autozero.Engine{Threads: cfg.Threads},
+		"graphpi":   &graphpi.Engine{Threads: cfg.Threads},
+		"bigjoin":   &bigjoin.Engine{Threads: cfg.Threads},
+	}
+	if _, ok := engines[cfg.Engine]; !ok {
+		return nil, fmt.Errorf("server: unknown default engine %q", cfg.Engine)
+	}
+	s := &Server{
+		cfg:      cfg,
+		o:        obs.Or(cfg.Obs),
+		engines:  engines,
+		g:        g,
+		epoch:    1,
+		queue:    make(chan *task, cfg.MaxQueue),
+		admitted: make(map[*task]struct{}),
+		clients:  make(map[string]int),
+		cache:    newResultCache(cfg.CacheSize),
+	}
+	s.workers.Add(cfg.MaxInFlight)
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// GraphEpoch returns the current graph epoch (part of every cache key).
+func (s *Server) GraphEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// SetGraph swaps the served graph and bumps the epoch, invalidating
+// every cached result (old epochs can never match again; entries age out
+// of the LRU).
+func (s *Server) SetGraph(g *graph.Graph) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.g = g
+	s.epoch++
+}
+
+// ResolvePattern parses a query pattern argument: a named pattern
+// (optionally with a :v vertex-induced suffix) or codec text — the same
+// grammar morphcli accepts.
+func ResolvePattern(arg string) (*pattern.Pattern, error) {
+	name, vertexInduced := strings.CutSuffix(arg, ":v")
+	p, err := pattern.ByName(name)
+	if err != nil {
+		p, err = pattern.Parse(arg)
+		if err != nil {
+			return nil, fmt.Errorf("%q is neither a named pattern nor codec text", arg)
+		}
+		return p, nil
+	}
+	if vertexInduced {
+		p = p.AsVertexInduced()
+	}
+	return p, nil
+}
+
+// prepare validates and resolves a request into a task (no admission
+// yet). Returned errors are always *QueryError.
+func (s *Server) prepare(req *QueryRequest, client string) (*task, *QueryError) {
+	if err := req.Validate(); err != nil {
+		return nil, errf(CodeBadRequest, "%v", err)
+	}
+	app := req.App
+	if app == "" {
+		app = "count"
+	}
+	engName := req.Engine
+	if engName == "" {
+		engName = s.cfg.Engine
+	}
+	eng, ok := s.engines[strings.ToLower(engName)]
+	if !ok {
+		return nil, errf(CodeBadRequest, "unknown engine %q (peregrine, autozero, graphpi, bigjoin)", engName)
+	}
+	if _, err := core.ParseTrieMode(req.Trie); err != nil {
+		return nil, errf(CodeBadRequest, "%v", err)
+	}
+	ps := make([]*pattern.Pattern, len(req.Patterns))
+	for i, arg := range req.Patterns {
+		p, err := ResolvePattern(arg)
+		if err != nil {
+			return nil, errf(CodeBadRequest, "pattern %d: %v", i, err)
+		}
+		ps[i] = p
+	}
+	t := &task{
+		req:      req,
+		patterns: ps,
+		eng:      eng,
+		app:      app,
+		client:   client,
+		events:   make(chan StreamEvent, 4),
+		done:     make(chan struct{}),
+	}
+	t.cacheable = s.cfg.CacheSize > 0 && !req.NoCache && !req.Explain
+	t.key = cacheKey{
+		patterns: patternSetID(ps),
+		app:      app,
+		engine:   strings.ToLower(engName),
+		baseline: req.Baseline,
+		explain:  req.Explain,
+	}
+	return t, nil
+}
+
+// admit runs the admission pipeline for a prepared task:
+//
+//	drain gate → cache lookup → single-flight attach → fairness quota →
+//	cost-model budget → bounded queue
+//
+// On success the task is either enqueued (t owns an execution slot) or
+// attached to an identical in-flight execution (t.fl set, joined=true).
+// Every rejection is typed; retryable ones carry a retry-after hint.
+func (s *Server) admit(t *task) (joined *flight, hit *QueryResult, qerr *QueryError) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, nil, s.reject(errf(CodeDraining, "server is draining").withRetryAfter(s.cfg.RetryAfter))
+	}
+	t.key.epoch = s.epoch
+	if t.cacheable {
+		if res, ok := s.cache.get(t.key); ok {
+			s.mu.Unlock()
+			if aligned, ok := alignResult(res, t.patterns); ok {
+				s.o.Counter(MetricCacheHits).Inc(0)
+				return nil, aligned, nil
+			}
+			// Alignment failure means the cached entry doesn't actually
+			// cover this spelling of the set; fall through as a miss.
+		}
+		if fl, ok := s.cache.flights[t.key]; ok {
+			s.mu.Unlock()
+			s.o.Counter(MetricCoalesced).Inc(0)
+			return fl, nil, nil
+		}
+	}
+	// Fairness quota: admitted (queued + executing) per client token.
+	if q := s.cfg.PerClientInFlight; q > 0 && s.clients[t.client] >= q {
+		s.mu.Unlock()
+		return nil, nil, s.reject(errf(CodeQuotaExhausted,
+			"client %q is at its in-flight quota (%d)", t.client, q).withRetryAfter(s.cfg.RetryAfter))
+	}
+	s.clients[t.client]++
+	t.quotaHeld = true
+	if t.cacheable {
+		t.fl = &flight{done: make(chan struct{})}
+		s.cache.flights[t.key] = t.fl
+	}
+	g := s.g
+	s.mu.Unlock()
+
+	// Cost-model admission, outside the lock: transformation only.
+	if budget := s.cfg.AdmissionBudget; budget > 0 {
+		est, err := s.estimator(t).EstimateAdmission(t.ctx, g, t.patterns, aggFor(t.app))
+		if err != nil {
+			var qe *QueryError
+			if engine.Interrupted(err) {
+				qe = errf(CodeDeadline, "deadline expired during admission: %v", err)
+			} else {
+				qe = errf(CodeBadRequest, "query rejected at transform: %v", err)
+			}
+			s.release(t, qe)
+			return nil, nil, s.reject(qe)
+		}
+		t.est = est
+		if est.MatchBytes > budget {
+			qe := errf(CodeOverBudget,
+				"estimated match volume %d bytes exceeds the admission budget %d: this query can never be admitted here",
+				est.MatchBytes, budget)
+			s.release(t, qe)
+			return nil, nil, s.reject(qe)
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		qe := errf(CodeDraining, "server is draining").withRetryAfter(s.cfg.RetryAfter)
+		s.release(t, qe)
+		return nil, nil, s.reject(qe)
+	}
+	if budget := s.cfg.AdmissionBudget; budget > 0 {
+		if s.budgetUse+t.est.MatchBytes > budget {
+			use := s.budgetUse
+			s.mu.Unlock()
+			qe := errf(CodeOverloaded,
+				"estimated match volume %d bytes does not fit the admission budget (%d of %d in use)",
+				t.est.MatchBytes, use, budget).withRetryAfter(s.cfg.RetryAfter)
+			s.release(t, qe)
+			return nil, nil, s.reject(qe)
+		}
+		s.budgetUse += t.est.MatchBytes
+		t.budgetHeld = true
+		s.o.Gauge(GaugeBudgetInUse).Set(float64(s.budgetUse))
+	}
+	select {
+	case s.queue <- t:
+	default:
+		s.mu.Unlock()
+		qe := errf(CodeQueueFull,
+			"query queue is full (%d deep)", s.cfg.MaxQueue).withRetryAfter(s.cfg.RetryAfter)
+		s.release(t, qe)
+		return nil, nil, s.reject(qe)
+	}
+	s.queued++
+	s.admitted[t] = struct{}{}
+	s.tasks.Add(1)
+	depth := s.queued
+	s.o.Gauge(GaugeQueueDepth).Set(float64(depth))
+	s.mu.Unlock()
+
+	s.o.Counter(MetricQueries).Inc(0)
+	t.notify(StreamEvent{Type: EventQueued, QueueDepth: depth, Position: depth})
+	return nil, nil, nil
+}
+
+// reject counts a typed rejection and returns it.
+func (s *Server) reject(qe *QueryError) *QueryError {
+	s.o.Counter(MetricRejects).Inc(0)
+	s.o.Counter(rejectMetric(qe.Code)).Inc(0)
+	return qe
+}
+
+// release returns a task's admission holdings (quota, budget, flight)
+// without settling the task itself; qerr, when non-nil, settles the
+// task's flight so coalesced waiters fail with the same typed error.
+func (s *Server) release(t *task, qerr *QueryError) {
+	s.mu.Lock()
+	if t.quotaHeld {
+		t.quotaHeld = false
+		if s.clients[t.client]--; s.clients[t.client] <= 0 {
+			delete(s.clients, t.client)
+		}
+	}
+	if t.budgetHeld {
+		t.budgetHeld = false
+		s.budgetUse -= t.est.MatchBytes
+		s.o.Gauge(GaugeBudgetInUse).Set(float64(s.budgetUse))
+	}
+	if t.fl != nil {
+		if s.cache.flights[t.key] == t.fl {
+			delete(s.cache.flights, t.key)
+		}
+		fl := t.fl
+		t.fl = nil
+		fl.err = qerr
+		if fl.err == nil {
+			fl.err = errf(CodeInternal, "execution abandoned")
+		}
+		close(fl.done)
+	}
+	s.mu.Unlock()
+}
+
+// estimator builds the transform-only runner used for admission.
+func (s *Server) estimator(t *task) *core.Runner {
+	return &core.Runner{Engine: t.eng, DisableMorphing: t.req.Baseline, Obs: s.o}
+}
+
+func aggFor(app string) aggr.Aggregation {
+	if app == "mni" {
+		return aggr.MNI{}
+	}
+	return aggr.Count{}
+}
+
+// notify sends a progress event without ever blocking: a slow or
+// departed client drops events rather than wedging the worker.
+func (t *task) notify(ev StreamEvent) {
+	select {
+	case t.events <- ev:
+	default:
+	}
+}
+
+// worker executes queued tasks until the queue is closed and drained.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for t := range s.queue {
+		s.mu.Lock()
+		s.queued--
+		s.executing++
+		s.o.Gauge(GaugeQueueDepth).Set(float64(s.queued))
+		s.o.Gauge(GaugeInFlight).Set(float64(s.executing))
+		s.mu.Unlock()
+
+		var res *QueryResult
+		var qerr *QueryError
+		if err := t.ctx.Err(); err != nil {
+			// The deadline expired (or the client left) while queued:
+			// never start mining a dead query.
+			qerr = classifyCtxErr(err)
+		} else {
+			t.notify(StreamEvent{Type: EventStarted})
+			res, qerr = s.execute(t)
+		}
+		s.settle(t, res, qerr)
+
+		s.mu.Lock()
+		s.executing--
+		s.o.Gauge(GaugeInFlight).Set(float64(s.executing))
+		s.mu.Unlock()
+	}
+}
+
+func classifyCtxErr(err error) *QueryError {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return errf(CodeDeadline, "deadline expired while queued")
+	}
+	return errf(CodeCanceled, "canceled while queued")
+}
+
+// execute runs one admitted query through core.Runner. Any panic that
+// escapes the engines' own per-worker containment (conversion, selection,
+// aggregation code) is contained here, so a query failure of any shape
+// leaves the worker pool intact.
+func (s *Server) execute(t *task) (res *QueryResult, qerr *QueryError) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.o.Counter(MetricPanics).Inc(0)
+			qerr = errf(CodePanic, "query panicked outside engine containment: %v", r)
+		}
+	}()
+	if s.testExec != nil {
+		return s.testExec(t)
+	}
+
+	trieMode, _ := core.ParseTrieMode(t.req.Trie)
+	s.mu.Lock()
+	g := s.g
+	s.mu.Unlock()
+	r := &core.Runner{
+		Engine:          t.eng,
+		DisableMorphing: t.req.Baseline,
+		Explain:         t.req.Explain,
+		RunOptions:      core.RunOptions{Trie: trieMode},
+		MemoryBudget:    s.cfg.MemoryBudget,
+		Label:           "serve/" + t.app,
+		Obs:             s.o,
+		Flight:          s.cfg.Flight,
+	}
+	res = &QueryResult{Cache: "miss"}
+	for _, p := range t.patterns {
+		res.Patterns = append(res.Patterns, p.String())
+	}
+	var st *core.RunStats
+	var err error
+	switch t.app {
+	case "mni":
+		var tables []*aggr.Table
+		tables, st, err = r.MNITablesCtx(t.ctx, g, t.patterns)
+		if err == nil {
+			for _, tbl := range tables {
+				res.Supports = append(res.Supports, tbl.Support())
+			}
+		}
+	default:
+		res.Counts, st, err = r.CountsCtx(t.ctx, g, t.patterns)
+	}
+	res.Report = report.FromRunStats(st)
+	if err != nil {
+		return nil, s.classifyRunErr(err, st)
+	}
+	return res, nil
+}
+
+// classifyRunErr maps a runner error to the typed taxonomy, attaching
+// the phase, the marked partial counts and the full interrupted-run
+// report when the runner produced them (the same partial contract the
+// CLI prints).
+func (s *Server) classifyRunErr(err error, st *core.RunStats) *QueryError {
+	var qe *QueryError
+	var pe *engine.PanicError
+	switch {
+	case errors.Is(err, engine.ErrDeadlineExceeded):
+		s.o.Counter(MetricInterrupted).Inc(0)
+		qe = errf(CodeDeadline, "%v", err)
+	case errors.Is(err, engine.ErrCanceled):
+		s.o.Counter(MetricInterrupted).Inc(0)
+		qe = errf(CodeCanceled, "%v", err)
+	case errors.As(err, &pe):
+		s.o.Counter(MetricPanics).Inc(0)
+		qe = errf(CodePanic, "%v", err)
+	default:
+		qe = errf(CodeInternal, "%v", err)
+	}
+	if st != nil {
+		qe.Phase = st.Phase
+		rep := report.FromRunStats(st)
+		qe.Partial = rep.Partial
+		qe.Report = rep
+	}
+	return qe
+}
+
+// settle publishes a finished task's outcome: releases its admission
+// holdings, stores cacheable successes, wakes coalesced waiters, and
+// closes t.done.
+func (s *Server) settle(t *task, res *QueryResult, qerr *QueryError) {
+	s.mu.Lock()
+	if t.quotaHeld {
+		t.quotaHeld = false
+		if s.clients[t.client]--; s.clients[t.client] <= 0 {
+			delete(s.clients, t.client)
+		}
+	}
+	if t.budgetHeld {
+		t.budgetHeld = false
+		s.budgetUse -= t.est.MatchBytes
+		s.o.Gauge(GaugeBudgetInUse).Set(float64(s.budgetUse))
+	}
+	if res != nil && qerr == nil && t.cacheable {
+		s.cache.put(t.key, res)
+		s.o.Counter(MetricCacheMisses).Inc(0)
+	}
+	if t.fl != nil {
+		if s.cache.flights[t.key] == t.fl {
+			delete(s.cache.flights, t.key)
+		}
+		t.fl.result = res
+		t.fl.err = qerr
+		close(t.fl.done)
+		t.fl = nil
+	}
+	delete(s.admitted, t)
+	s.mu.Unlock()
+
+	t.result = res
+	t.qerr = qerr
+	close(t.done)
+	t.cancel()
+	s.tasks.Done()
+}
+
+// alignResult re-aligns a cached result's per-pattern answers to this
+// request's pattern order (cache keys are order-invariant). Returns
+// false when the cached entry cannot cover the request (forcing a miss).
+func alignResult(cached *QueryResult, ps []*pattern.Pattern) (*QueryResult, bool) {
+	byID := map[uint64][]int{}
+	for i, s := range cached.Patterns {
+		p, err := pattern.Parse(s)
+		if err != nil {
+			return nil, false
+		}
+		id := canon.ID(p)
+		byID[id] = append(byID[id], i)
+	}
+	out := &QueryResult{Cache: "hit", Report: cached.Report}
+	for _, p := range ps {
+		id := canon.ID(p)
+		idxs := byID[id]
+		if len(idxs) == 0 {
+			return nil, false
+		}
+		i := idxs[0]
+		byID[id] = idxs[1:]
+		out.Patterns = append(out.Patterns, p.String())
+		if cached.Counts != nil {
+			if i >= len(cached.Counts) {
+				return nil, false
+			}
+			out.Counts = append(out.Counts, cached.Counts[i])
+		}
+		if cached.Supports != nil {
+			if i >= len(cached.Supports) {
+				return nil, false
+			}
+			out.Supports = append(out.Supports, cached.Supports[i])
+		}
+	}
+	return out, true
+}
+
+// Submit runs the full admission + execution pipeline for one request
+// and blocks until its terminal outcome. It is the transport-free core
+// of the HTTP handler (and what in-process embedders call). events, when
+// non-nil, receives progress notifications.
+func (s *Server) Submit(ctx context.Context, req *QueryRequest, client string, events func(StreamEvent)) (*QueryResult, *QueryError) {
+	if client == "" {
+		client = "anonymous"
+	}
+	t, qerr := s.prepare(req, client)
+	if qerr != nil {
+		return nil, s.reject(qerr)
+	}
+	deadline := clampDeadline(time.Duration(req.DeadlineMS)*time.Millisecond,
+		s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
+	t.ctx, t.cancel = context.WithTimeout(ctx, deadline)
+
+	joined, hit, qerr := s.admit(t)
+	if qerr != nil {
+		t.cancel()
+		return nil, qerr
+	}
+	if hit != nil {
+		t.cancel()
+		return hit, nil
+	}
+	if joined != nil {
+		// Single-flight passenger: ride the identical in-flight
+		// execution; our own deadline still applies to the wait.
+		defer t.cancel()
+		select {
+		case <-joined.done:
+			if joined.err != nil {
+				cp := *joined.err
+				return nil, &cp
+			}
+			if aligned, ok := alignResult(joined.result, t.patterns); ok {
+				aligned.Cache = "coalesced"
+				return aligned, nil
+			}
+			return nil, errf(CodeInternal, "coalesced result does not cover the query set")
+		case <-t.ctx.Done():
+			return nil, classifyCtxErr(t.ctx.Err())
+		}
+	}
+	// Forward progress events until the task settles; Submit returns
+	// only after the forwarder has exited, so no events callback fires
+	// once the caller has its terminal outcome (the HTTP handler's
+	// ResponseWriter would otherwise race its own return).
+	forwarded := make(chan struct{})
+	if events != nil {
+		go func() {
+			defer close(forwarded)
+			for {
+				select {
+				case ev := <-t.events:
+					events(ev)
+				case <-t.done:
+					return
+				}
+			}
+		}()
+	} else {
+		close(forwarded)
+	}
+	<-t.done
+	<-forwarded
+	return t.result, t.qerr
+}
+
+// ---- HTTP surface ----
+
+// Handler returns the server's HTTP mux:
+//
+//	POST /query    run a mining query (ndjson stream)
+//	GET  /healthz  liveness + drain state + queue depth
+//	GET  /vars, /metrics, /debug/pprof/...  (observability, from obs)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	om := obs.Handler(s.o.Metrics)
+	mux.Handle("/vars", om)
+	mux.Handle("/metrics", om)
+	mux.Handle("/debug/pprof/", om)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	h := Health{
+		Status:     "ok",
+		QueueDepth: s.queued,
+		InFlight:   s.executing,
+		GraphEpoch: s.epoch,
+		Vertices:   s.g.NumVertices(),
+		Edges:      s.g.NumEdges(),
+	}
+	if s.draining {
+		h.Status = "draining"
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(h)
+}
+
+// handleQuery is the streaming query endpoint. Pre-admission rejections
+// carry real HTTP status codes (and a Retry-After header when
+// retryable); admitted queries respond 200 with an ndjson StreamEvent
+// stream whose last line is the result or typed error.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, s.reject(errf(CodeBadRequest, "bad JSON body: %v", err)))
+		return
+	}
+	client := r.Header.Get(ClientTokenHeader)
+
+	// emit serializes stream writes: the progress-forwarding goroutine
+	// inside Submit and this handler's terminal write may race.
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var emitMu sync.Mutex
+	streaming := false
+	emit := func(ev StreamEvent) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if !streaming {
+			streaming = true
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+		}
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	res, qerr := s.Submit(r.Context(), &req, client, emit)
+	if qerr != nil {
+		emitMu.Lock()
+		started := streaming
+		emitMu.Unlock()
+		if !started {
+			writeError(w, qerr)
+			return
+		}
+		emit(StreamEvent{Type: EventError, Error: qerr})
+		return
+	}
+	emit(StreamEvent{Type: EventResult, Result: res})
+}
+
+// writeError writes a pre-stream rejection as a plain HTTP error.
+func writeError(w http.ResponseWriter, qe *QueryError) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if qe.RetryAfter > 0 {
+		secs := int(qe.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.WriteHeader(qe.Code.HTTPStatus())
+	json.NewEncoder(w).Encode(StreamEvent{Type: EventError, Error: qe})
+}
+
+// ---- drain ----
+
+// Drain gracefully shuts the server down: stop admitting (new queries
+// get the retryable draining rejection), let queued and in-flight
+// queries finish, and — when the configured DrainTimeout passes first —
+// cancel the stragglers, which then return their typed errors with
+// marked partial counts to their clients. Drain returns when every
+// admitted query has settled and all workers have exited; it is
+// idempotent (later calls return the first drain's result).
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() { s.drainErr = s.drain(ctx) })
+	return s.drainErr
+}
+
+func (s *Server) drain(ctx context.Context) error {
+	t0 := time.Now()
+	s.mu.Lock()
+	s.draining = true
+	close(s.queue) // admission holds s.mu before sending, so no racing send
+	s.mu.Unlock()
+
+	settled := make(chan struct{})
+	go func() {
+		s.tasks.Wait()
+		close(settled)
+	}()
+
+	timeout := time.NewTimer(s.cfg.DrainTimeout)
+	defer timeout.Stop()
+	canceled := 0
+	select {
+	case <-settled:
+	case <-timeout.C:
+		// Drain deadline: cancel every admitted query (queued ones
+		// included — their workers observe the dead context before
+		// starting). Engines cancel cooperatively at work-block
+		// boundaries, so settlement follows promptly.
+		s.mu.Lock()
+		for t := range s.admitted {
+			t.cancel()
+			canceled++
+		}
+		s.mu.Unlock()
+		s.o.Counter(MetricDrainCanceled).Add(0, uint64(canceled))
+		select {
+		case <-settled:
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain aborted with queries still in flight: %w", ctx.Err())
+		}
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain aborted: %w", ctx.Err())
+	}
+	s.workers.Wait()
+	d := time.Since(t0)
+	s.o.Gauge(GaugeDrainNS).Set(float64(d))
+	return nil
+}
+
+// Draining reports whether drain has started.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}

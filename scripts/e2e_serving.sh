@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# End-to-end serving drill: boot morphd with a fault armed, fire
+# concurrent clients at it, panic one query, deadline another, SIGTERM
+# the daemon mid-service, and assert the typed taxonomy plus a clean
+# drain. CI runs this; it also works locally:
+#
+#   ./scripts/e2e_serving.sh [artifact-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ART="${1:-artifacts/serving}"
+mkdir -p "$ART"
+ADDR="127.0.0.1:7421"
+BASE="http://$ADDR"
+
+echo "== build"
+go build -o "$ART/morphd" ./cmd/morphd
+go build -o "$ART/morphcli" ./cmd/morphcli
+
+echo "== boot morphd (chaos: first query panics at match 1)"
+# panic@1 trips on the very first delivered match, then never again
+# (the ordinal is crossed once): query 1 gets the typed panic error and
+# every later query proves the worker pool survived it.
+MORPH_FAULT=panic@1:e2e-chaos-probe \
+  "$ART/morphd" -graph MI -scale 0.005 -listen "$ADDR" \
+  -inflight 2 -queue 8 -client-inflight 4 -threads 2 \
+  -drain-timeout 5s -querylog "$ART/queries.jsonl" \
+  2> "$ART/morphd.stderr" &
+DAEMON=$!
+trap 'kill -9 $DAEMON 2>/dev/null || true' EXIT
+
+for i in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" > "$ART/health.json" 2>/dev/null; then break; fi
+  if ! kill -0 $DAEMON 2>/dev/null; then
+    echo "morphd died during startup:" >&2; cat "$ART/morphd.stderr" >&2; exit 1
+  fi
+  sleep 0.1
+done
+grep -q '"status":"ok"' "$ART/health.json" || { echo "unhealthy: $(cat "$ART/health.json")" >&2; exit 1; }
+grep -q "CHAOS MODE" "$ART/morphd.stderr" || { echo "fault injector not armed" >&2; exit 1; }
+
+echo "== panic injection: the first query fails typed, the server survives"
+if "$ART/morphcli" query -addr "$BASE" -retries 0 -json triangle > "$ART/panic.json" 2> "$ART/panic.stderr"; then
+  echo "panic-armed query unexpectedly succeeded" >&2; exit 1
+fi
+grep -q '"code": *"panic"' "$ART/panic.json" || { echo "no typed panic error:" >&2; cat "$ART/panic.json" >&2; exit 1; }
+grep -q '"retryable": *false' "$ART/panic.json" || { echo "panic marked retryable" >&2; exit 1; }
+
+echo "== concurrent queries after the contained panic"
+pids=()
+for p in triangle 4-cycle:v 4-star p4 triangle 4-cycle:v; do
+  "$ART/morphcli" query -addr "$BASE" -client "tenant-$p" -deadline 60s -retries 3 "$p" \
+    >> "$ART/concurrent.out" 2>> "$ART/concurrent.err" &
+  pids+=($!)
+done
+fail=0
+for pid in "${pids[@]}"; do wait "$pid" || fail=1; done
+[ "$fail" = 0 ] || { echo "concurrent queries failed:" >&2; cat "$ART/concurrent.err" >&2; exit 1; }
+grep -q "cache: hit\|cache: coalesced" "$ART/concurrent.out" \
+  || { echo "repeated identical queries never hit the cache" >&2; exit 1; }
+
+echo "== cancel injection: a 1ms deadline dies typed, not hung"
+if "$ART/morphcli" query -addr "$BASE" -retries 0 -deadline 1ms -json p8 > "$ART/deadline.json" 2>/dev/null; then
+  echo "1ms-deadline query unexpectedly succeeded" >&2; exit 1
+fi
+grep -Eq '"code": *"(deadline|canceled)"' "$ART/deadline.json" \
+  || { echo "no typed deadline error:" >&2; cat "$ART/deadline.json" >&2; exit 1; }
+
+echo "== SIGTERM mid-service: graceful drain"
+# Park a long query on the daemon so drain has a live straggler, then
+# immediately signal. The straggler must come back typed (finished or
+# canceled with partials), never hung, and the daemon must exit 0.
+"$ART/morphcli" query -addr "$BASE" -retries 0 -deadline 60s -json p8 \
+  > "$ART/straggler.json" 2>/dev/null &
+STRAGGLER=$!
+sleep 0.3
+kill -TERM $DAEMON
+if wait $STRAGGLER; then
+  echo "   straggler finished before the drain deadline"
+else
+  grep -Eq '"code": *"(canceled|deadline)"' "$ART/straggler.json" \
+    || { echo "straggler died untyped:" >&2; cat "$ART/straggler.json" >&2; exit 1; }
+  echo "   straggler canceled typed at the drain deadline"
+fi
+wait $DAEMON || { echo "morphd exited nonzero after SIGTERM" >&2; cat "$ART/morphd.stderr" >&2; exit 1; }
+trap - EXIT
+grep -q "drained in" "$ART/morphd.stderr" || { echo "no drain confirmation:" >&2; cat "$ART/morphd.stderr" >&2; exit 1; }
+
+echo "== query log survived the drain"
+python3 - "$ART/queries.jsonl" <<'PY'
+import json, sys
+events = [json.loads(l) for l in open(sys.argv[1])]
+assert events, "query log is empty"
+assert all(e.get("run") for e in events), "query log event without a run ID"
+assert any(e["msg"] == "completed" for e in events), "no completed run in the log"
+assert any(e["msg"] in ("failed", "interrupted") for e in events), "no interrupted run in the log"
+labels = {e.get("label", "") for e in events}
+assert any(l.startswith("serve/") for l in labels), f"no serve-scoped runs: {labels}"
+print(f"   {len(events)} events, labels {sorted(labels)}")
+PY
+
+echo "PASS: serving e2e"
