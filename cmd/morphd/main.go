@@ -62,7 +62,7 @@ func run() error {
 	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "upper clamp on requested deadlines")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long graceful drain waits before canceling stragglers")
 	retryAfter := flag.Duration("retry-after", 250*time.Millisecond, "retry-after hint attached to retryable rejections")
-	cacheSize := flag.Int("cache", 256, "result cache capacity in entries (-1 disables caching)")
+	cacheSize := flag.Int("cache", 256, "result cache capacity in entries (0 uses the default, negative disables caching)")
 	hubBits := flag.Int("hubbits", 0, "enable the hub-bitset index for vertices with at least this degree (-1 = default threshold, 0 = off)")
 	queryLog := flag.String("querylog", "", "append the structured JSONL query log to this file")
 	flightDir := flag.String("flightdir", "", "dump flight-recorder bundles for anomalous runs into this directory (default $MORPH_FLIGHT_DIR)")

@@ -128,7 +128,9 @@ func (c *Client) query(ctx context.Context, req QueryRequest) (*QueryResult, int
 		if d > capd || d <= 0 {
 			d = capd
 		}
-		d = c.jitter(d)
+		if d = c.jitter(d); d > capd {
+			d = capd
+		}
 		var qe *QueryError
 		if errors.As(err, &qe) && qe.RetryAfter > d {
 			d = qe.RetryAfter
@@ -141,7 +143,9 @@ func (c *Client) query(ctx context.Context, req QueryRequest) (*QueryResult, int
 	}
 }
 
-// jitter spreads d over [d/2, 3d/2) so synchronized clients decorrelate.
+// jitter spreads d over [d/2, 3d/2) so synchronized clients decorrelate;
+// the retry loop clamps the result to BackoffCap so the documented cap
+// holds.
 func (c *Client) jitter(d time.Duration) time.Duration {
 	if d <= 1 {
 		return d

@@ -91,8 +91,9 @@ type Config struct {
 	DrainTimeout time.Duration
 	// RetryAfter is the hint attached to retryable rejections.
 	RetryAfter time.Duration
-	// CacheSize bounds the result cache (entries); 0 disables caching
-	// and single-flight coalescing.
+	// CacheSize bounds the result cache (entries). 0 means the default
+	// (256); a negative value disables caching and single-flight
+	// coalescing.
 	CacheSize int
 	// Obs is the observability sink (nil = obs.Default()).
 	Obs *obs.Observer
@@ -321,8 +322,12 @@ func (s *Server) admit(t *task) (joined *flight, hit *QueryResult, qerr *QueryEr
 	t.key.epoch = s.epoch
 	if t.cacheable {
 		if res, ok := s.cache.get(t.key); ok {
-			s.mu.Unlock()
+			// alignResult is pure, so it is safe (and necessary) to run
+			// it before releasing s.mu: on alignment failure we fall
+			// through to the flight table and quota checks, which assume
+			// the lock is still held.
 			if aligned, ok := alignResult(res, t.patterns); ok {
+				s.mu.Unlock()
 				s.o.Counter(MetricCacheHits).Inc(0)
 				return nil, aligned, nil
 			}
@@ -490,7 +495,7 @@ func (s *Server) worker() {
 		if err := t.ctx.Err(); err != nil {
 			// The deadline expired (or the client left) while queued:
 			// never start mining a dead query.
-			qerr = classifyCtxErr(err)
+			qerr = classifyCtxErr(err, "while queued")
 		} else {
 			t.notify(StreamEvent{Type: EventStarted})
 			res, qerr = s.execute(t)
@@ -504,11 +509,14 @@ func (s *Server) worker() {
 	}
 }
 
-func classifyCtxErr(err error) *QueryError {
+// classifyCtxErr turns a context error into a typed QueryError; during
+// names the phase the query was in (e.g. "while queued") so error
+// documents and logs say where the deadline actually landed.
+func classifyCtxErr(err error, during string) *QueryError {
 	if errors.Is(err, context.DeadlineExceeded) {
-		return errf(CodeDeadline, "deadline expired while queued")
+		return errf(CodeDeadline, "deadline expired %s", during)
 	}
-	return errf(CodeCanceled, "canceled while queued")
+	return errf(CodeCanceled, "canceled %s", during)
 }
 
 // execute runs one admitted query through core.Runner. Any panic that
@@ -713,7 +721,7 @@ func (s *Server) Submit(ctx context.Context, req *QueryRequest, client string, e
 			}
 			return nil, errf(CodeInternal, "coalesced result does not cover the query set")
 		case <-t.ctx.Done():
-			return nil, classifyCtxErr(t.ctx.Err())
+			return nil, classifyCtxErr(t.ctx.Err(), "waiting on coalesced execution")
 		}
 	}
 	// Forward progress events until the task settles; Submit returns

@@ -362,6 +362,55 @@ func TestCacheHitMissEpoch(t *testing.T) {
 	}
 }
 
+// TestCacheAlignmentFailureFallsThrough: a cached entry whose stored
+// patterns cannot cover the incoming query set must be treated as a miss
+// and re-executed. Regression test: this path once released s.mu on the
+// cache hit and fell through into lock-held code, so the next branch
+// double-unlocked the mutex — a fatal runtime error that took down the
+// whole daemon.
+func TestCacheAlignmentFailureFallsThrough(t *testing.T) {
+	s := newTestServer(t, Config{})
+	var execs int
+	s.testExec = func(t *task) (*QueryResult, *QueryError) {
+		s.mu.Lock()
+		execs++
+		s.mu.Unlock()
+		return fixedResult(t), nil
+	}
+	submit := func() *QueryResult {
+		t.Helper()
+		res, qerr := s.Submit(context.Background(), &QueryRequest{Patterns: []string{"triangle"}}, "", nil)
+		if qerr != nil {
+			t.Fatalf("submit: %v", qerr)
+		}
+		return res
+	}
+
+	if r := submit(); r.Cache != "miss" || execs != 1 {
+		t.Fatalf("first query: cache=%q execs=%d", r.Cache, execs)
+	}
+	// Corrupt the cached entry so alignResult cannot map it onto the
+	// query set.
+	s.mu.Lock()
+	if s.cache.len() != 1 {
+		s.mu.Unlock()
+		t.Fatalf("expected one cached entry, have %d", s.cache.len())
+	}
+	for _, el := range s.cache.entries {
+		el.Value.(*cacheEntry).res = &QueryResult{Patterns: []string{"not a pattern"}}
+	}
+	s.mu.Unlock()
+
+	if r := submit(); r.Cache != "miss" || execs != 2 {
+		t.Fatalf("unalignable entry: cache=%q execs=%d, want fall-through miss and re-execution", r.Cache, execs)
+	}
+	// The re-execution overwrote the bad entry: the next query is a
+	// clean hit again.
+	if r := submit(); r.Cache != "hit" || execs != 2 {
+		t.Fatalf("repaired entry: cache=%q execs=%d", r.Cache, execs)
+	}
+}
+
 // TestSingleFlight: N identical concurrent queries execute once; the
 // leader reports miss, every passenger reports coalesced with the same
 // answers, and passengers consume no queue slots.
@@ -507,7 +556,7 @@ func TestDrainWithStragglers(t *testing.T) {
 		// A cooperative straggler: mines until its context dies, then
 		// reports partial progress — the engine cancellation contract.
 		<-tk.ctx.Done()
-		qe := classifyCtxErr(tk.ctx.Err())
+		qe := classifyCtxErr(tk.ctx.Err(), "while mining")
 		qe.Phase = core.PhaseMine
 		qe.Partial = []report.PartialReport{{Pattern: "straggler", Count: 41}}
 		return nil, qe
