@@ -154,7 +154,7 @@ func BenchmarkFig14BigJoin(b *testing.B) {
 
 type filterCapable interface {
 	engine.Engine
-	CountVertexInducedViaFilter(*graph.Graph, *pattern.Pattern) (uint64, *engine.Stats, error)
+	CountVertexInducedViaFilter(graph.Adjacency, *pattern.Pattern) (uint64, *engine.Stats, error)
 }
 
 func benchFilterElimination(b *testing.B, eng filterCapable) {

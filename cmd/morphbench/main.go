@@ -12,6 +12,7 @@
 //	morphbench -fig 12a -cpuprofile cpu.pb  # offline pprof capture
 //	morphbench kernels                      # setops kernel microbench -> BENCH_kernels.json
 //	morphbench trie                         # trie vs per-pattern bench -> BENCH_trie.json
+//	morphbench scale                        # out-of-core data-plane bench -> BENCH_scale.json
 //	morphbench regress -baseline BENCH_kernels.json -fresh new.json  # perf regression gate
 //
 // Scale 1.0 corresponds to the paper's full-size graphs (do not attempt
@@ -57,6 +58,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "scale" {
+		if err := cmdScale(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "morphbench: scale:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "regress" {
 		if err := cmdRegress(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "morphbench: regress:", err)
@@ -65,22 +73,22 @@ func main() {
 		return
 	}
 	var (
-		fig      = flag.String("fig", "", "comma-separated experiment IDs (e.g. 12a,13c)")
-		all      = flag.Bool("all", false, "run every experiment")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		scale    = flag.Float64("scale", 0.004, "dataset scale factor (1.0 = paper size)")
-		threads  = flag.Int("threads", 0, "engine worker threads (0 = GOMAXPROCS)")
-		seed     = flag.Int64("seed", 1, "random seed for datasets and workloads")
-		quick    = flag.Bool("quick", true, "restrict to the cheaper graphs/patterns")
-		samples  = flag.Int("samples", 0, "alternative-set samples for fig 15e (0 = paper's 250, or 40 in quick mode)")
-		traceOut = flag.String("trace", "", "write phase spans to this file (Chrome trace_event JSON; .jsonl for JSON lines)")
+		fig       = flag.String("fig", "", "comma-separated experiment IDs (e.g. 12a,13c)")
+		all       = flag.Bool("all", false, "run every experiment")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		scale     = flag.Float64("scale", 0.004, "dataset scale factor (1.0 = paper size)")
+		threads   = flag.Int("threads", 0, "engine worker threads (0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", 1, "random seed for datasets and workloads")
+		quick     = flag.Bool("quick", true, "restrict to the cheaper graphs/patterns")
+		samples   = flag.Int("samples", 0, "alternative-set samples for fig 15e (0 = paper's 250, or 40 in quick mode)")
+		traceOut  = flag.String("trace", "", "write phase spans to this file (Chrome trace_event JSON; .jsonl for JSON lines)")
 		reportOut = flag.String("report", "", "record a run report for every pipeline execution and write them as JSON to this file")
-		listen   = flag.String("listen", "", "serve /metrics, /vars and /debug/pprof on this address while running")
-		progress = flag.Bool("progress", false, "report live matches/sec to stderr during experiments")
-		timeout  = flag.Duration("timeout", 0, "overall deadline for the whole run; expired experiments abort at the next work-block boundary (0 = none)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
-		queryLog = flag.String("querylog", "", "append the structured JSONL query log (run lifecycle events) to this file")
+		listen    = flag.String("listen", "", "serve /metrics, /vars and /debug/pprof on this address while running")
+		progress  = flag.Bool("progress", false, "report live matches/sec to stderr during experiments")
+		timeout   = flag.Duration("timeout", 0, "overall deadline for the whole run; expired experiments abort at the next work-block boundary (0 = none)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		queryLog  = flag.String("querylog", "", "append the structured JSONL query log (run lifecycle events) to this file")
 		flightDir = flag.String("flightdir", "", "dump flight-recorder bundles for anomalous runs into this directory (default $MORPH_FLIGHT_DIR)")
 	)
 	flag.Parse()

@@ -124,7 +124,7 @@ func TestRegressRejectsBadInputs(t *testing.T) {
 // compares against: each committed BENCH_*.json must parse and pass a
 // self-comparison.
 func TestRegressCommittedBaselines(t *testing.T) {
-	for _, name := range []string{"BENCH_kernels.json", "BENCH_trie.json"} {
+	for _, name := range []string{"BENCH_kernels.json", "BENCH_trie.json", "BENCH_scale.json"} {
 		path := filepath.Join("..", "..", name)
 		if _, err := os.Stat(path); err != nil {
 			t.Fatalf("committed baseline %s missing: %v", name, err)

@@ -1,0 +1,5 @@
+//go:build !unix
+
+package main
+
+func rusagePeak() uint64 { return 0 }

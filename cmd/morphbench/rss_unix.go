@@ -1,0 +1,20 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// rusagePeak is the getrusage ru_maxrss fallback for kernels whose
+// /proc/self/status lacks VmHWM (gVisor, some containers). Unlike VmHWM
+// it cannot be reset, so a phase-scoped measurement degrades to a
+// process-lifetime one.
+func rusagePeak() uint64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	if ru.Maxrss < 0 {
+		return 0
+	}
+	return uint64(ru.Maxrss) << 10
+}

@@ -121,7 +121,7 @@ type trieBenchSet struct {
 // trieBenchSets assembles the benchmark workloads: each Fig. 11a query's
 // morphing winner set (what Algorithm 1 actually schedules for it on g),
 // plus the all-4-vertex-motif sets every multi-pattern system reports.
-func trieBenchSets(g *graph.Graph) ([]trieBenchSet, error) {
+func trieBenchSets(g graph.Adjacency) ([]trieBenchSet, error) {
 	var sets []trieBenchSet
 	all4, err := canon.AllConnectedPatterns(4)
 	if err != nil {
@@ -171,7 +171,7 @@ func trieBenchSets(g *graph.Graph) ([]trieBenchSet, error) {
 	return sets, nil
 }
 
-func benchTrieSet(g *graph.Graph, s trieBenchSet, threads, reps int) (trieSetResult, error) {
+func benchTrieSet(g graph.Adjacency, s trieBenchSet, threads, reps int) (trieSetResult, error) {
 	e := peregrine.New(threads)
 	e.Obs = &obs.Observer{Metrics: obs.NewRegistry()} // keep bench noise out of the default registry
 	r := trieSetResult{Set: s.name}

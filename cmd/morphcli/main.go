@@ -12,6 +12,10 @@
 //	morphcli count -graph MI -engine peregrine 4-cycle:v 4-star:v
 //	morphcli count -stats json 4-clique      # machine-readable run stats
 //	morphcli count -report run.json ...      # EXPLAIN ANALYZE run report
+//	morphcli convert -in edges.txt -out g.mcsr -renumber degree
+//	                                         # edge list -> binary graph
+//	morphcli count -bin g.mcsr -shards 8 triangle
+//	                                         # mmap the file, mine shard by shard
 //	morphcli explain 4-cycle:v 4-star:v      # plan + calibration report
 //	morphcli explain -dot sdag.dot ...       # Graphviz S-DAG export
 //	morphcli -listen :8080 count ...         # live /metrics, /vars, pprof
@@ -113,6 +117,8 @@ func main() {
 		err = cmdTransform(args)
 	case "count":
 		err = cmdCount(args)
+	case "convert":
+		err = cmdConvert(args)
 	case "query":
 		err = cmdQuery(args)
 	case "explain":
@@ -130,7 +136,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: morphcli [-listen addr] <pattern|equation|sdag|transform|count|query|explain|names> [args]`)
+	fmt.Fprintln(os.Stderr, `usage: morphcli [-listen addr] <pattern|equation|sdag|transform|count|convert|query|explain|names> [args]`)
 }
 
 func cmdNames() {
@@ -304,6 +310,8 @@ func cmdCount(args []string) error {
 	fs := flag.NewFlagSet("count", flag.ContinueOnError)
 	graphName := fs.String("graph", "MI", "dataset recipe (MI, MG, PR, OK, FR)")
 	scale := fs.Float64("scale", 0.01, "dataset scale factor")
+	binPath := fs.String("bin", "", "mine a binary graph file (.mcsr, see `morphcli convert`) instead of generating -graph/-scale; mmap-backed when the format allows")
+	shards := fs.Int("shards", 0, "partition the graph and mine each induced shard one at a time; cross-shard edges are dropped, so counts are the paper's §7.4 lower bound (0/1 = off)")
 	engineName := fs.String("engine", "peregrine", "matching engine (peregrine, autozero, graphpi, bigjoin)")
 	threads := fs.Int("threads", 0, "engine worker threads (0 = GOMAXPROCS)")
 	baseline := fs.Bool("baseline", false, "disable morphing and run the queries as-is")
@@ -345,21 +353,36 @@ func cmdCount(args []string) error {
 	if err != nil {
 		return err
 	}
-	rec, err := dataset.ByName(*graphName)
-	if err != nil {
-		return err
-	}
-	g, err := rec.Scaled(*scale).Generate()
-	if err != nil {
-		return err
+	var g graph.Adjacency
+	if *binPath != "" {
+		h, err := graph.Open(*binPath, graph.OpenOptions{})
+		if err != nil {
+			return err
+		}
+		defer h.Close()
+		g = h.Graph()
+		fmt.Fprintf(os.Stderr, "opened %s (mmap=%v)\n", *binPath, h.Mapped())
+	} else {
+		rec, err := dataset.ByName(*graphName)
+		if err != nil {
+			return err
+		}
+		g, err = rec.Scaled(*scale).Generate()
+		if err != nil {
+			return err
+		}
 	}
 	if *hubBits != 0 {
+		pg, ok := g.(*graph.Graph)
+		if !ok {
+			return fmt.Errorf("-hubbits needs a plain in-memory graph; %s holds a compressed tier", *binPath)
+		}
 		min := *hubBits
 		if min < 0 {
 			min = 0 // EnableHubIndex picks the default threshold
 		}
-		hubs := g.EnableHubIndex(min)
-		info, _ := g.HubIndex()
+		hubs := pg.EnableHubIndex(min)
+		info, _ := pg.HubIndex()
 		fmt.Fprintf(os.Stderr, "hub-bitset index: %d hubs (degree >= %d), %d KiB\n",
 			hubs, info.Threshold, info.Bytes/1024)
 	}
@@ -376,7 +399,7 @@ func cmdCount(args []string) error {
 		defer cancel()
 	}
 	r := &core.Runner{Engine: eng, DisableMorphing: *baseline, Explain: *reportOut != "",
-		RunOptions: core.RunOptions{Trie: trieMode}, Label: "count", Flight: runFlight}
+		RunOptions: core.RunOptions{Trie: trieMode, Shards: *shards}, Label: "count", Flight: runFlight}
 	counts, st, err := r.CountsCtx(ctx, g, queries)
 	prog.Stop()
 	if err != nil {
@@ -413,12 +436,16 @@ func cmdCount(args []string) error {
 	}
 
 	if *statsMode == "json" {
+		srcName, srcScale := *graphName, *scale
+		if *binPath != "" {
+			srcName, srcScale = *binPath, 0
+		}
 		rep := countReport{
 			RunID:          st.RunID,
 			Label:          st.RunLabel,
 			QueryLog:       st.Events,
-			Graph:          *graphName,
-			Scale:          *scale,
+			Graph:          srcName,
+			Scale:          srcScale,
 			Engine:         eng.Name(),
 			Morphing:       !*baseline,
 			Phase:          st.Phase,
@@ -444,9 +471,17 @@ func cmdCount(args []string) error {
 		return enc.Encode(rep)
 	}
 
-	fmt.Printf("graph %s at scale %v: %d vertices, %d edges\n",
-		*graphName, *scale, g.NumVertices(), g.NumEdges())
+	if *binPath != "" {
+		fmt.Printf("graph %s: %d vertices, %d edges\n",
+			*binPath, g.NumVertices(), g.NumEdges())
+	} else {
+		fmt.Printf("graph %s at scale %v: %d vertices, %d edges\n",
+			*graphName, *scale, g.NumVertices(), g.NumEdges())
+	}
 	fmt.Printf("engine %s, morphing %v\n", eng.Name(), !*baseline)
+	if st.Shards > 0 {
+		fmt.Printf("sharded over %d partitions (cross-shard matches dropped; counts are lower bounds)\n", st.Shards)
+	}
 	for i, q := range st.Selection.Queries {
 		status := "as-is"
 		if q.Morphed {

@@ -58,7 +58,7 @@ type Stats struct {
 // batch is evaluated through the morphing pipeline (or directly when
 // morphing is off). The dynamic, data-dependent query sets are exactly
 // why pattern transformation must run at runtime (§5).
-func Mine(g *graph.Graph, eng engine.Engine, opts Options) ([]Frequent, *Stats, error) {
+func Mine(g graph.Adjacency, eng engine.Engine, opts Options) ([]Frequent, *Stats, error) {
 	return MineCtx(context.Background(), g, eng, opts)
 }
 
@@ -67,7 +67,7 @@ func Mine(g *graph.Graph, eng engine.Engine, opts Options) ([]Frequent, *Stats, 
 // error (the interrupted level's partial tables cannot prove support, so
 // they are discarded); Stats covers all work done including the
 // interrupted level's RunStats.
-func MineCtx(ctx context.Context, g *graph.Graph, eng engine.Engine, opts Options) ([]Frequent, *Stats, error) {
+func MineCtx(ctx context.Context, g graph.Adjacency, eng engine.Engine, opts Options) ([]Frequent, *Stats, error) {
 	if opts.MaxEdges < 1 {
 		return nil, nil, fmt.Errorf("fsm: MaxEdges must be positive")
 	}
@@ -143,7 +143,7 @@ func MineCtx(ctx context.Context, g *graph.Graph, eng engine.Engine, opts Option
 // support a frequent pattern (an admissible pruning: MNI support is
 // bounded by vertex counts per label). Unlabeled graphs yield the single
 // wildcard label.
-func frequentLabels(g *graph.Graph, minSupport int) []int32 {
+func frequentLabels(g graph.Adjacency, minSupport int) []int32 {
 	if !g.Labeled() {
 		return []int32{pattern.Unlabeled}
 	}
@@ -163,7 +163,7 @@ func frequentLabels(g *graph.Graph, minSupport int) []int32 {
 
 // seedPatterns builds the level-1 candidates: one single-edge pattern per
 // unordered frequent label pair that actually occurs in g.
-func seedPatterns(g *graph.Graph, labels []int32) []*pattern.Pattern {
+func seedPatterns(g graph.Adjacency, labels []int32) []*pattern.Pattern {
 	ok := map[int32]bool{}
 	for _, l := range labels {
 		ok[l] = true

@@ -28,7 +28,7 @@ type Result struct {
 // Count counts all motifs on `size` vertices (3 to 5 in the paper's
 // experiments) in g using the given engine. Morphing is applied unless
 // disabled.
-func Count(g *graph.Graph, size int, eng engine.Engine, morph bool) (*Result, error) {
+func Count(g graph.Adjacency, size int, eng engine.Engine, morph bool) (*Result, error) {
 	return CountCtx(context.Background(), g, size, eng, morph)
 }
 
@@ -37,7 +37,7 @@ func Count(g *graph.Graph, size int, eng engine.Engine, morph bool) (*Result, er
 // per-alternative counts completed before the abort — together with the
 // typed error (engine.ErrCanceled, engine.ErrDeadlineExceeded, or
 // *engine.PanicError).
-func CountCtx(ctx context.Context, g *graph.Graph, size int, eng engine.Engine, morph bool) (*Result, error) {
+func CountCtx(ctx context.Context, g graph.Adjacency, size int, eng engine.Engine, morph bool) (*Result, error) {
 	if size < 3 || size > 5 {
 		return nil, fmt.Errorf("mc: motif size %d outside [3,5]", size)
 	}

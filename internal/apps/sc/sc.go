@@ -19,7 +19,7 @@ import (
 // morph enabled, queries go through Subgraph Morphing; engines without
 // native vertex-induced support (GraphPi/BigJoin models) then compute
 // vertex-induced counts UDF-free via edge-induced alternatives (§7.2).
-func Count(g *graph.Graph, queries []*pattern.Pattern, eng engine.Engine, morph bool) ([]uint64, *core.RunStats, error) {
+func Count(g graph.Adjacency, queries []*pattern.Pattern, eng engine.Engine, morph bool) ([]uint64, *core.RunStats, error) {
 	return CountCtx(context.Background(), g, queries, eng, morph)
 }
 
@@ -27,7 +27,7 @@ func Count(g *graph.Graph, queries []*pattern.Pattern, eng engine.Engine, morph 
 // honored at work-block boundaries, and on interruption the returned
 // RunStats carries the per-alternative partial counts (RunStats.Partial)
 // alongside the typed error.
-func CountCtx(ctx context.Context, g *graph.Graph, queries []*pattern.Pattern, eng engine.Engine, morph bool) ([]uint64, *core.RunStats, error) {
+func CountCtx(ctx context.Context, g graph.Adjacency, queries []*pattern.Pattern, eng engine.Engine, morph bool) ([]uint64, *core.RunStats, error) {
 	if len(queries) == 0 {
 		return nil, nil, fmt.Errorf("sc: empty query set")
 	}
@@ -39,7 +39,7 @@ func CountCtx(ctx context.Context, g *graph.Graph, queries []*pattern.Pattern, e
 // queries on engines lacking anti-edge support: match the edge-induced
 // variant and reject matches with extra edges through a Filter UDF
 // (Fig. 4d-e). filterer is the engine-specific filter entry point.
-func CountBaselineWithFilter(g *graph.Graph, queries []*pattern.Pattern, filterer FilterEngine) ([]uint64, *engine.Stats, error) {
+func CountBaselineWithFilter(g graph.Adjacency, queries []*pattern.Pattern, filterer FilterEngine) ([]uint64, *engine.Stats, error) {
 	counts := make([]uint64, len(queries))
 	total := &engine.Stats{}
 	for i, q := range queries {
@@ -58,5 +58,5 @@ func CountBaselineWithFilter(g *graph.Graph, queries []*pattern.Pattern, filtere
 
 // FilterEngine is satisfied by the GraphPi and BigJoin models.
 type FilterEngine interface {
-	CountVertexInducedViaFilter(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error)
+	CountVertexInducedViaFilter(g graph.Adjacency, p *pattern.Pattern) (uint64, *engine.Stats, error)
 }

@@ -54,7 +54,7 @@ type Options struct {
 // concurrent use; the match slice is reused) for survivors. With morphing
 // enabled the queries are transformed and the alternative streams are
 // converted on the fly.
-func Enumerate(g *graph.Graph, eng engine.Engine, queries []*pattern.Pattern, filter Filter, onMatch func(query int, m []uint32), opts Options) (*Result, error) {
+func Enumerate(g graph.Adjacency, eng engine.Engine, queries []*pattern.Pattern, filter Filter, onMatch func(query int, m []uint32), opts Options) (*Result, error) {
 	return EnumerateCtx(context.Background(), g, eng, queries, filter, onMatch, opts)
 }
 
@@ -67,7 +67,7 @@ func Enumerate(g *graph.Graph, eng engine.Engine, queries []*pattern.Pattern, fi
 // Each call runs inside its own observability run scope (obs.StartRun):
 // engine metrics and spans are tagged with the run ID, the query log
 // records the lifecycle, and anomalous endings dump the flight recorder.
-func EnumerateCtx(ctx context.Context, g *graph.Graph, eng engine.Engine, queries []*pattern.Pattern, filter Filter, onMatch func(query int, m []uint32), opts Options) (*Result, error) {
+func EnumerateCtx(ctx context.Context, g graph.Adjacency, eng engine.Engine, queries []*pattern.Pattern, filter Filter, onMatch func(query int, m []uint32), opts Options) (*Result, error) {
 	rc := obs.StartRun(nil, "se", obs.DefaultFlightPolicy())
 	rc.Event("admitted",
 		obs.Str("engine", eng.Name()), obs.Str("pipeline", "enumerate"),
@@ -119,7 +119,7 @@ func finishRun(rc *obs.RunContext, res *Result, err error) {
 
 // enumerateRun is the EnumerateCtx body, executed inside the run scope
 // the ctx carries.
-func enumerateRun(ctx context.Context, g *graph.Graph, eng engine.Engine, queries []*pattern.Pattern, filter Filter, onMatch func(query int, m []uint32), opts Options) (*Result, error) {
+func enumerateRun(ctx context.Context, g graph.Adjacency, eng engine.Engine, queries []*pattern.Pattern, filter Filter, onMatch func(query int, m []uint32), opts Options) (*Result, error) {
 	for i, q := range queries {
 		if q.Induced() != pattern.EdgeInduced {
 			return nil, fmt.Errorf("se: query %d must be edge-induced (on-the-fly conversion is additive)", i)
@@ -260,7 +260,7 @@ type Weights struct {
 }
 
 // NewWeights draws per-vertex weights ~ N(mean, std).
-func NewWeights(g *graph.Graph, mean, std float64, seed int64) *Weights {
+func NewWeights(g graph.Adjacency, mean, std float64, seed int64) *Weights {
 	r := rand.New(rand.NewSource(seed))
 	w := make([]float64, g.NumVertices())
 	for i := range w {

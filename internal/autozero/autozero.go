@@ -49,7 +49,7 @@ var (
 // highest-degree-connected order — the same plans its merged trie
 // interprets, so the generic trie path preserves this engine's matching
 // orders.
-func (e *Engine) PlanPattern(_ *graph.Graph, p *pattern.Pattern) (*plan.Plan, error) {
+func (e *Engine) PlanPattern(_ graph.Adjacency, p *pattern.Pattern) (*plan.Plan, error) {
 	pl, err := plan.BuildWithOrder(p, order(p))
 	if err != nil {
 		return nil, fmt.Errorf("autozero: %w", err)
@@ -116,12 +116,12 @@ func order(p *pattern.Pattern) []int {
 }
 
 // Count counts a single pattern (a one-pattern merged schedule).
-func (e *Engine) Count(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+func (e *Engine) Count(g graph.Adjacency, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	return e.CountCtx(context.Background(), g, p)
 }
 
 // CountCtx implements engine.CtxEngine.
-func (e *Engine) CountCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+func (e *Engine) CountCtx(ctx context.Context, g graph.Adjacency, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	counts, st, err := e.CountAllCtx(ctx, g, []*pattern.Pattern{p})
 	if len(counts) == 0 {
 		return 0, st, err
@@ -132,13 +132,13 @@ func (e *Engine) CountCtx(ctx context.Context, g *graph.Graph, p *pattern.Patter
 // Match streams matches of one pattern. Enumeration schedules are not
 // merged (AutoMine streams pattern by pattern); execution reuses the
 // generic backtracking executor over AutoZero's schedule order.
-func (e *Engine) Match(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
+func (e *Engine) Match(g graph.Adjacency, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
 	return e.MatchCtx(context.Background(), g, p, visit)
 }
 
 // MatchCtx implements engine.CtxEngine: Match with cooperative
 // cancellation and visitor-panic containment.
-func (e *Engine) MatchCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
+func (e *Engine) MatchCtx(ctx context.Context, g graph.Adjacency, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
 	pl, err := plan.BuildWithOrder(p, order(p))
 	if err != nil {
 		return nil, fmt.Errorf("autozero: %w", err)
@@ -152,7 +152,7 @@ func (e *Engine) MatchCtx(ctx context.Context, g *graph.Graph, p *pattern.Patter
 // executes it in a single pass: schedules sharing loop prefixes share
 // candidate computation, and conflicting symmetry restrictions stay on
 // separate branches so nothing is under-counted.
-func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
+func (e *Engine) CountAll(g graph.Adjacency, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
 	return e.CountAllCtx(context.Background(), g, ps)
 }
 
@@ -160,7 +160,7 @@ func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *eng
 // advances all patterns in one pass, an interrupted run returns partial
 // counts for every pattern simultaneously — each reflecting the vertex
 // blocks completed before the abort took effect.
-func (e *Engine) CountAllCtx(ctx context.Context, g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
+func (e *Engine) CountAllCtx(ctx context.Context, g graph.Adjacency, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
 	start := time.Now()
 	if len(ps) == 0 {
 		return nil, &engine.Stats{}, nil
@@ -360,7 +360,8 @@ func (t *trie) insert(pl *plan.Plan, idx int) {
 }
 
 type azWorker struct {
-	g          *graph.Graph
+	g          graph.Adjacency // per-worker view (see graph.Adjacency)
+	volatile   bool            // rows are scratch-backed; see candidates
 	instrument bool
 	st         engine.Stats
 	sst        setops.Stats
@@ -384,9 +385,10 @@ func (w *azWorker) total() uint64 {
 	return t
 }
 
-func newAZWorker(g *graph.Graph, patterns, maxDepth, maxDeg int, instrument bool) *azWorker {
+func newAZWorker(g graph.Adjacency, patterns, maxDepth, maxDeg int, instrument bool) *azWorker {
 	w := &azWorker{
-		g:          g,
+		g:          g.View(),
+		volatile:   g.VolatileRows(),
 		instrument: instrument,
 		levels:     make([]engine.LevelStats, maxDepth),
 		counts:     make([]uint64, patterns),
@@ -613,6 +615,13 @@ func (w *azWorker) candidates(node *trieNode, depth int) []uint32 {
 	}
 	for _, j := range node.disconnect {
 		cur = engine.DifferenceNeighbors(w.g, out, cur, w.match[j], &w.sst)
+		out, spare = spare, cur
+	}
+	if w.volatile && len(node.connect) == 1 && len(node.disconnect) == 0 {
+		// No set operation ran, so cur is still the raw decoded row — but
+		// exec retains it across the whole subtree recursion, far beyond
+		// the view's row lifetime. Pin it into the worker's scratch.
+		cur = append(out[:0], cur...)
 		out, spare = spare, cur
 	}
 	w.bufA[depth], w.bufB[depth] = out, spare

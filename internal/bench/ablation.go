@@ -61,7 +61,7 @@ func ablateDegreeOrdering(cfg Config, w io.Writer) error {
 	return nil
 }
 
-func timedCount(eng engine.Engine, g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, float64, error) {
+func timedCount(eng engine.Engine, g graph.Adjacency, p *pattern.Pattern) (uint64, *engine.Stats, float64, error) {
 	start := time.Now()
 	c, st, err := eng.Count(g, p)
 	return c, st, time.Since(start).Seconds(), err

@@ -148,7 +148,7 @@ func runFig15Large(cfg Config, w io.Writer, engineName string) error {
 
 // runLargeOnPartition mines one 7-vertex vertex-induced pattern inside a
 // partition, baseline vs morphed, returning the two times.
-func runLargeOnPartition(cfg Config, engineName string, g *graph.Graph, p *pattern.Pattern) (float64, float64, error) {
+func runLargeOnPartition(cfg Config, engineName string, g graph.Adjacency, p *pattern.Pattern) (float64, float64, error) {
 	queries := []*pattern.Pattern{p}
 	switch engineName {
 	case "Peregrine":

@@ -116,7 +116,7 @@ func runFig4e(cfg Config, w io.Writer) error {
 
 type filterEngine interface {
 	engine.Engine
-	CountVertexInducedViaFilter(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error)
+	CountVertexInducedViaFilter(g graph.Adjacency, p *pattern.Pattern) (uint64, *engine.Stats, error)
 }
 
 func runFilterProfile(cfg Config, w io.Writer, mk func() filterEngine) error {

@@ -50,7 +50,7 @@ var (
 // PlanPattern implements engine.Planner. BigJoin derives its dataflow
 // stages from the default plan (see run), so the trie path reuses the
 // same orders; unsupported semantics are rejected exactly like run.
-func (e *Engine) PlanPattern(_ *graph.Graph, p *pattern.Pattern) (*plan.Plan, error) {
+func (e *Engine) PlanPattern(_ graph.Adjacency, p *pattern.Pattern) (*plan.Plan, error) {
 	if p.HasExplicitAntiEdges() {
 		return nil, fmt.Errorf("bigjoin: %w", engine.ErrInducedUnsupported)
 	}
@@ -84,24 +84,24 @@ func (e *Engine) SupportsInduced(iv pattern.Induced) bool {
 }
 
 // Count returns the number of unique edge-induced matches of p in g.
-func (e *Engine) Count(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+func (e *Engine) Count(g graph.Adjacency, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	return e.run(context.Background(), g, p, nil)
 }
 
 // CountCtx implements engine.CtxEngine.
-func (e *Engine) CountCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+func (e *Engine) CountCtx(ctx context.Context, g graph.Adjacency, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	return e.run(ctx, g, p, nil)
 }
 
 // CountAll counts each pattern independently (BigJoin evaluates one query
 // dataflow at a time).
-func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
+func (e *Engine) CountAll(g graph.Adjacency, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
 	return e.CountAllCtx(context.Background(), g, ps)
 }
 
 // CountAllCtx implements engine.CtxEngine. On interruption the returned
 // slice holds the per-pattern partial counts accumulated so far.
-func (e *Engine) CountAllCtx(ctx context.Context, g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
+func (e *Engine) CountAllCtx(ctx context.Context, g graph.Adjacency, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
 	counts := make([]uint64, len(ps))
 	total := &engine.Stats{}
 	for i, p := range ps {
@@ -118,14 +118,14 @@ func (e *Engine) CountAllCtx(ctx context.Context, g *graph.Graph, ps []*pattern.
 }
 
 // Match streams every unique edge-induced match of p to visit.
-func (e *Engine) Match(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
+func (e *Engine) Match(g graph.Adjacency, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
 	_, st, err := e.run(context.Background(), g, p, visit)
 	return st, err
 }
 
 // MatchCtx implements engine.CtxEngine: Match with cooperative
 // cancellation at batch boundaries and visitor-panic containment.
-func (e *Engine) MatchCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
+func (e *Engine) MatchCtx(ctx context.Context, g graph.Adjacency, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
 	_, st, err := e.run(ctx, g, p, visit)
 	return st, err
 }
@@ -134,13 +134,13 @@ func (e *Engine) MatchCtx(ctx context.Context, g *graph.Graph, p *pattern.Patter
 // pre-morphing way: run the edge-induced dataflow and append a Filter UDF
 // stage probing every non-adjacent pattern pair for extra edges
 // (Fig. 4e / Fig. 14b).
-func (e *Engine) CountVertexInducedViaFilter(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+func (e *Engine) CountVertexInducedViaFilter(g graph.Adjacency, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	return e.CountVertexInducedViaFilterCtx(context.Background(), g, p)
 }
 
 // CountVertexInducedViaFilterCtx is CountVertexInducedViaFilter under a
 // context (partial counts on interruption).
-func (e *Engine) CountVertexInducedViaFilterCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+func (e *Engine) CountVertexInducedViaFilterCtx(ctx context.Context, g graph.Adjacency, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	nonEdges := p.NonEdges()
 	threads := engine.ExecOptions{Threads: e.Threads}.ThreadCount()
 	type shard struct {
@@ -189,7 +189,7 @@ func (e *Engine) CountVertexInducedViaFilterCtx(ctx context.Context, g *graph.Gr
 // a label scan over the vertices, with the context checked at
 // batch-sized strides and visitor panics contained like any stage
 // worker's.
-func runSingle(ctx context.Context, g *graph.Graph, p *pattern.Pattern, visit engine.Visitor, batchSize int, total *uint64, st *engine.Stats) (err error) {
+func runSingle(ctx context.Context, g graph.Adjacency, p *pattern.Pattern, visit engine.Visitor, batchSize int, total *uint64, st *engine.Stats) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &engine.PanicError{Worker: 0, Value: r, Stack: debug.Stack()}
@@ -239,7 +239,7 @@ func (b *batch) tuples() int { return len(b.data) / b.width }
 // owning stage worker, flips the same abort flag, and surfaces as a
 // single *engine.PanicError; partially accumulated counts are returned
 // either way (the partial-result contract of engine.CtxErr).
-func (e *Engine) run(ctx context.Context, g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (uint64, *engine.Stats, error) {
+func (e *Engine) run(ctx context.Context, g graph.Adjacency, p *pattern.Pattern, visit engine.Visitor) (uint64, *engine.Stats, error) {
 	start := time.Now()
 	if err := engine.CtxErr(ctx); err != nil {
 		return 0, nil, err
@@ -424,7 +424,7 @@ func (e *Engine) run(ctx context.Context, g *graph.Graph, p *pattern.Pattern, vi
 // bjWorker extends prefixes of length `level` by one binding.
 type bjWorker struct {
 	id         int
-	g          *graph.Graph
+	g          graph.Adjacency // per-worker view (see graph.Adjacency)
 	pl         *plan.Plan
 	level      int
 	last       bool
@@ -446,11 +446,11 @@ type bjWorker struct {
 	label    int32
 }
 
-func newBJWorker(id int, g *graph.Graph, pl *plan.Plan, level, batchSize int, out chan *batch, visit engine.Visitor, instrument bool) *bjWorker {
+func newBJWorker(id int, g graph.Adjacency, pl *plan.Plan, level, batchSize int, out chan *batch, visit engine.Visitor, instrument bool) *bjWorker {
 	k := pl.Pattern.N()
 	return &bjWorker{
 		id:         id,
-		g:          g,
+		g:          g.View(),
 		pl:         pl,
 		level:      level,
 		last:       level == k-1,

@@ -110,7 +110,7 @@ func isIdentity(f []int) bool {
 // matching: the selected vertex-induced alternatives are matched one by
 // one and their streams are converted on the fly (§6.2, used by the
 // Fig. 15a experiment). The returned stats aggregate all alternative runs.
-func StreamMorphed(sel *Selection, queryIdx int, eng engine.Engine, g *graph.Graph, visit engine.Visitor) (*engine.Stats, error) {
+func StreamMorphed(sel *Selection, queryIdx int, eng engine.Engine, g graph.Adjacency, visit engine.Visitor) (*engine.Stats, error) {
 	return StreamMorphedCtx(context.Background(), sel, queryIdx, eng, g, visit)
 }
 
@@ -118,7 +118,7 @@ func StreamMorphed(sel *Selection, queryIdx int, eng engine.Engine, g *graph.Gra
 // stats accumulated so far are returned alongside the typed error;
 // matches already streamed to visit stay delivered (a partial stream,
 // never a corrupted one).
-func StreamMorphedCtx(ctx context.Context, sel *Selection, queryIdx int, eng engine.Engine, g *graph.Graph, visit engine.Visitor) (*engine.Stats, error) {
+func StreamMorphedCtx(ctx context.Context, sel *Selection, queryIdx int, eng engine.Engine, g graph.Adjacency, visit engine.Visitor) (*engine.Stats, error) {
 	q := sel.Queries[queryIdx]
 	total := &engine.Stats{}
 	if !q.Morphed {

@@ -123,6 +123,28 @@ func ParseTrieMode(s string) (TrieMode, error) {
 type RunOptions struct {
 	// Trie selects one-pass multi-pattern execution (see TrieMode).
 	Trie TrieMode
+
+	// Shards > 1 enables shard-per-partition counting (§7.4): the graph
+	// is split into Shards BFS-grown partitions, each shard is
+	// materialized as a plain in-RAM subgraph and mined on its own, and
+	// the per-alternative counts are summed before conversion. Because
+	// conversion is a fixed linear combination of the alternative
+	// counts, summing before converting equals converting per shard and
+	// summing after — so the aggregation layer needs no changes.
+	//
+	// Cross-partition edges are dropped, exactly as in the paper's
+	// workload-reduction experiment: sharded counts are counts over the
+	// union of the induced shard subgraphs, a lower bound on the
+	// full-graph counts, not an approximation of them. Use it when the
+	// working set of a full-graph run exceeds memory (pair with a
+	// compressed or mmap-backed source tier; peak residency is then the
+	// source tier plus one plain shard).
+	//
+	// Shards takes precedence over Runner.Explain's per-pattern
+	// calibration: with every pattern mined once per shard, per-pattern
+	// wall time is no longer well-defined, so sharded runs skip the
+	// PerPattern table.
+	Shards int
 }
 
 // TrieDecision records whether (and why) a counting run routed the winner
@@ -191,6 +213,10 @@ type RunStats struct {
 	// Trie records the one-pass trie routing decision for counting runs
 	// (nil for pipelines that never consider the trie path).
 	Trie *TrieDecision
+	// Shards is the number of partitions a sharded counting run actually
+	// mined (RunOptions.Shards requested, empty partitions omitted);
+	// 0 for unsharded runs.
+	Shards int
 	// ConversionMode records how results were (or would have been)
 	// converted: "batched" or "on-the-fly" (MemoryBudget degradation).
 	ConversionMode string
@@ -353,14 +379,14 @@ func (st *RunStats) MeanCalibrationRatio() float64 {
 
 // Transform runs pattern transformation for a query set: S-DAG build plus
 // Algorithm 1 under the policy derived for agg.
-func (r *Runner) Transform(g *graph.Graph, queries []*pattern.Pattern, agg aggr.Aggregation) (*Selection, error) {
+func (r *Runner) Transform(g graph.Adjacency, queries []*pattern.Pattern, agg aggr.Aggregation) (*Selection, error) {
 	return r.transformCtx(context.Background(), g, queries, agg)
 }
 
 // transformCtx is Transform resolving its observer through the context,
 // so a run scope (obs.ContextWithRun) captures the transform and select
 // spans in its per-run tracer and registry.
-func (r *Runner) transformCtx(ctx context.Context, g *graph.Graph, queries []*pattern.Pattern, agg aggr.Aggregation) (*Selection, error) {
+func (r *Runner) transformCtx(ctx context.Context, g graph.Adjacency, queries []*pattern.Pattern, agg aggr.Aggregation) (*Selection, error) {
 	o := obs.FromContext(ctx, r.Obs)
 	sp := o.StartSpan("transform",
 		obs.Str("engine", r.Engine.Name()), obs.Int("queries", len(queries)))
@@ -416,14 +442,14 @@ func (r *Runner) selectOptions() SelectOptions {
 // output (subgraph enumeration): streams cannot be subtracted, so only
 // the additive direction is sound (PolicyVertexOnly) and the engine must
 // support vertex-induced matching.
-func (r *Runner) TransformForStreaming(g *graph.Graph, queries []*pattern.Pattern) (*Selection, error) {
+func (r *Runner) TransformForStreaming(g graph.Adjacency, queries []*pattern.Pattern) (*Selection, error) {
 	return r.TransformForStreamingCtx(context.Background(), g, queries)
 }
 
 // TransformForStreamingCtx is TransformForStreaming resolving its
 // observer through the context, for callers (the SE app) that carry a
 // run scope.
-func (r *Runner) TransformForStreamingCtx(ctx context.Context, g *graph.Graph, queries []*pattern.Pattern) (*Selection, error) {
+func (r *Runner) TransformForStreamingCtx(ctx context.Context, g graph.Adjacency, queries []*pattern.Pattern) (*Selection, error) {
 	if !r.Engine.SupportsInduced(pattern.VertexInduced) {
 		return nil, fmt.Errorf("core: engine %q cannot mine vertex-induced patterns; on-the-fly conversion unavailable", r.Engine.Name())
 	}
@@ -533,7 +559,7 @@ func publishRunStats(o *obs.Observer, st *RunStats) {
 
 // Counts answers subgraph counting queries (SC/MC): the count of each
 // query pattern, computed through morphing unless disabled.
-func (r *Runner) Counts(g *graph.Graph, queries []*pattern.Pattern) ([]uint64, *RunStats, error) {
+func (r *Runner) Counts(g graph.Adjacency, queries []*pattern.Pattern) ([]uint64, *RunStats, error) {
 	return r.CountsCtx(context.Background(), g, queries)
 }
 
@@ -544,7 +570,7 @@ func (r *Runner) Counts(g *graph.Graph, queries []*pattern.Pattern) ([]uint64, *
 // Phase and Partial fields report exactly how far mining got — the
 // per-alternative partial counts cannot be soundly converted into query
 // results, so they are surfaced raw instead.
-func (r *Runner) CountsCtx(ctx context.Context, g *graph.Graph, queries []*pattern.Pattern) ([]uint64, *RunStats, error) {
+func (r *Runner) CountsCtx(ctx context.Context, g graph.Adjacency, queries []*pattern.Pattern) ([]uint64, *RunStats, error) {
 	rc, ctx := r.startRun(ctx, "counts", len(queries))
 	out, st, err := r.countsRun(ctx, rc, g, queries)
 	r.finishRun(rc, st, err)
@@ -553,7 +579,7 @@ func (r *Runner) CountsCtx(ctx context.Context, g *graph.Graph, queries []*patte
 
 // countsRun is the CountsCtx body, executed inside the run scope rc (the
 // ctx already carries it).
-func (r *Runner) countsRun(ctx context.Context, rc *obs.RunContext, g *graph.Graph, queries []*pattern.Pattern) ([]uint64, *RunStats, error) {
+func (r *Runner) countsRun(ctx context.Context, rc *obs.RunContext, g graph.Adjacency, queries []*pattern.Pattern) ([]uint64, *RunStats, error) {
 	o := rc.Observer()
 	agg := aggr.Count{}
 	t0 := time.Now()
@@ -578,7 +604,7 @@ func (r *Runner) countsRun(ctx context.Context, rc *obs.RunContext, g *graph.Gra
 	stats.Phase = PhaseMine
 	dec, tr, planner := r.planTrie(g, minePatterns)
 	stats.Trie = dec
-	if r.Explain && dec.Used {
+	if r.Explain && dec.Used && r.RunOptions.Shards <= 1 {
 		// EXPLAIN ANALYZE semantics: mine pattern by pattern so each
 		// choice gets its own measured matches and wall time next to the
 		// model's predictions (see Runner.Explain for the caveat about
@@ -591,9 +617,12 @@ func (r *Runner) countsRun(ctx context.Context, rc *obs.RunContext, g *graph.Gra
 	spM := o.StartSpan("mine",
 		obs.Str("engine", r.Engine.Name()), obs.Int("patterns", len(minePatterns)))
 	var counts []uint64
-	if r.Explain {
+	switch {
+	case r.RunOptions.Shards > 1:
+		counts, err = r.mineSharded(ctx, rc, g, dec, tr, planner, minePatterns, stats)
+	case r.Explain:
 		counts, err = r.mineCountsExplained(ctx, g, sel, stats)
-	} else {
+	default:
 		var mst *engine.Stats
 		if dec.Used {
 			opts, eo := planner.ExecConfig()
@@ -647,7 +676,7 @@ func (r *Runner) countsRun(ctx context.Context, rc *obs.RunContext, g *graph.Gra
 // the merged plan trie when the mode and engine allow it, and reports the
 // decision (and the trie's sharing statistics) either way. tr and planner
 // are non-nil exactly when dec.Used is true.
-func (r *Runner) planTrie(g *graph.Graph, ps []*pattern.Pattern) (*TrieDecision, *plan.Trie, engine.Planner) {
+func (r *Runner) planTrie(g graph.Adjacency, ps []*pattern.Pattern) (*TrieDecision, *plan.Trie, engine.Planner) {
 	mode := r.RunOptions.Trie
 	dec := &TrieDecision{Mode: mode.String()}
 	if mode == TrieOff {
@@ -690,7 +719,7 @@ func (r *Runner) planTrie(g *graph.Graph, ps []*pattern.Pattern) (*TrieDecision,
 // freshly built here). On a typed interruption the returned counts hold
 // the progress made so far; the caller applies the partial-result
 // contract.
-func (r *Runner) mineCountsExplained(ctx context.Context, g *graph.Graph, sel *Selection, stats *RunStats) ([]uint64, error) {
+func (r *Runner) mineCountsExplained(ctx context.Context, g graph.Adjacency, sel *Selection, stats *RunStats) ([]uint64, error) {
 	counts := make([]uint64, len(sel.Mine))
 	acc := &engine.Stats{}
 	stats.Mining = acc
@@ -717,10 +746,64 @@ func (r *Runner) mineCountsExplained(ctx context.Context, g *graph.Graph, sel *S
 	return counts, nil
 }
 
+// mineSharded executes RunOptions.Shards-way shard-per-partition
+// counting (§7.4 drop-cross-edges semantics; see the field doc for the
+// soundness argument). The partition member lists are computed once,
+// but each shard subgraph is materialized only for the duration of its
+// own mining pass, so peak residency is the source tier plus one plain
+// shard. The trie routing decision was made once on the full graph and
+// is reused for every shard: a plan trie encodes only pattern-level
+// structure, so it executes unchanged against any graph, and the
+// full-graph cost model is the best available ordering heuristic for
+// its shards. stats.Mining accumulates across shards (freshly built
+// accumulator, never aliasing engine-owned memory). On a typed
+// interruption the returned counts hold the fully-mined shards'
+// progress; the caller applies the partial-result contract.
+func (r *Runner) mineSharded(ctx context.Context, rc *obs.RunContext, g graph.Adjacency, dec *TrieDecision, tr *plan.Trie, planner engine.Planner, ps []*pattern.Pattern, stats *RunStats) ([]uint64, error) {
+	parts, err := graph.PartitionMembers(g, r.RunOptions.Shards)
+	if err != nil {
+		return nil, err
+	}
+	stats.Shards = len(parts)
+	rc.Event("sharded",
+		obs.Int("requested", r.RunOptions.Shards), obs.Int("shards", len(parts)),
+		obs.Bool("trie", dec.Used))
+	counts := make([]uint64, len(ps))
+	acc := &engine.Stats{}
+	stats.Mining = acc
+	gv := g.View()
+	for si, members := range parts {
+		sg, err := graph.SubgraphOf(gv, members)
+		if err != nil {
+			return counts, err
+		}
+		var sc []uint64
+		var st *engine.Stats
+		if dec.Used {
+			opts, eo := planner.ExecConfig()
+			sc, st, err = engine.BacktrackTrieCtx(ctx, sg, tr, opts, eo)
+		} else {
+			sc, st, err = engine.CountAllCtx(ctx, r.Engine, sg, ps)
+		}
+		if st != nil {
+			acc.Add(st)
+		}
+		for i := range sc {
+			counts[i] += sc[i]
+		}
+		rc.Event("shard_mined", obs.Int("shard", si),
+			obs.Int("vertices", sg.NumVertices()), obs.Int("edges", int(sg.NumEdges())))
+		if err != nil {
+			return counts, err
+		}
+	}
+	return counts, nil
+}
+
 // MNITables answers FSM-style support queries: the full-MNI table of each
 // query pattern (every embedding inserted, Bringmann-Nijssen semantics).
 // Morphing uses the additive direction only (PolicyVertexOnly).
-func (r *Runner) MNITables(g *graph.Graph, queries []*pattern.Pattern) ([]*aggr.Table, *RunStats, error) {
+func (r *Runner) MNITables(g graph.Adjacency, queries []*pattern.Pattern) ([]*aggr.Table, *RunStats, error) {
 	return r.MNITablesCtx(context.Background(), g, queries)
 }
 
@@ -731,7 +814,7 @@ func (r *Runner) MNITables(g *graph.Graph, queries []*pattern.Pattern) ([]*aggr.
 // (Algorithm 3's coset-representative maps), trading the per-alternative
 // intermediate tables for per-match conversion work. Interrupted runs
 // follow the same partial-result contract as CountsCtx.
-func (r *Runner) MNITablesCtx(ctx context.Context, g *graph.Graph, queries []*pattern.Pattern) ([]*aggr.Table, *RunStats, error) {
+func (r *Runner) MNITablesCtx(ctx context.Context, g graph.Adjacency, queries []*pattern.Pattern) ([]*aggr.Table, *RunStats, error) {
 	rc, ctx := r.startRun(ctx, "mni", len(queries))
 	out, st, err := r.mniRun(ctx, rc, g, queries)
 	r.finishRun(rc, st, err)
@@ -739,7 +822,7 @@ func (r *Runner) MNITablesCtx(ctx context.Context, g *graph.Graph, queries []*pa
 }
 
 // mniRun is the MNITablesCtx body, executed inside the run scope rc.
-func (r *Runner) mniRun(ctx context.Context, rc *obs.RunContext, g *graph.Graph, queries []*pattern.Pattern) ([]*aggr.Table, *RunStats, error) {
+func (r *Runner) mniRun(ctx context.Context, rc *obs.RunContext, g graph.Adjacency, queries []*pattern.Pattern) ([]*aggr.Table, *RunStats, error) {
 	o := rc.Observer()
 	agg := aggr.MNI{}
 	t0 := time.Now()
@@ -860,7 +943,7 @@ type AdmissionEstimate struct {
 // full pipeline re-derives the same selection deterministically when the
 // query is admitted. agg chooses the policy direction exactly as the real
 // pipeline would (aggr.Count for counting, aggr.MNI for FSM support).
-func (r *Runner) EstimateAdmission(ctx context.Context, g *graph.Graph, queries []*pattern.Pattern, agg aggr.Aggregation) (AdmissionEstimate, error) {
+func (r *Runner) EstimateAdmission(ctx context.Context, g graph.Adjacency, queries []*pattern.Pattern, agg aggr.Aggregation) (AdmissionEstimate, error) {
 	sel, err := r.transformCtx(ctx, g, queries, agg)
 	if err != nil {
 		return AdmissionEstimate{}, err
@@ -878,7 +961,7 @@ func (r *Runner) EstimateAdmission(ctx context.Context, g *graph.Graph, queries 
 // over the graph's dense portion, so this is a relative proxy (compare
 // it against MemoryBudget in the same units), rounded up so any nonzero
 // estimate survives truncation.
-func (r *Runner) estimateMatchBytes(g *graph.Graph, sel *Selection) uint64 {
+func (r *Runner) estimateMatchBytes(g graph.Adjacency, sel *Selection) uint64 {
 	model := costmodel.New(graph.Summarize(g), r.weights())
 	total := 0.0
 	for _, c := range sel.Mine {
@@ -901,7 +984,7 @@ func (r *Runner) estimateMatchBytes(g *graph.Graph, sel *Selection) uint64 {
 // identical to the batched Convert — coset representatives composed with
 // Aut(query) enumerate every isomorphism, and MNI insertion is an
 // idempotent union — without ever holding a per-alternative table.
-func (r *Runner) mniOnTheFly(ctx context.Context, o *obs.Observer, g *graph.Graph, sel *Selection, streamTargets [][]StreamTarget, stats *RunStats, queries []*pattern.Pattern) ([]*aggr.Table, *RunStats, error) {
+func (r *Runner) mniOnTheFly(ctx context.Context, o *obs.Observer, g graph.Adjacency, sel *Selection, streamTargets [][]StreamTarget, stats *RunStats, queries []*pattern.Pattern) ([]*aggr.Table, *RunStats, error) {
 	// Worker IDs from any engine stay far below this (see engine.Visitor);
 	// distinct IDs never share a shard, so no locking is needed.
 	const shardCount = 256
@@ -976,11 +1059,11 @@ func statsMatches(st *engine.Stats) uint64 {
 // MineMNITable streams one pattern's matches into a full MNI table using
 // per-worker shards merged at the end (the map-reduce structure of the
 // FSM UDF in Fig. 9).
-func MineMNITable(eng engine.Engine, g *graph.Graph, p *pattern.Pattern) (*aggr.Table, *engine.Stats, error) {
+func MineMNITable(eng engine.Engine, g graph.Adjacency, p *pattern.Pattern) (*aggr.Table, *engine.Stats, error) {
 	return mineMNITableCtx(context.Background(), obs.Or(nil), eng, g, p)
 }
 
-func mineMNITableCtx(ctx context.Context, o *obs.Observer, eng engine.Engine, g *graph.Graph, p *pattern.Pattern) (*aggr.Table, *engine.Stats, error) {
+func mineMNITableCtx(ctx context.Context, o *obs.Observer, eng engine.Engine, g graph.Adjacency, p *pattern.Pattern) (*aggr.Table, *engine.Stats, error) {
 	auts := canon.Automorphisms(p)
 	// Worker IDs from any engine stay far below this (see engine.Visitor);
 	// distinct IDs never share a shard, so no locking is needed.

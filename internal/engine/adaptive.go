@@ -16,7 +16,7 @@ import (
 
 // IntersectNeighbors intersects cur with the adjacency list of u into
 // dst[:0]. cur must be sorted duplicate-free; the result is too.
-func IntersectNeighbors(g *graph.Graph, dst, cur []uint32, u uint32, st *setops.Stats) []uint32 {
+func IntersectNeighbors(g graph.Adjacency, dst, cur []uint32, u uint32, st *setops.Stats) []uint32 {
 	if bits := g.HubBits(u); bits != nil {
 		return setops.IntersectBits(dst, cur, bits, st)
 	}
@@ -25,7 +25,7 @@ func IntersectNeighbors(g *graph.Graph, dst, cur []uint32, u uint32, st *setops.
 
 // DifferenceNeighbors subtracts the adjacency list of u from cur into
 // dst[:0].
-func DifferenceNeighbors(g *graph.Graph, dst, cur []uint32, u uint32, st *setops.Stats) []uint32 {
+func DifferenceNeighbors(g graph.Adjacency, dst, cur []uint32, u uint32, st *setops.Stats) []uint32 {
 	if bits := g.HubBits(u); bits != nil {
 		return setops.DifferenceBits(dst, cur, bits, st)
 	}
@@ -36,7 +36,7 @@ func DifferenceNeighbors(g *graph.Graph, dst, cur []uint32, u uint32, st *setops
 // half-open symmetry window [lo, hi) plus the level's label requirement.
 // ok is false when the level cannot match at all (a labeled pattern vertex
 // against an unlabeled graph), letting callers skip the level outright.
-func LevelFilter(g *graph.Graph, lo, hi uint32, want int32) (f setops.Filter, ok bool) {
+func LevelFilter(g graph.Adjacency, lo, hi uint32, want int32) (f setops.Filter, ok bool) {
 	f = setops.Filter{Lo: lo, Hi: hi}
 	if want != pattern.Unlabeled {
 		ls := g.Labels()
@@ -62,7 +62,7 @@ func LevelFilter(g *graph.Graph, lo, hi uint32, want int32) (f setops.Filter, ok
 // intermediate sets; the (possibly regrown) buffers are returned for
 // reuse. bound may include the conn/disc vertices themselves — adjacency
 // probes exclude them naturally.
-func CountExtensions(g *graph.Graph, conn, disc []uint32, f setops.Filter, bound []uint32, bufA, bufB []uint32, st *setops.Stats) (uint64, []uint32, []uint32) {
+func CountExtensions(g graph.Adjacency, conn, disc []uint32, f setops.Filter, bound []uint32, bufA, bufB []uint32, st *setops.Stats) (uint64, []uint32, []uint32) {
 	base := 0
 	for i := 1; i < len(conn); i++ {
 		if g.Degree(conn[i]) < g.Degree(conn[base]) {

@@ -62,7 +62,7 @@ func (o ExecOptions) ThreadCount() int {
 // an ExecOptions field on purpose: keeping ExecOptions pointer-free keeps
 // its GC shape trivial, which measurably matters to the executor's inner
 // loops (adding a pointer field cost ~6% on motif counting).
-func Backtrack(g *graph.Graph, pl *plan.Plan, visit Visitor, opts ExecOptions, o *obs.Observer) (uint64, *Stats, error) {
+func Backtrack(g graph.Adjacency, pl *plan.Plan, visit Visitor, opts ExecOptions, o *obs.Observer) (uint64, *Stats, error) {
 	return BacktrackCtx(context.Background(), g, pl, visit, opts, o)
 }
 
@@ -78,7 +78,7 @@ func Backtrack(g *graph.Graph, pl *plan.Plan, visit Visitor, opts ExecOptions, o
 // panic thrown by the visitor is recovered in the owning worker, aborts
 // the sibling workers at their next block claim, and is surfaced as a
 // single *PanicError carrying the stack — the process never crashes.
-func BacktrackCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, visit Visitor, opts ExecOptions, o *obs.Observer) (uint64, *Stats, error) {
+func BacktrackCtx(ctx context.Context, g graph.Adjacency, pl *plan.Plan, visit Visitor, opts ExecOptions, o *obs.Observer) (uint64, *Stats, error) {
 	if pl == nil || pl.Pattern == nil {
 		return 0, nil, fmt.Errorf("engine: nil plan")
 	}
@@ -238,7 +238,8 @@ func BacktrackCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, visit Visi
 
 type btWorker struct {
 	id         int
-	g          *graph.Graph
+	g          graph.Adjacency // per-worker view (see graph.Adjacency)
+	volatile   bool            // rows are scratch-backed; see candidates
 	pl         *plan.Plan
 	visit      Visitor
 	instrument bool
@@ -262,11 +263,12 @@ type btWorker struct {
 	discV    []uint32 // scratch: data vertices behind Disconnect[i]
 }
 
-func newBTWorker(id int, g *graph.Graph, pl *plan.Plan, visit Visitor, instrument bool, maxDeg int) *btWorker {
+func newBTWorker(id int, g graph.Adjacency, pl *plan.Plan, visit Visitor, instrument bool, maxDeg int) *btWorker {
 	k := pl.Pattern.N()
 	w := &btWorker{
 		id:         id,
-		g:          g,
+		g:          g.View(),
+		volatile:   g.VolatileRows(),
 		pl:         pl,
 		visit:      visit,
 		instrument: instrument,
@@ -387,6 +389,13 @@ func (w *btWorker) candidates(i int) []uint32 {
 	}
 	for _, j := range w.pl.Disconnect[i] {
 		cur = DifferenceNeighbors(w.g, out, cur, w.match[j], &w.sst)
+		out, spare = spare, cur
+	}
+	if w.volatile && len(conn) == 1 && len(w.pl.Disconnect[i]) == 0 {
+		// No set operation ran, so cur is still the raw decoded row — but
+		// the caller retains it across the whole level-i loop, far beyond
+		// the view's row lifetime. Pin it into the worker's scratch.
+		cur = append(out[:0], cur...)
 		out, spare = spare, cur
 	}
 	w.bufA[i], w.bufB[i] = out, spare

@@ -94,9 +94,9 @@ func Interrupted(err error) bool {
 // CountAllCtx / MatchCtx helpers to dispatch against any Engine.
 type CtxEngine interface {
 	Engine
-	CountCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern) (uint64, *Stats, error)
-	CountAllCtx(ctx context.Context, g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *Stats, error)
-	MatchCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern, visit Visitor) (*Stats, error)
+	CountCtx(ctx context.Context, g graph.Adjacency, p *pattern.Pattern) (uint64, *Stats, error)
+	CountAllCtx(ctx context.Context, g graph.Adjacency, ps []*pattern.Pattern) ([]uint64, *Stats, error)
+	MatchCtx(ctx context.Context, g graph.Adjacency, p *pattern.Pattern, visit Visitor) (*Stats, error)
 }
 
 // CountCtx runs e.Count under ctx when e implements CtxEngine. For plain
@@ -104,7 +104,7 @@ type CtxEngine interface {
 // after the (uninterruptible) run, so a pre-expired context never starts
 // work and an expiry during the run is still reported — just without
 // mid-run cancellation.
-func CountCtx(ctx context.Context, e Engine, g *graph.Graph, p *pattern.Pattern) (uint64, *Stats, error) {
+func CountCtx(ctx context.Context, e Engine, g graph.Adjacency, p *pattern.Pattern) (uint64, *Stats, error) {
 	if ce, ok := e.(CtxEngine); ok {
 		return ce.CountCtx(ctx, g, p)
 	}
@@ -120,7 +120,7 @@ func CountCtx(ctx context.Context, e Engine, g *graph.Graph, p *pattern.Pattern)
 
 // CountAllCtx runs e.CountAll under ctx; see CountCtx for the plain
 // Engine fallback semantics.
-func CountAllCtx(ctx context.Context, e Engine, g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *Stats, error) {
+func CountAllCtx(ctx context.Context, e Engine, g graph.Adjacency, ps []*pattern.Pattern) ([]uint64, *Stats, error) {
 	if ce, ok := e.(CtxEngine); ok {
 		return ce.CountAllCtx(ctx, g, ps)
 	}
@@ -136,7 +136,7 @@ func CountAllCtx(ctx context.Context, e Engine, g *graph.Graph, ps []*pattern.Pa
 
 // MatchCtx runs e.Match under ctx; see CountCtx for the plain Engine
 // fallback semantics.
-func MatchCtx(ctx context.Context, e Engine, g *graph.Graph, p *pattern.Pattern, visit Visitor) (*Stats, error) {
+func MatchCtx(ctx context.Context, e Engine, g graph.Adjacency, p *pattern.Pattern, visit Visitor) (*Stats, error) {
 	if ce, ok := e.(CtxEngine); ok {
 		return ce.MatchCtx(ctx, g, p, visit)
 	}

@@ -41,12 +41,12 @@ type Engine interface {
 	// UDFs or Subgraph Morphing for those queries.
 	SupportsInduced(iv pattern.Induced) bool
 	// Count returns the number of unique matches of p in g.
-	Count(g *graph.Graph, p *pattern.Pattern) (uint64, *Stats, error)
+	Count(g graph.Adjacency, p *pattern.Pattern) (uint64, *Stats, error)
 	// CountAll counts several patterns, letting engines share work across
 	// them (AutoZero merges schedules).
-	CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *Stats, error)
+	CountAll(g graph.Adjacency, ps []*pattern.Pattern) ([]uint64, *Stats, error)
 	// Match streams every unique match of p to visit.
-	Match(g *graph.Graph, p *pattern.Pattern, visit Visitor) (*Stats, error)
+	Match(g graph.Adjacency, p *pattern.Pattern, visit Visitor) (*Stats, error)
 }
 
 // Stats instruments one engine execution. The counters mirror the

@@ -35,7 +35,7 @@ type Planner interface {
 	Engine
 	// PlanPattern builds the exploration plan the engine would execute
 	// for p on g (g matters to engines that pick orders by cost model).
-	PlanPattern(g *graph.Graph, p *pattern.Pattern) (*plan.Plan, error)
+	PlanPattern(g graph.Adjacency, p *pattern.Pattern) (*plan.Plan, error)
 	// ExecConfig returns the engine's executor options and observer.
 	ExecConfig() (ExecOptions, *obs.Observer)
 }
@@ -43,7 +43,7 @@ type Planner interface {
 // BuildTrie merges the engine's plans for ps into a prefix trie, without
 // executing anything — callers inspect the trie's sharing statistics to
 // decide between one-pass and per-pattern execution.
-func BuildTrie(e Planner, g *graph.Graph, ps []*pattern.Pattern) (*plan.Trie, error) {
+func BuildTrie(e Planner, g graph.Adjacency, ps []*pattern.Pattern) (*plan.Trie, error) {
 	plans := make([]*plan.Plan, len(ps))
 	for i, p := range ps {
 		pl, err := e.PlanPattern(g, p)
@@ -59,7 +59,7 @@ func BuildTrie(e Planner, g *graph.Graph, ps []*pattern.Pattern) (*plan.Trie, er
 // returning one count per plan (in tr.Plans order). Counting only — the
 // trie path exists for CountAll-style workloads; streaming visitors and
 // MatchLimit stay on the per-pattern executor.
-func BacktrackTrie(g *graph.Graph, tr *plan.Trie, opts ExecOptions, o *obs.Observer) ([]uint64, *Stats, error) {
+func BacktrackTrie(g graph.Adjacency, tr *plan.Trie, opts ExecOptions, o *obs.Observer) ([]uint64, *Stats, error) {
 	return BacktrackTrieCtx(context.Background(), g, tr, opts, o)
 }
 
@@ -68,7 +68,7 @@ func BacktrackTrie(g *graph.Graph, tr *plan.Trie, opts ExecOptions, o *obs.Obser
 // an interrupted pass returns partial counts for every pattern
 // simultaneously, each reflecting the vertex blocks completed before the
 // abort took effect.
-func BacktrackTrieCtx(ctx context.Context, g *graph.Graph, tr *plan.Trie, opts ExecOptions, o *obs.Observer) ([]uint64, *Stats, error) {
+func BacktrackTrieCtx(ctx context.Context, g graph.Adjacency, tr *plan.Trie, opts ExecOptions, o *obs.Observer) ([]uint64, *Stats, error) {
 	if tr == nil || len(tr.Plans) == 0 {
 		return nil, nil, fmt.Errorf("engine: nil or empty plan trie")
 	}
@@ -295,7 +295,8 @@ func subsetExtra(parent, child []int) (bool, []int) {
 // can show where sharing paid off.
 type trieWorker struct {
 	id         int
-	g          *graph.Graph
+	g          graph.Adjacency // per-worker view (see graph.Adjacency)
+	volatile   bool            // rows are scratch-backed; see candidates
 	tr         *plan.Trie
 	info       []trieExecInfo
 	instrument bool
@@ -334,11 +335,12 @@ func (w *trieWorker) total() uint64 {
 	return t
 }
 
-func newTrieWorker(id int, g *graph.Graph, tr *plan.Trie, info []trieExecInfo, instrument bool, maxDeg int) *trieWorker {
+func newTrieWorker(id int, g graph.Adjacency, tr *plan.Trie, info []trieExecInfo, instrument bool, maxDeg int) *trieWorker {
 	d := tr.MaxDepth
 	w := &trieWorker{
 		id:         id,
-		g:          g,
+		g:          g.View(),
+		volatile:   g.VolatileRows(),
 		tr:         tr,
 		info:       info,
 		instrument: instrument,
@@ -708,6 +710,14 @@ func (w *trieWorker) candidates(node *plan.TrieNode, depth int) []uint32 {
 	}
 	for _, j := range node.Disconnect {
 		cur = DifferenceNeighbors(w.g, out, cur, w.match[j], &w.sst)
+		out, spare = spare, cur
+	}
+	if w.volatile && len(node.Connect) == 1 && len(node.Disconnect) == 0 {
+		// No set operation ran, so cur is still the raw decoded row — but
+		// callers retain it through the whole subtree recursion (exec
+		// stores it in w.raw[depth]), far beyond the view's row lifetime.
+		// Pin it into the worker's per-depth scratch.
+		cur = append(out[:0], cur...)
 		out, spare = spare, cur
 	}
 	w.bufA[depth], w.bufB[depth] = out, spare

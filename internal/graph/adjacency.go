@@ -1,0 +1,86 @@
+package graph
+
+// Adjacency is the read-side contract every matching engine consumes: a
+// sorted-CSR view of an immutable undirected simple graph. Two storage
+// tiers implement it — the in-RAM *Graph and the delta-varint
+// *CompressedGraph (heap- or mmap-backed) — so the engines, the runner
+// and the serving layer are storage-agnostic.
+//
+// Row lifetime contract: Neighbors returns the sorted adjacency row of a
+// vertex. On a plain *Graph the row aliases immutable CSR storage and is
+// valid forever. On a volatile implementation (VolatileRows() == true,
+// i.e. anything decoding into scratch) a returned row is only guaranteed
+// valid until the NEXT-but-one Neighbors call on the same handle; a
+// caller that needs a row to survive further Neighbors (or recursion)
+// must copy it into memory it owns. HasEdge never invalidates rows — it
+// decodes through a dedicated probe buffer.
+//
+// Concurrency contract: the handle returned by View is NOT safe for
+// concurrent use; each worker goroutine must obtain its own view. The
+// underlying graph (the receiver View was called on) is immutable and
+// safe to share. A plain *Graph returns itself from View — its rows are
+// not scratch-backed, so sharing is free.
+type Adjacency interface {
+	// NumVertices returns the number of vertices (IDs dense in [0, n)).
+	NumVertices() int
+	// NumEdges returns the number of undirected edges.
+	NumEdges() uint64
+	// Degree returns the degree of v in O(1).
+	Degree(v uint32) int
+	// MaxDegree returns the maximum vertex degree (engines size their
+	// scratch buffers from it, so it must not require a full decode).
+	MaxDegree() int
+	// Neighbors returns the sorted, duplicate-free adjacency row of v.
+	// See the row lifetime contract above.
+	Neighbors(v uint32) []uint32
+	// HasEdge reports whether {u,v} is an edge. It never invalidates a
+	// row previously returned by Neighbors on the same handle.
+	HasEdge(u, v uint32) bool
+	// Labeled reports whether the graph carries vertex labels.
+	Labeled() bool
+	// Label returns the label of v, or -1 for unlabeled graphs.
+	Label(v uint32) int32
+	// Labels exposes the per-vertex label slice (nil when unlabeled) so
+	// kernels can fuse label filters into set operations.
+	Labels() []int32
+	// NumLabels returns the number of distinct labels (0 when unlabeled).
+	NumLabels() int
+	// HubBits returns the bitmap adjacency row of v when v is an indexed
+	// hub, nil otherwise (see Graph.EnableHubIndex). Implementations
+	// without a hub index return nil for every vertex.
+	HubBits(v uint32) []uint64
+	// View returns a handle for one worker goroutine. Plain graphs
+	// return themselves; decoding tiers return a private-scratch decoder.
+	View() Adjacency
+	// VolatileRows reports whether Neighbors rows are scratch-backed and
+	// subject to the row lifetime contract. Engines use it to decide
+	// whether a retained candidate set must be copied.
+	VolatileRows() bool
+}
+
+// Compile-time interface checks for every storage tier.
+var (
+	_ Adjacency = (*Graph)(nil)
+	_ Adjacency = (*CompressedGraph)(nil)
+	_ Adjacency = (*compressedView)(nil)
+)
+
+// View returns g itself: plain CSR rows alias immutable storage, so one
+// handle is safe to share across workers.
+func (g *Graph) View() Adjacency { return g }
+
+// VolatileRows reports false: plain CSR rows are valid forever.
+func (g *Graph) VolatileRows() bool { return false }
+
+// OrigIDs returns the stored vertex permutation mapping the current
+// (possibly renumbered) vertex IDs back to the IDs the graph was built
+// with, or nil when the graph was never renumbered. orig[new] = old.
+func (g *Graph) OrigIDs() []uint32 { return g.orig }
+
+// SetOrigIDs attaches a renumbering permutation (orig[new] = old) so
+// results can be mapped back to pre-renumbering vertex IDs. The slice is
+// retained; len must equal NumVertices.
+func (g *Graph) SetOrigIDs(orig []uint32) { g.orig = orig }
+
+// Summary and partitioning helpers that historically took *Graph accept
+// any Adjacency; see summary.go and partition.go.

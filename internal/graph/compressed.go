@@ -1,0 +1,516 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Delta-varint block-compressed CSR: the out-of-core storage tier.
+//
+// Each vertex's sorted adjacency row is chopped into blocks of BlockSize
+// elements. A block is self-contained: its first element as an absolute
+// uvarint, then the successive gaps (always >= 1 on a strict-ascending
+// row) as uvarints. Alongside the byte stream sit flat index arrays —
+// per-vertex degrees and byte offsets, and a per-block (first element,
+// relative byte offset) index — so a row decodes in O(row) and an edge
+// probe decodes exactly one block after a binary search over block first
+// elements. Every array is flat and fixed-width, which is what lets the
+// v2 binary format mmap the whole structure and page it in on demand.
+//
+// On degree-renumbered power-law graphs the gaps between neighbors are
+// small, so rows compress to roughly 1-2 bytes per directed edge versus
+// the plain CSR's fixed 4.
+
+// DefaultBlockSize is the adjacency block length used when a caller
+// passes blockSize <= 0: large enough that the per-block index costs
+// under 0.07 bytes/edge, small enough that an edge probe decodes a
+// cache-resident run.
+const DefaultBlockSize = 128
+
+// maxBlockSize bounds the per-vertex relative byte offsets to uint32.
+const maxBlockSize = 1 << 16
+
+// CompressedGraph is the compressed tier. It implements Adjacency; the
+// shared object's Neighbors allocates per call, so hot paths must take a
+// per-worker View (a *compressedView decoding into reusable scratch).
+type CompressedGraph struct {
+	nv        int
+	ne        uint64
+	maxDeg    int
+	blockSize int
+
+	degs       []uint32 // per-vertex degree
+	encOff     []uint64 // per-vertex byte offset into stream, nv+1 entries
+	blockOff   []uint64 // per-vertex first block index, nv+1 entries
+	blockFirst []uint32 // per-block first element
+	blockByte  []uint32 // per-block byte offset relative to the vertex's encOff
+	stream     []byte   // delta-varint encoded adjacency
+
+	labels []int32  // nil when unlabeled
+	orig   []uint32 // renumbering permutation, orig[new] = old (nil if none)
+
+	backing *mapping // non-nil when the arrays alias an mmap'd file
+
+	probePool sync.Pool // block-decode buffers for the shared HasEdge
+}
+
+// Compress encodes g into the compressed tier. blockSize <= 0 selects
+// DefaultBlockSize. The input graph is not retained.
+func Compress(g *Graph, blockSize int) (*CompressedGraph, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if blockSize > maxBlockSize {
+		return nil, fmt.Errorf("graph: block size %d exceeds max %d", blockSize, maxBlockSize)
+	}
+	n := g.NumVertices()
+	c := &CompressedGraph{
+		nv:        n,
+		ne:        g.NumEdges(),
+		maxDeg:    g.MaxDegree(),
+		blockSize: blockSize,
+		degs:      make([]uint32, n),
+		encOff:    make([]uint64, n+1),
+		blockOff:  make([]uint64, n+1),
+		labels:    g.labels,
+		orig:      g.orig,
+	}
+	var nb uint64
+	for v := 0; v < n; v++ {
+		d := g.Degree(uint32(v))
+		c.degs[v] = uint32(d)
+		nb += uint64((d + blockSize - 1) / blockSize)
+	}
+	c.blockFirst = make([]uint32, 0, nb)
+	c.blockByte = make([]uint32, 0, nb)
+	var buf [binary.MaxVarintLen32]byte
+	stream := make([]byte, 0, 2*c.ne) // optimistic ~1 byte per directed edge
+	for v := 0; v < n; v++ {
+		c.encOff[v] = uint64(len(stream))
+		c.blockOff[v] = uint64(len(c.blockFirst))
+		row := g.Neighbors(uint32(v))
+		vertexBase := len(stream)
+		for b := 0; b < len(row); b += blockSize {
+			end := b + blockSize
+			if end > len(row) {
+				end = len(row)
+			}
+			blk := row[b:end]
+			rel := len(stream) - vertexBase
+			if rel > int(^uint32(0)) {
+				return nil, fmt.Errorf("graph: vertex %d row encoding exceeds 4GiB", v)
+			}
+			c.blockFirst = append(c.blockFirst, blk[0])
+			c.blockByte = append(c.blockByte, uint32(rel))
+			k := binary.PutUvarint(buf[:], uint64(blk[0]))
+			stream = append(stream, buf[:k]...)
+			prev := blk[0]
+			for _, x := range blk[1:] {
+				k = binary.PutUvarint(buf[:], uint64(x-prev))
+				stream = append(stream, buf[:k]...)
+				prev = x
+			}
+		}
+	}
+	c.encOff[n] = uint64(len(stream))
+	c.blockOff[n] = uint64(len(c.blockFirst))
+	c.stream = stream
+	return c, nil
+}
+
+// NumVertices returns the number of vertices.
+func (c *CompressedGraph) NumVertices() int { return c.nv }
+
+// NumEdges returns the number of undirected edges.
+func (c *CompressedGraph) NumEdges() uint64 { return c.ne }
+
+// Degree returns the degree of v.
+func (c *CompressedGraph) Degree(v uint32) int { return int(c.degs[v]) }
+
+// MaxDegree returns the maximum vertex degree (precomputed at build).
+func (c *CompressedGraph) MaxDegree() int { return c.maxDeg }
+
+// AvgDegree returns the average vertex degree.
+func (c *CompressedGraph) AvgDegree() float64 {
+	if c.nv == 0 {
+		return 0
+	}
+	return 2 * float64(c.ne) / float64(c.nv)
+}
+
+// BlockSize returns the adjacency block length the graph was encoded with.
+func (c *CompressedGraph) BlockSize() int { return c.blockSize }
+
+// Labeled reports whether the graph carries vertex labels.
+func (c *CompressedGraph) Labeled() bool { return c.labels != nil }
+
+// Label returns the label of v, or -1 for unlabeled graphs.
+func (c *CompressedGraph) Label(v uint32) int32 {
+	if c.labels == nil {
+		return -1
+	}
+	return c.labels[v]
+}
+
+// Labels exposes the per-vertex label slice (nil when unlabeled).
+func (c *CompressedGraph) Labels() []int32 { return c.labels }
+
+// NumLabels returns the number of distinct labels (0 when unlabeled).
+func (c *CompressedGraph) NumLabels() int {
+	if c.labels == nil {
+		return 0
+	}
+	seen := map[int32]struct{}{}
+	for _, l := range c.labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}
+
+// HubBits always returns nil: the compressed tier carries no hub-bitset
+// index (engines fall back to the merge/gallop kernels).
+func (c *CompressedGraph) HubBits(uint32) []uint64 { return nil }
+
+// OrigIDs returns the stored renumbering permutation (orig[new] = old),
+// or nil when the graph was never renumbered.
+func (c *CompressedGraph) OrigIDs() []uint32 { return c.orig }
+
+// VolatileRows reports true: rows are decoded into scratch.
+func (c *CompressedGraph) VolatileRows() bool { return true }
+
+// View returns a per-worker decoder with private scratch. The receiver
+// stays shared and immutable.
+func (c *CompressedGraph) View() Adjacency {
+	return &compressedView{g: c}
+}
+
+// Neighbors decodes the full row of v into a freshly allocated slice.
+// It is correct but allocates per call; hot paths use View.
+func (c *CompressedGraph) Neighbors(v uint32) []uint32 {
+	out := make([]uint32, 0, c.degs[v])
+	return c.decodeRow(v, out)
+}
+
+// decodeRow appends the row of v to out (which must be empty) and
+// returns it. Malformed varints terminate the row early rather than
+// reading out of bounds; Verify rejects such streams up front.
+func (c *CompressedGraph) decodeRow(v uint32, out []uint32) []uint32 {
+	b := c.stream[c.encOff[v]:c.encOff[v+1]]
+	deg := int(c.degs[v])
+	pos := 0
+	for len(out) < deg {
+		// Block head: absolute first element.
+		x, n := binary.Uvarint(b[pos:])
+		if n <= 0 {
+			break
+		}
+		pos += n
+		cur := uint32(x)
+		out = append(out, cur)
+		// Block body: gaps.
+		end := len(out) - 1 + c.blockSize
+		if end > deg {
+			end = deg
+		}
+		for len(out) < end {
+			d, n := binary.Uvarint(b[pos:])
+			if n <= 0 {
+				return out
+			}
+			pos += n
+			cur += uint32(d)
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// decodeBlock appends one block (index bi, global) of vertex v to out.
+func (c *CompressedGraph) decodeBlock(v uint32, bi uint64, out []uint32) []uint32 {
+	start := c.encOff[v] + uint64(c.blockByte[bi])
+	b := c.stream[start:c.encOff[v+1]]
+	// Elements in this block: blockSize except possibly the last block.
+	local := bi - c.blockOff[v]
+	remain := int(c.degs[v]) - int(local)*c.blockSize
+	count := c.blockSize
+	if remain < count {
+		count = remain
+	}
+	pos := 0
+	x, n := binary.Uvarint(b[pos:])
+	if n <= 0 {
+		return out
+	}
+	pos += n
+	cur := uint32(x)
+	out = append(out, cur)
+	for len(out) < count {
+		d, n := binary.Uvarint(b[pos:])
+		if n <= 0 {
+			return out
+		}
+		pos += n
+		cur += uint32(d)
+		out = append(out, cur)
+	}
+	return out
+}
+
+// hasEdgeInto probes {u,v} decoding at most one block of the smaller-
+// degree endpoint into buf (returned regrown for reuse).
+func (c *CompressedGraph) hasEdgeInto(u, v uint32, buf []uint32) (bool, []uint32) {
+	if c.degs[u] > c.degs[v] {
+		u, v = v, u
+	}
+	lo, hi := c.blockOff[u], c.blockOff[u+1]
+	if lo == hi {
+		return false, buf
+	}
+	// Last block whose first element is <= v.
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.blockFirst[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == c.blockOff[u] {
+		return false, buf // v precedes the first element of the row
+	}
+	bi := lo - 1
+	buf = c.decodeBlock(u, bi, buf[:0])
+	countDecode(1, 1, uint64(len(buf)))
+	a := buf
+	i, j := 0, len(a)
+	for i < j {
+		mid := (i + j) / 2
+		if a[mid] < v {
+			i = mid + 1
+		} else {
+			j = mid
+		}
+	}
+	return i < len(a) && a[i] == v, buf
+}
+
+// HasEdge reports whether {u,v} is an edge. The shared-object form takes
+// a pooled probe buffer; views use their private one.
+func (c *CompressedGraph) HasEdge(u, v uint32) bool {
+	bufp, _ := c.probePool.Get().(*[]uint32)
+	if bufp == nil {
+		b := make([]uint32, 0, c.blockSize)
+		bufp = &b
+	}
+	ok, b := c.hasEdgeInto(u, v, *bufp)
+	*bufp = b
+	c.probePool.Put(bufp)
+	return ok
+}
+
+// Close releases the mmap backing, if any. After Close the graph must
+// not be used. Heap-backed graphs return nil immediately.
+func (c *CompressedGraph) Close() error {
+	if c.backing == nil {
+		return nil
+	}
+	m := c.backing
+	c.backing = nil
+	return m.close()
+}
+
+// Verify fully decodes the graph and checks every CSR invariant the
+// kernels rely on: index consistency, strictly ascending rows, no self
+// loops, in-range neighbors, symmetric adjacency and the edge count.
+// O(E log d); used by converters and tests, not hot paths.
+func (c *CompressedGraph) Verify() error {
+	n := c.nv
+	if len(c.encOff) != n+1 || len(c.blockOff) != n+1 || len(c.degs) != n {
+		return fmt.Errorf("graph: compressed index length mismatch")
+	}
+	var dir uint64
+	buf := make([]uint32, 0, c.maxDeg)
+	probe := make([]uint32, 0, c.blockSize)
+	for v := 0; v < n; v++ {
+		if c.encOff[v] > c.encOff[v+1] || c.blockOff[v] > c.blockOff[v+1] {
+			return fmt.Errorf("graph: descending offsets at vertex %d", v)
+		}
+		wantBlocks := (uint64(c.degs[v]) + uint64(c.blockSize) - 1) / uint64(c.blockSize)
+		if c.blockOff[v+1]-c.blockOff[v] != wantBlocks {
+			return fmt.Errorf("graph: vertex %d has %d blocks, want %d", v, c.blockOff[v+1]-c.blockOff[v], wantBlocks)
+		}
+		row := c.decodeRow(uint32(v), buf[:0])
+		buf = row
+		if len(row) != int(c.degs[v]) {
+			return fmt.Errorf("graph: vertex %d row decodes to %d of %d elements (truncated stream)", v, len(row), c.degs[v])
+		}
+		for i, u := range row {
+			if int(u) >= n {
+				return fmt.Errorf("graph: vertex %d lists out-of-range neighbor %d", v, u)
+			}
+			if u == uint32(v) {
+				return fmt.Errorf("graph: self loop on vertex %d", v)
+			}
+			if i > 0 && row[i-1] >= u {
+				return fmt.Errorf("graph: adjacency of %d not strictly ascending at index %d", v, i)
+			}
+			bi := c.blockOff[v] + uint64(i/c.blockSize)
+			if i%c.blockSize == 0 && c.blockFirst[bi] != u {
+				return fmt.Errorf("graph: block index first mismatch at vertex %d block %d", v, i/c.blockSize)
+			}
+			var ok bool
+			ok, probe = c.hasEdgeInto(u, uint32(v), probe)
+			if !ok {
+				return fmt.Errorf("graph: asymmetric edge: %d lists %d but not vice versa", v, u)
+			}
+		}
+		dir += uint64(len(row))
+	}
+	if dir != 2*c.ne {
+		return fmt.Errorf("graph: %d directed entries for %d undirected edges", dir, c.ne)
+	}
+	return nil
+}
+
+// Footprint describes the compressed tier's storage economics.
+type Footprint struct {
+	StreamBytes   uint64  // encoded adjacency bytes
+	IndexBytes    uint64  // flat index arrays (degrees, offsets, block index)
+	LabelBytes    uint64  // label section
+	BytesPerEdge  float64 // (stream+index) bytes per directed edge
+	Blocks        uint64  // total adjacency blocks
+	MaxBlockBytes int     // largest single encoded block
+}
+
+// Footprint computes the storage summary reported by converters and the
+// scale benchmark.
+func (c *CompressedGraph) Footprint() Footprint {
+	f := Footprint{
+		StreamBytes: uint64(len(c.stream)),
+		IndexBytes: uint64(len(c.degs))*4 + uint64(len(c.encOff))*8 +
+			uint64(len(c.blockOff))*8 + uint64(len(c.blockFirst))*4 + uint64(len(c.blockByte))*4,
+		LabelBytes: uint64(len(c.labels)) * 4,
+		Blocks:     uint64(len(c.blockFirst)),
+	}
+	for v := 0; v < c.nv; v++ {
+		for bi := c.blockOff[v]; bi < c.blockOff[v+1]; bi++ {
+			var end uint64
+			if bi+1 < c.blockOff[v+1] {
+				end = c.encOff[v] + uint64(c.blockByte[bi+1])
+			} else {
+				end = c.encOff[v+1]
+			}
+			if sz := int(end - (c.encOff[v] + uint64(c.blockByte[bi]))); sz > f.MaxBlockBytes {
+				f.MaxBlockBytes = sz
+			}
+		}
+	}
+	if dir := 2 * c.ne; dir > 0 {
+		f.BytesPerEdge = float64(f.StreamBytes+f.IndexBytes) / float64(dir)
+	}
+	return f
+}
+
+// compressedView is the per-worker decode handle: two rotating row
+// buffers (see the Adjacency row lifetime contract) plus a dedicated
+// edge-probe buffer so HasEdge never invalidates a live row.
+type compressedView struct {
+	g     *CompressedGraph
+	rows  [2][]uint32
+	cur   int
+	probe []uint32
+
+	// Local decode counters, flushed to the package totals in batches so
+	// the hot path stays free of shared atomics.
+	pendRows   uint64
+	pendBlocks uint64
+	pendElems  uint64
+}
+
+func (w *compressedView) NumVertices() int        { return w.g.nv }
+func (w *compressedView) NumEdges() uint64        { return w.g.ne }
+func (w *compressedView) Degree(v uint32) int     { return int(w.g.degs[v]) }
+func (w *compressedView) MaxDegree() int          { return w.g.maxDeg }
+func (w *compressedView) Labeled() bool           { return w.g.labels != nil }
+func (w *compressedView) Label(v uint32) int32    { return w.g.Label(v) }
+func (w *compressedView) Labels() []int32         { return w.g.labels }
+func (w *compressedView) NumLabels() int          { return w.g.NumLabels() }
+func (w *compressedView) HubBits(uint32) []uint64 { return nil }
+func (w *compressedView) View() Adjacency         { return w }
+func (w *compressedView) VolatileRows() bool      { return true }
+
+// Neighbors decodes the row of v into the view's next scratch buffer.
+func (w *compressedView) Neighbors(v uint32) []uint32 {
+	buf := w.rows[w.cur]
+	if cap(buf) == 0 {
+		buf = make([]uint32, 0, w.g.maxDeg+1)
+	}
+	w.cur ^= 1
+	row := w.g.decodeRow(v, buf[:0])
+	w.rows[w.cur^1] = row
+	deg := uint64(len(row))
+	w.pendRows++
+	w.pendBlocks += (deg + uint64(w.g.blockSize) - 1) / uint64(w.g.blockSize)
+	w.pendElems += deg
+	if w.pendRows >= 512 {
+		w.flush()
+	}
+	return row
+}
+
+// HasEdge probes {u,v} through the view's private block buffer.
+func (w *compressedView) HasEdge(u, v uint32) bool {
+	if cap(w.probe) == 0 {
+		w.probe = make([]uint32, 0, w.g.blockSize)
+	}
+	ok, buf := w.g.hasEdgeInto(u, v, w.probe)
+	w.probe = buf
+	return ok
+}
+
+func (w *compressedView) flush() {
+	countDecode(w.pendRows, w.pendBlocks, w.pendElems)
+	w.pendRows, w.pendBlocks, w.pendElems = 0, 0, 0
+}
+
+// DecodeStats are the package-wide decompression counters: how many rows
+// and blocks were decoded and how many elements they expanded to. They
+// quantify the decode overhead the compressed tier pays per query.
+type DecodeStats struct {
+	Rows   uint64 `json:"rows"`
+	Blocks uint64 `json:"blocks"`
+	Elems  uint64 `json:"elems"`
+}
+
+// Striped to keep concurrent flushes from serializing on one cache line.
+const decodeStripes = 8
+
+type decodeStripe struct {
+	rows, blocks, elems atomic.Uint64
+	_                   [5]uint64 // pad to a cache line
+}
+
+var decodeTotals [decodeStripes]decodeStripe
+var decodeStripePick atomic.Uint32
+
+func countDecode(rows, blocks, elems uint64) {
+	s := &decodeTotals[decodeStripePick.Add(1)%decodeStripes]
+	s.rows.Add(rows)
+	s.blocks.Add(blocks)
+	s.elems.Add(elems)
+}
+
+// DecodeTotals returns the cumulative process-wide decode counters.
+// Per-view batches flush every 512 rows, so totals can trail the true
+// count by a bounded residue while views are mid-flight.
+func DecodeTotals() DecodeStats {
+	var out DecodeStats
+	for i := range decodeTotals {
+		out.Rows += decodeTotals[i].rows.Load()
+		out.Blocks += decodeTotals[i].blocks.Load()
+		out.Elems += decodeTotals[i].elems.Load()
+	}
+	return out
+}

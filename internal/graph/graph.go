@@ -7,7 +7,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Graph is an immutable undirected simple graph in CSR form. Adjacency
@@ -16,7 +16,8 @@ import (
 type Graph struct {
 	offsets []uint64
 	adj     []uint32
-	labels  []int32 // nil when the graph is unlabeled
+	labels  []int32  // nil when the graph is unlabeled
+	orig    []uint32 // renumbering permutation, orig[new] = old (nil if none)
 	nEdges  uint64
 	hub     *hubIndex // optional hub-bitset index (see EnableHubIndex)
 }
@@ -200,15 +201,27 @@ func (b *Builder) Build() (*Graph, error) {
 		adj[offsets[v]+fill[v]] = u
 		fill[v]++
 	}
-	// Sort each adjacency list and collapse duplicates in place.
 	g := &Graph{labels: b.labels}
-	newOffsets := make([]uint64, b.n+1)
+	g.offsets, g.adj, g.nEdges = sortCompactCSR(b.n, offsets, adj)
+	return g, nil
+}
+
+// sortCompactCSR sorts each row of a freshly filled CSR arena and
+// collapses duplicate entries in place: slices.Sort on the row
+// sub-slice (no per-vertex copy, no reflection-based comparator), then
+// a compaction write cursor that reuses `offsets` as the final offset
+// array. offsets[v+1] is read before offsets[v] is overwritten, and the
+// write cursor never passes the read cursor, so reuse is safe. Peak
+// memory stays at one adjacency arena regardless of |E|.
+func sortCompactCSR(n int, offsets []uint64, adj []uint32) ([]uint64, []uint32, uint64) {
 	w := uint64(0)
-	for v := 0; v < b.n; v++ {
-		lo, hi := offsets[v], offsets[v+1]
+	prevEnd := uint64(0)
+	for v := 0; v < n; v++ {
+		lo, hi := prevEnd, offsets[v+1]
+		prevEnd = hi
 		row := adj[lo:hi]
-		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
-		newOffsets[v] = w
+		slices.Sort(row)
+		offsets[v] = w
 		var prev uint32
 		first := true
 		for _, x := range row {
@@ -220,11 +233,8 @@ func (b *Builder) Build() (*Graph, error) {
 			}
 		}
 	}
-	newOffsets[b.n] = w
-	g.offsets = newOffsets
-	g.adj = adj[:w]
-	g.nEdges = w / 2
-	return g, nil
+	offsets[n] = w
+	return offsets, adj[:w], w / 2
 }
 
 // FromEdges is a convenience constructor from an edge slice.
@@ -254,6 +264,14 @@ func MustFromEdges(n int, edges [][2]uint32, labels []int32) *Graph {
 // with an endpoint outside the set), with vertices renumbered densely in
 // the order given. Labels are carried over.
 func (g *Graph) Subgraph(members []uint32) (*Graph, error) {
+	return SubgraphOf(g, members)
+}
+
+// SubgraphOf is Subgraph over any storage tier; the result is always a
+// plain in-RAM graph. Rows are consumed one at a time through a private
+// view, so volatile implementations are safe.
+func SubgraphOf(a Adjacency, members []uint32) (*Graph, error) {
+	g := a.View()
 	remap := make(map[uint32]uint32, len(members))
 	for i, v := range members {
 		if int(v) >= g.NumVertices() {
@@ -273,10 +291,10 @@ func (g *Graph) Subgraph(members []uint32) (*Graph, error) {
 			}
 		}
 	}
-	if g.labels != nil {
+	if g.Labeled() {
 		labels := make([]int32, len(members))
 		for i, v := range members {
-			labels[i] = g.labels[v]
+			labels[i] = g.Label(v)
 		}
 		b.SetLabels(labels)
 	}

@@ -1,0 +1,22 @@
+//go:build !unix
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported is false here: platforms without a memory-map syscall
+// surface load version-2 files through the heap path in Open.
+const mmapSupported = false
+
+type mapping struct{}
+
+func mapFile(*os.File, int64) (*mapping, error) {
+	return nil, errors.New("graph: mmap not supported on this platform")
+}
+
+func mappingBytes(*mapping) []byte { return nil }
+
+func (m *mapping) close() error { return nil }

@@ -1,0 +1,39 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy load path; non-unix builds compile
+// the stub in mmap_stub.go and always fall back to heap loading.
+const mmapSupported = true
+
+// mapping is a read-only memory mapping of a graph file.
+type mapping struct {
+	data []byte
+}
+
+func mapFile(f *os.File, size int64) (*mapping, error) {
+	if size <= 0 {
+		return nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &mapping{data: data}, nil
+}
+
+func mappingBytes(m *mapping) []byte { return m.data }
+
+func (m *mapping) close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}

@@ -57,3 +57,24 @@ func SortByDegree(g *Graph) (*Graph, []uint32) {
 	}
 	return out, remap
 }
+
+// RenumberByDegree is SortByDegree with the permutation attached to the
+// result: out.OrigIDs()[new] recovers the ID the vertex carried in the
+// graph g was originally built from, composing with any permutation
+// already stored on g (renumbering twice still maps back in one hop).
+// Converters apply it before delta-varint encoding — ascending-degree
+// IDs both tighten the gaps (smaller varints) and put the hubs where
+// the engines' symmetry-breaking windows cut hardest.
+func RenumberByDegree(g *Graph) *Graph {
+	out, remap := SortByDegree(g)
+	orig := make([]uint32, len(remap))
+	for old, newID := range remap {
+		if g.orig != nil {
+			orig[newID] = g.orig[old]
+		} else {
+			orig[newID] = uint32(old)
+		}
+	}
+	out.orig = orig
+	return out
+}

@@ -10,6 +10,41 @@ import "fmt"
 // the edge cut stays modest; §7.4 only relies on the drop, not on METIS's
 // cut optimality (see DESIGN.md).
 func Partition(g *Graph, k int) ([]*Graph, error) {
+	return PartitionOf(g, k)
+}
+
+// PartitionOf is Partition over any storage tier. Partitions come back
+// as plain in-RAM subgraphs regardless of the input tier: each shard is
+// a fraction of the graph (that is the point of shard-per-partition
+// execution), so materializing it plain keeps the mining hot path on
+// the zero-decode representation. BFS growth consumes rows one at a
+// time, so volatile implementations are safe; seed and visit order
+// depend only on Neighbors content, making partitions identical across
+// tiers for the same logical graph.
+func PartitionOf(a Adjacency, k int) ([]*Graph, error) {
+	parts, err := PartitionMembers(a, k)
+	if err != nil {
+		return nil, err
+	}
+	g := a.View()
+	out := make([]*Graph, 0, k)
+	for _, members := range parts {
+		sub, err := SubgraphOf(g, members)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub)
+	}
+	return out, nil
+}
+
+// PartitionMembers runs the BFS-grown assignment of PartitionOf but
+// returns only the member lists, letting callers materialize one shard
+// at a time (shard-per-partition execution keeps peak memory at the
+// source tier plus a single shard, not all k at once). Empty partitions
+// are omitted.
+func PartitionMembers(a Adjacency, k int) ([][]uint32, error) {
+	g := a.View()
 	n := g.NumVertices()
 	if k < 1 {
 		return nil, fmt.Errorf("graph: partition count %d < 1", k)
@@ -61,16 +96,12 @@ func Partition(g *Graph, k int) ([]*Graph, error) {
 			assigned[v] = int32(pi)
 		}
 	}
-	out := make([]*Graph, 0, k)
+	out := make([][]uint32, 0, k)
 	for _, members := range parts {
 		if len(members) == 0 {
 			continue
 		}
-		sub, err := g.Subgraph(members)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, sub)
+		out = append(out, members)
 	}
 	return out, nil
 }

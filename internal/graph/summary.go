@@ -27,15 +27,21 @@ type Summary struct {
 	LabelFreq map[int32]float64
 }
 
-// Summarize computes a Summary of g.
-func Summarize(g *Graph) Summary {
+// Summarize computes a Summary of any storage tier. Rows are consumed
+// one at a time through a private view, so volatile (scratch-decoded)
+// implementations are safe; on the compressed tier this is a full
+// decode pass, which the runner amortizes by summarizing once per run.
+func Summarize(a Adjacency) Summary {
+	g := a.View()
 	n := g.NumVertices()
 	s := Summary{
 		NumVertices: n,
 		NumEdges:    g.NumEdges(),
-		AvgDegree:   g.AvgDegree(),
 		MaxDegree:   g.MaxDegree(),
 		LabelFreq:   map[int32]float64{},
+	}
+	if n > 0 {
+		s.AvgDegree = 2 * float64(s.NumEdges) / float64(n)
 	}
 	if n == 0 {
 		return s

@@ -36,7 +36,7 @@ type Engine struct {
 	MaxOrders int
 
 	mu   sync.Mutex
-	sums map[*graph.Graph]graph.Summary // per-graph summary cache
+	sums map[graph.Adjacency]graph.Summary // per-graph summary cache
 }
 
 var (
@@ -48,7 +48,7 @@ var (
 // (planFor), so trie execution preserves GraphPi's per-pattern order
 // choices. Vertex-induced non-cliques are rejected exactly like the
 // native matching paths.
-func (e *Engine) PlanPattern(g *graph.Graph, p *pattern.Pattern) (*plan.Plan, error) {
+func (e *Engine) PlanPattern(g graph.Adjacency, p *pattern.Pattern) (*plan.Plan, error) {
 	return e.planFor(g, p)
 }
 
@@ -79,11 +79,11 @@ func (e *Engine) span(ctx context.Context, p *pattern.Pattern) *obs.Span {
 	return obs.FromContext(ctx, e.Obs).StartSpan("mine/"+p.String(), obs.Str("engine", e.Name()))
 }
 
-func (e *Engine) summary(g *graph.Graph) graph.Summary {
+func (e *Engine) summary(g graph.Adjacency) graph.Summary {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.sums == nil {
-		e.sums = make(map[*graph.Graph]graph.Summary)
+		e.sums = make(map[graph.Adjacency]graph.Summary)
 	}
 	s, ok := e.sums[g]
 	if !ok {
@@ -95,7 +95,7 @@ func (e *Engine) summary(g *graph.Graph) graph.Summary {
 
 // planFor selects the matching order by minimizing the performance model
 // over connected orders, GraphPi's core technique.
-func (e *Engine) planFor(g *graph.Graph, p *pattern.Pattern) (*plan.Plan, error) {
+func (e *Engine) planFor(g graph.Adjacency, p *pattern.Pattern) (*plan.Plan, error) {
 	if p.HasExplicitAntiEdges() ||
 		(p.Induced() == pattern.VertexInduced && !p.IsClique()) {
 		return nil, fmt.Errorf("graphpi: %w", engine.ErrInducedUnsupported)
@@ -128,12 +128,12 @@ func (e *Engine) planFor(g *graph.Graph, p *pattern.Pattern) (*plan.Plan, error)
 }
 
 // Count returns the number of unique edge-induced matches of p in g.
-func (e *Engine) Count(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+func (e *Engine) Count(g graph.Adjacency, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	return e.CountCtx(context.Background(), g, p)
 }
 
 // CountCtx implements engine.CtxEngine.
-func (e *Engine) CountCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+func (e *Engine) CountCtx(ctx context.Context, g graph.Adjacency, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	pl, err := e.planFor(g, p)
 	if err != nil {
 		return 0, nil, err
@@ -143,13 +143,13 @@ func (e *Engine) CountCtx(ctx context.Context, g *graph.Graph, p *pattern.Patter
 }
 
 // CountAll counts each pattern independently.
-func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
+func (e *Engine) CountAll(g graph.Adjacency, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
 	return e.CountAllCtx(context.Background(), g, ps)
 }
 
 // CountAllCtx implements engine.CtxEngine. On interruption the returned
 // slice holds the per-pattern partial counts accumulated so far.
-func (e *Engine) CountAllCtx(ctx context.Context, g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
+func (e *Engine) CountAllCtx(ctx context.Context, g graph.Adjacency, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
 	counts := make([]uint64, len(ps))
 	total := &engine.Stats{}
 	for i, p := range ps {
@@ -166,13 +166,13 @@ func (e *Engine) CountAllCtx(ctx context.Context, g *graph.Graph, ps []*pattern.
 }
 
 // Match streams every unique edge-induced match of p to visit.
-func (e *Engine) Match(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
+func (e *Engine) Match(g graph.Adjacency, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
 	return e.MatchCtx(context.Background(), g, p, visit)
 }
 
 // MatchCtx implements engine.CtxEngine: Match with cooperative
 // cancellation and visitor-panic containment.
-func (e *Engine) MatchCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
+func (e *Engine) MatchCtx(ctx context.Context, g graph.Adjacency, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
 	pl, err := e.planFor(g, p)
 	if err != nil {
 		return nil, err
@@ -188,13 +188,13 @@ func (e *Engine) MatchCtx(ctx context.Context, g *graph.Graph, p *pattern.Patter
 // the pattern's non-adjacent vertex pairs, rejecting matches that have
 // any. The probes are the data-dependent branches that dominate baseline
 // time in Fig. 4d and Fig. 14.
-func (e *Engine) CountVertexInducedViaFilter(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+func (e *Engine) CountVertexInducedViaFilter(g graph.Adjacency, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	return e.CountVertexInducedViaFilterCtx(context.Background(), g, p)
 }
 
 // CountVertexInducedViaFilterCtx is CountVertexInducedViaFilter under a
 // context (partial counts on interruption).
-func (e *Engine) CountVertexInducedViaFilterCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+func (e *Engine) CountVertexInducedViaFilterCtx(ctx context.Context, g graph.Adjacency, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	pE := p.AsEdgeInduced()
 	pl, err := e.planFor(g, pE)
 	if err != nil {
@@ -208,14 +208,14 @@ func (e *Engine) CountVertexInducedViaFilterCtx(ctx context.Context, g *graph.Gr
 // CountViaFilter runs an edge-induced plan and counts the matches that
 // survive the extra-edge Filter UDF over nonEdges. Exposed for reuse by
 // the BigJoin model's benchmarks and by tests.
-func CountViaFilter(g *graph.Graph, pl *plan.Plan, nonEdges [][2]int, opts engine.ExecOptions, o *obs.Observer) (uint64, *engine.Stats, error) {
+func CountViaFilter(g graph.Adjacency, pl *plan.Plan, nonEdges [][2]int, opts engine.ExecOptions, o *obs.Observer) (uint64, *engine.Stats, error) {
 	return CountViaFilterCtx(context.Background(), g, pl, nonEdges, opts, o)
 }
 
 // CountViaFilterCtx is CountViaFilter under a context. On interruption
 // the surviving-match count accumulated so far is returned alongside the
 // typed error (the partial-result contract of engine.BacktrackCtx).
-func CountViaFilterCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, nonEdges [][2]int, opts engine.ExecOptions, o *obs.Observer) (uint64, *engine.Stats, error) {
+func CountViaFilterCtx(ctx context.Context, g graph.Adjacency, pl *plan.Plan, nonEdges [][2]int, opts engine.ExecOptions, o *obs.Observer) (uint64, *engine.Stats, error) {
 	threads := opts.Threads
 	if threads <= 0 {
 		threads = 64 // upper bound for shard allocation; executor caps at GOMAXPROCS

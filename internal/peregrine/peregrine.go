@@ -57,7 +57,7 @@ func (e *Engine) span(ctx context.Context, p *pattern.Pattern) *obs.Span {
 
 // PlanPattern implements engine.Planner: Peregrine's pattern analysis is
 // the default degree-greedy plan.
-func (e *Engine) PlanPattern(_ *graph.Graph, p *pattern.Pattern) (*plan.Plan, error) {
+func (e *Engine) PlanPattern(_ graph.Adjacency, p *pattern.Pattern) (*plan.Plan, error) {
 	pl, err := plan.Build(p)
 	if err != nil {
 		return nil, fmt.Errorf("peregrine: %w", err)
@@ -71,13 +71,13 @@ func (e *Engine) ExecConfig() (engine.ExecOptions, *obs.Observer) {
 }
 
 // Count returns the number of unique matches of p in g.
-func (e *Engine) Count(g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+func (e *Engine) Count(g graph.Adjacency, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	return e.CountCtx(context.Background(), g, p)
 }
 
 // CountCtx implements engine.CtxEngine: Count with cooperative
 // cancellation at work-block boundaries (partial counts on interruption).
-func (e *Engine) CountCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern) (uint64, *engine.Stats, error) {
+func (e *Engine) CountCtx(ctx context.Context, g graph.Adjacency, p *pattern.Pattern) (uint64, *engine.Stats, error) {
 	pl, err := plan.Build(p)
 	if err != nil {
 		return 0, nil, fmt.Errorf("peregrine: %w", err)
@@ -89,14 +89,14 @@ func (e *Engine) CountCtx(ctx context.Context, g *graph.Graph, p *pattern.Patter
 // CountAll counts each pattern independently; Peregrine matches patterns
 // one by one (§7.1), which is why extra superpatterns cost it more than
 // AutoZero's merged schedules.
-func (e *Engine) CountAll(g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
+func (e *Engine) CountAll(g graph.Adjacency, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
 	return e.CountAllCtx(context.Background(), g, ps)
 }
 
 // CountAllCtx implements engine.CtxEngine. On interruption the returned
 // slice holds the per-pattern partial counts accumulated so far (zero
 // for patterns not yet started) alongside the typed error.
-func (e *Engine) CountAllCtx(ctx context.Context, g *graph.Graph, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
+func (e *Engine) CountAllCtx(ctx context.Context, g graph.Adjacency, ps []*pattern.Pattern) ([]uint64, *engine.Stats, error) {
 	counts := make([]uint64, len(ps))
 	total := &engine.Stats{}
 	for i, p := range ps {
@@ -113,13 +113,13 @@ func (e *Engine) CountAllCtx(ctx context.Context, g *graph.Graph, ps []*pattern.
 }
 
 // Match streams every unique match of p to visit.
-func (e *Engine) Match(g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
+func (e *Engine) Match(g graph.Adjacency, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
 	return e.MatchCtx(context.Background(), g, p, visit)
 }
 
 // MatchCtx implements engine.CtxEngine: Match with cooperative
 // cancellation and visitor-panic containment.
-func (e *Engine) MatchCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
+func (e *Engine) MatchCtx(ctx context.Context, g graph.Adjacency, p *pattern.Pattern, visit engine.Visitor) (*engine.Stats, error) {
 	pl, err := plan.Build(p)
 	if err != nil {
 		return nil, fmt.Errorf("peregrine: %w", err)
@@ -132,14 +132,14 @@ func (e *Engine) MatchCtx(ctx context.Context, g *graph.Graph, p *pattern.Patter
 // Exists reports whether g contains at least one match of p, terminating
 // exploration as soon as one is found (Peregrine's early-termination
 // feature, §8).
-func (e *Engine) Exists(g *graph.Graph, p *pattern.Pattern) (bool, *engine.Stats, error) {
+func (e *Engine) Exists(g graph.Adjacency, p *pattern.Pattern) (bool, *engine.Stats, error) {
 	n, st, err := e.CountUpTo(g, p, 1)
 	return n > 0, st, err
 }
 
 // ExistsCtx is Exists under a context. On interruption the boolean is
 // only meaningful when true (a match was found before the abort).
-func (e *Engine) ExistsCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern) (bool, *engine.Stats, error) {
+func (e *Engine) ExistsCtx(ctx context.Context, g graph.Adjacency, p *pattern.Pattern) (bool, *engine.Stats, error) {
 	n, st, err := e.CountUpToCtx(ctx, g, p, 1)
 	return n > 0, st, err
 }
@@ -147,14 +147,14 @@ func (e *Engine) ExistsCtx(ctx context.Context, g *graph.Graph, p *pattern.Patte
 // CountUpTo counts matches but stops exploring once at least limit have
 // been found; the returned count may slightly exceed limit (workers
 // finish their current root vertex). limit 0 counts everything.
-func (e *Engine) CountUpTo(g *graph.Graph, p *pattern.Pattern, limit uint64) (uint64, *engine.Stats, error) {
+func (e *Engine) CountUpTo(g graph.Adjacency, p *pattern.Pattern, limit uint64) (uint64, *engine.Stats, error) {
 	return e.CountUpToCtx(context.Background(), g, p, limit)
 }
 
 // CountUpToCtx is CountUpTo under a context: early termination
 // (MatchLimit) and cooperative cancellation compose — whichever fires
 // first stops the run, and only cancellation yields a typed error.
-func (e *Engine) CountUpToCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern, limit uint64) (uint64, *engine.Stats, error) {
+func (e *Engine) CountUpToCtx(ctx context.Context, g graph.Adjacency, p *pattern.Pattern, limit uint64) (uint64, *engine.Stats, error) {
 	pl, err := plan.Build(p)
 	if err != nil {
 		return 0, nil, fmt.Errorf("peregrine: %w", err)

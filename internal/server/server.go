@@ -168,7 +168,7 @@ type Server struct {
 	engines map[string]engine.Engine
 
 	mu        sync.Mutex
-	g         *graph.Graph
+	g         graph.Adjacency
 	epoch     uint64
 	draining  bool
 	queue     chan *task
@@ -191,7 +191,7 @@ type Server struct {
 }
 
 // New builds a server over g and starts its worker pool.
-func New(g *graph.Graph, cfg Config) (*Server, error) {
+func New(g graph.Adjacency, cfg Config) (*Server, error) {
 	cfg = cfg.Defaults()
 	engines := map[string]engine.Engine{
 		"peregrine": &peregrine.Engine{Threads: cfg.Threads},
@@ -230,7 +230,7 @@ func (s *Server) GraphEpoch() uint64 {
 // SetGraph swaps the served graph and bumps the epoch, invalidating
 // every cached result (old epochs can never match again; entries age out
 // of the LRU).
-func (s *Server) SetGraph(g *graph.Graph) {
+func (s *Server) SetGraph(g graph.Adjacency) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.g = g
