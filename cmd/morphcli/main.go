@@ -16,6 +16,7 @@
 //	                                         # edge list -> binary graph
 //	morphcli count -bin g.mcsr -shards 8 triangle
 //	                                         # mmap the file, mine shard by shard
+//	morphcli top -addr http://host:7421      # live morphd dashboard
 //	morphcli explain 4-cycle:v 4-star:v      # plan + calibration report
 //	morphcli explain -dot sdag.dot ...       # Graphviz S-DAG export
 //	morphcli -listen :8080 count ...         # live /metrics, /vars, pprof
@@ -121,6 +122,8 @@ func main() {
 		err = cmdConvert(args)
 	case "query":
 		err = cmdQuery(args)
+	case "top":
+		err = cmdTop(args)
 	case "explain":
 		err = cmdExplain(args, os.Stdout)
 	case "names":
@@ -136,7 +139,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: morphcli [-listen addr] <pattern|equation|sdag|transform|count|convert|query|explain|names> [args]`)
+	fmt.Fprintln(os.Stderr, `usage: morphcli [-listen addr] <pattern|equation|sdag|transform|count|convert|query|top|explain|names> [args]`)
 }
 
 func cmdNames() {

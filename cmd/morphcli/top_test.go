@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"morphing/internal/core"
+	"morphing/internal/obs"
+	"morphing/internal/server"
+)
+
+// fakeMorphd serves canned /healthz, /slo and /timeseries payloads
+// (built from the real wire types) and counts the polls it answers.
+func fakeMorphd(polls *atomic.Int64) http.Handler {
+	pts := func(vs ...float64) []obs.Point {
+		out := make([]obs.Point, len(vs))
+		for i, v := range vs {
+			out[i] = obs.Point{TimeNS: int64(i) * 1e9, Value: v}
+		}
+		return out
+	}
+	health := server.Health{Status: "ok", QueueDepth: 2, InFlight: 1, GraphEpoch: 3, Vertices: 64, Edges: 128}
+	slo := server.SLOStatus{
+		WindowNS:      int64(5 * time.Minute),
+		LatencyGoal:   0.99,
+		ErrorGoal:     0.01,
+		Total:         110,
+		Errors:        1,
+		ErrorBurnRate: 0.9,
+		BurnRate:      1.5,
+		Phases: map[string]server.SLOPhase{
+			"admit": {Count: 110}, "queue": {Count: 110},
+			"mine": {Count: 110, Over: 2, BurnRate: 1.5}, "total": {Count: 110, BurnRate: 1.5},
+		},
+		Tenants: map[string]server.SLOTenant{
+			"alice": {Total: 100, ErrorBurnRate: 0.9},
+			"bob":   {Total: 10, LatencyBurnRate: 2.5},
+		},
+	}
+	series := obs.HistorySnapshot{
+		IntervalNS: 1e9,
+		Samples:    4,
+		Series: map[string][]obs.Point{
+			server.MetricQueries + ":rate":     pts(1, 4, 9, 12.5),
+			server.GaugeQueueDepth:             pts(0, 1, 3, 2),
+			server.MetricCacheHits:             pts(0, 10, 60, 93),
+			server.MetricCacheMisses:           pts(1, 3, 5, 7),
+			core.MetricDecodeElems + ":rate":   pts(0, 1000, 5000, 2500),
+			core.GaugeMmapResident:             pts(0, 4096, 8192, 8192),
+			core.GaugeMmapMapped:               pts(16384, 16384, 16384, 16384),
+			server.MetricPhaseMineNS + ":p95":  pts(1e6, 2e6, 8e6, 4e6),
+			server.MetricPhaseTotalNS + ":p95": pts(2e6, 3e6, 9e6, 5e6),
+			server.MetricPhaseAdmitNS + ":p95": pts(1e3, 1e3, 1e3, 1e3),
+			server.MetricPhaseQueueNS + ":p95": pts(0, 0, 0, 0),
+		},
+	}
+	mux := http.NewServeMux()
+	serve := func(v any) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			json.NewEncoder(w).Encode(v)
+		}
+	}
+	mux.HandleFunc("GET /healthz", serve(health))
+	mux.HandleFunc("GET /slo", serve(slo))
+	mux.HandleFunc("GET /timeseries", func(w http.ResponseWriter, r *http.Request) {
+		polls.Add(1)
+		serve(series)(w, r)
+	})
+	return mux
+}
+
+// TestTopRenderOnce checks the -once frame: every dashboard row is
+// present and carries the values the endpoints served.
+func TestTopRenderOnce(t *testing.T) {
+	var polls atomic.Int64
+	ts := httptest.NewServer(fakeMorphd(&polls))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := runTop(t.Context(), &out, topOptions{Addr: ts.URL, Once: true, Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := out.String()
+	for _, want := range []string{
+		"qps", "12.5", // rate series, last value
+		"queue",
+		"burn rate", "1.50", "BURNING", // headline burn >= 1
+		"cache hit", "93%", // 93 hits / 7 misses
+		"decode", "9.8 KB/s", // 2500 elems/s * 4 bytes
+		"resident", "8.0 KB", "16.0 KB",
+		"mine", "4ms", // p95 last value
+		"alice", "bob",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "\x1b[2J") {
+		t.Error("-once frame must not emit screen-control sequences")
+	}
+	// Sparkline cells present and scaled: the qps series peaks at the
+	// right edge.
+	if !strings.ContainsRune(frame, '█') {
+		t.Errorf("no full sparkline cell in frame:\n%s", frame)
+	}
+	if polls.Load() != 1 {
+		t.Errorf("-once polled %d times, want 1", polls.Load())
+	}
+}
+
+// TestTopPollLoopStops drives the live loop against the fake server and
+// verifies it keeps polling until the context is canceled, then stops
+// without leaking its goroutine (satellite: dashboard leak test).
+func TestTopPollLoopStops(t *testing.T) {
+	base := runtime.NumGoroutine()
+	var polls atomic.Int64
+	ts := httptest.NewServer(fakeMorphd(&polls))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- runTop(ctx, &out, topOptions{Addr: ts.URL, Interval: 5 * time.Millisecond, Width: 8})
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for polls.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("poll loop made %d polls in 5s, want >= 3", polls.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("poll loop returned %v on cancel", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("poll loop did not stop on context cancel")
+	}
+	ts.Close() // idle keep-alive conns die with the test server
+
+	waitForGoroutines(t, base, "morphcli top poll loop")
+}
+
+// waitForGoroutines is the hand-rolled goleak check (same pattern as
+// internal/obs/leak_test.go).
+func waitForGoroutines(t *testing.T, base int, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("%s leaked goroutines: %d > baseline %d\n%s", what, n, base, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTopFailsFastOnBadAddr: a dashboard pointed at nothing reports the
+// error instead of presenting an empty screen.
+func TestTopFailsFastOnBadAddr(t *testing.T) {
+	var out bytes.Buffer
+	err := runTop(t.Context(), &out, topOptions{Addr: "http://127.0.0.1:1", Once: false, Interval: time.Hour})
+	if err == nil {
+		t.Fatal("runTop against a closed port returned nil")
+	}
+}
+
+// TestSpark pins the sparkline scaling contract.
+func TestSpark(t *testing.T) {
+	p := []obs.Point{{Value: 0}, {Value: 50}, {Value: 100}}
+	got := spark(p, 4)
+	if got != " ▁▄█" {
+		t.Errorf("spark = %q, want %q", got, " ▁▄█")
+	}
+	if got := spark(nil, 3); got != "   " {
+		t.Errorf("empty spark = %q, want 3 spaces", got)
+	}
+	// All-zero window: flat baseline, not division by zero.
+	z := []obs.Point{{Value: 0}, {Value: 0}}
+	if got := spark(z, 2); got != "▁▁" {
+		t.Errorf("zero spark = %q, want flat baseline", got)
+	}
+}

@@ -10,8 +10,11 @@
 //	       -inflight 4 -queue 64 -client-inflight 2 \
 //	       -admission-budget 256000000 -drain-timeout 10s
 //
-// Endpoints: POST /query (ndjson stream), GET /healthz, plus the
-// observability surface (/metrics, /vars, /debug/pprof).
+// Endpoints: POST /query (ndjson stream), GET /healthz, GET /slo
+// (rolling-window objective scorecard with error-budget burn rates),
+// GET /timeseries (the History sampler's ring buffers — what
+// `morphcli top` renders), plus the observability surface (/metrics,
+// /vars, /debug/pprof).
 //
 // Chaos testing: setting MORPH_FAULT (e.g. "panic@100,stall=2:50ms")
 // arms the deterministic fault injector inside the serving process —
@@ -36,6 +39,7 @@ import (
 
 	"morphing/internal/dataset"
 	"morphing/internal/faultinject"
+	"morphing/internal/graph"
 	"morphing/internal/obs"
 	"morphing/internal/server"
 )
@@ -51,6 +55,7 @@ func run() error {
 	listen := flag.String("listen", "127.0.0.1:7421", "serve the query API on this address")
 	graphName := flag.String("graph", "MI", "dataset recipe (MI, MG, PR, OK, FR)")
 	scale := flag.Float64("scale", 0.01, "dataset scale factor")
+	binPath := flag.String("bin", "", "serve this binary graph file instead of a generated dataset (mmap when supported; storage-tier attribution and residency go live)")
 	engineName := flag.String("engine", "peregrine", "default matching engine (peregrine, autozero, graphpi, bigjoin)")
 	threads := flag.Int("threads", 0, "per-query engine worker threads (0 = GOMAXPROCS)")
 	inflight := flag.Int("inflight", 4, "worker pool size: max concurrently mining queries")
@@ -67,6 +72,12 @@ func run() error {
 	queryLog := flag.String("querylog", "", "append the structured JSONL query log to this file")
 	flightDir := flag.String("flightdir", "", "dump flight-recorder bundles for anomalous runs into this directory (default $MORPH_FLIGHT_DIR)")
 	slowQuery := flag.Duration("slowquery", 0, "treat runs slower than this wall time as anomalous (flight-recorder trigger)")
+	sampleInterval := flag.Duration("sample-interval", time.Second, "History sampler period backing /timeseries (negative disables)")
+	historyCap := flag.Int("history", 0, "time-series points retained per series (0 = 360)")
+	sloWindow := flag.Duration("slo-window", 5*time.Minute, "rolling window for /slo burn rates")
+	sloLatency := flag.Duration("slo-latency", time.Second, "per-phase latency objective")
+	sloLatencyGoal := flag.Float64("slo-latency-goal", 0.99, "fraction of queries that must meet the latency objective")
+	sloErrorGoal := flag.Float64("slo-error-goal", 0.01, "maximum acceptable failed-query fraction")
 	flag.Parse()
 
 	var ql *obs.EventLog
@@ -92,21 +103,33 @@ func run() error {
 			faultinject.EnvFault, cfg)
 	}
 
-	rec, err := dataset.ByName(*graphName)
-	if err != nil {
-		return err
-	}
-	g, err := rec.Scaled(*scale).Generate()
-	if err != nil {
-		return err
-	}
-	if *hubBits != 0 {
-		min := *hubBits
-		if min < 0 {
-			min = 0
+	var g graph.Adjacency
+	if *binPath != "" {
+		h, err := graph.Open(*binPath, graph.OpenOptions{})
+		if err != nil {
+			return err
 		}
-		hubs := g.EnableHubIndex(min)
-		fmt.Fprintf(os.Stderr, "morphd: hub-bitset index: %d hubs\n", hubs)
+		defer h.Close()
+		g = h.Graph()
+		fmt.Fprintf(os.Stderr, "morphd: opened %s (mmap=%v)\n", *binPath, h.Mapped())
+	} else {
+		rec, err := dataset.ByName(*graphName)
+		if err != nil {
+			return err
+		}
+		pg, err := rec.Scaled(*scale).Generate()
+		if err != nil {
+			return err
+		}
+		if *hubBits != 0 {
+			min := *hubBits
+			if min < 0 {
+				min = 0
+			}
+			hubs := pg.EnableHubIndex(min)
+			fmt.Fprintf(os.Stderr, "morphd: hub-bitset index: %d hubs\n", hubs)
+		}
+		g = pg
 	}
 
 	srv, err := server.New(g, server.Config{
@@ -123,6 +146,14 @@ func run() error {
 		RetryAfter:        *retryAfter,
 		CacheSize:         *cacheSize,
 		Flight:            &flightPolicy,
+		SampleInterval:    *sampleInterval,
+		HistoryCapacity:   *historyCap,
+		SLO: server.SLOConfig{
+			Window:           *sloWindow,
+			LatencyObjective: *sloLatency,
+			LatencyGoal:      *sloLatencyGoal,
+			ErrorGoal:        *sloErrorGoal,
+		},
 	})
 	if err != nil {
 		return err
@@ -135,8 +166,12 @@ func run() error {
 			errCh <- err
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "morphd: serving %s scale %v (%d vertices, %d edges) on %s\n",
-		*graphName, *scale, g.NumVertices(), g.NumEdges(), *listen)
+	source := fmt.Sprintf("%s scale %v", *graphName, *scale)
+	if *binPath != "" {
+		source = *binPath
+	}
+	fmt.Fprintf(os.Stderr, "morphd: serving %s (%d vertices, %d edges) on %s\n",
+		source, g.NumVertices(), g.NumEdges(), *listen)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)

@@ -224,6 +224,18 @@ type RunStats struct {
 	// bytes for the selected alternatives, set when MemoryBudget > 0.
 	EstimatedBytes uint64
 
+	// Decode is this run's storage-tier decode attribution: rows/blocks
+	// decoded and probe-block cache activity by this run's views only,
+	// independent of concurrent queries (unlike the process-cumulative
+	// graph.DecodeTotals). Nil when the tier decodes nothing (plain
+	// CSR). Per-view batches flush every 512 operations, so the counters
+	// can trail the true count by a bounded residue per engine worker.
+	Decode *graph.DecodeStats
+	// Residency is the page-cache residency of the graph's mmap backing
+	// sampled at run end (mincore); nil when the tier is not mmap-backed
+	// or the platform cannot sample.
+	Residency *graph.ResidencyStats
+
 	// RunID is the unique identifier of this execution's run scope;
 	// every span, counter delta and query-log line the run emitted
 	// carries it.
@@ -342,6 +354,61 @@ func (r *Runner) finishRun(rc *obs.RunContext, st *RunStats, err error) {
 			// see the complete picture.
 			publishRunStats(rc.Observer(), st)
 		}
+	}
+}
+
+// attributeStorage prepares a run's storage-tier attribution scope:
+// volatile (decoding) tiers are wrapped so every view the engines create
+// routes its decode counters into a fresh per-run sink. Stable tiers
+// pass through with a nil sink.
+func attributeStorage(g graph.Adjacency) (graph.Adjacency, *graph.DecodeCounters) {
+	if g == nil || !g.VolatileRows() {
+		return g, nil
+	}
+	sink := &graph.DecodeCounters{}
+	return graph.WithDecodeAttribution(g, sink), sink
+}
+
+// stampStorage records the run's storage-tier activity at run end: the
+// per-run decode counters and (for mmap-backed tiers) a point-in-time
+// page-residency sample land in st, in the run's metric scope, and in
+// the query log as a "storage" event — so per-query attribution no
+// longer leans on the process-cumulative graph.DecodeTotals.
+func stampStorage(rc *obs.RunContext, st *RunStats, g graph.Adjacency, sink *graph.DecodeCounters) {
+	if st == nil {
+		return
+	}
+	o := rc.Observer()
+	var attrs []obs.Attr
+	if sink != nil {
+		// Mining has joined its workers by the time a pipeline returns, so
+		// draining the views' sub-batch residues here is safe and makes the
+		// attribution exact even for runs far below the batch threshold.
+		sink.Drain()
+		ds := sink.Stats()
+		st.Decode = &ds
+		o.Counter(MetricDecodeRows).Add(0, ds.Rows)
+		o.Counter(MetricDecodeBlocks).Add(0, ds.Blocks)
+		o.Counter(MetricDecodeElems).Add(0, ds.Elems)
+		o.Counter(MetricProbeHits).Add(0, ds.ProbeHits)
+		o.Counter(MetricProbeMisses).Add(0, ds.ProbeMisses)
+		attrs = append(attrs,
+			obs.U64("decode_rows", ds.Rows), obs.U64("decode_blocks", ds.Blocks),
+			obs.U64("decode_bytes", ds.DecodedBytes()),
+			obs.U64("probe_hits", ds.ProbeHits), obs.U64("probe_misses", ds.ProbeMisses))
+	}
+	if rg, ok := g.(interface{ Residency() graph.ResidencyStats }); ok {
+		if rs := rg.Residency(); rs.Sampled {
+			st.Residency = &rs
+			o.Gauge(GaugeMmapResident).Set(float64(rs.ResidentBytes))
+			o.Gauge(GaugeMmapMapped).Set(float64(rs.MappedBytes))
+			attrs = append(attrs,
+				obs.U64("mmap_resident_bytes", rs.ResidentBytes),
+				obs.U64("mmap_mapped_bytes", rs.MappedBytes))
+		}
+	}
+	if len(attrs) > 0 {
+		rc.Event("storage", attrs...)
 	}
 }
 
@@ -514,6 +581,19 @@ const (
 	// Populated on the explain path only.
 	MetricCalibrationRatio = "costmodel_calibration_ratio_milli"
 
+	// Storage-tier attribution counters: decode work and probe-block
+	// cache activity, published per run from the run's own DecodeCounters
+	// scope (so the process totals are the sum over runs, mirroring the
+	// child-registry contract). The mmap gauges snapshot the last sampled
+	// residency.
+	MetricDecodeRows   = "graph_decode_rows_total"
+	MetricDecodeBlocks = "graph_decode_blocks_total"
+	MetricDecodeElems  = "graph_decode_elems_total"
+	MetricProbeHits    = "graph_probe_block_hits_total"
+	MetricProbeMisses  = "graph_probe_block_misses_total"
+	GaugeMmapResident  = "graph_mmap_resident_bytes"
+	GaugeMmapMapped    = "graph_mmap_mapped_bytes"
+
 	GaugeMinePatterns   = "run_last_mine_patterns"
 	GaugeMorphedQueries = "run_last_morphed_queries"
 	GaugeCostBefore     = "run_last_modeled_cost_before"
@@ -572,7 +652,9 @@ func (r *Runner) Counts(g graph.Adjacency, queries []*pattern.Pattern) ([]uint64
 // results, so they are surfaced raw instead.
 func (r *Runner) CountsCtx(ctx context.Context, g graph.Adjacency, queries []*pattern.Pattern) ([]uint64, *RunStats, error) {
 	rc, ctx := r.startRun(ctx, "counts", len(queries))
-	out, st, err := r.countsRun(ctx, rc, g, queries)
+	ag, sink := attributeStorage(g)
+	out, st, err := r.countsRun(ctx, rc, ag, queries)
+	stampStorage(rc, st, g, sink)
 	r.finishRun(rc, st, err)
 	return out, st, err
 }
@@ -816,7 +898,9 @@ func (r *Runner) MNITables(g graph.Adjacency, queries []*pattern.Pattern) ([]*ag
 // follow the same partial-result contract as CountsCtx.
 func (r *Runner) MNITablesCtx(ctx context.Context, g graph.Adjacency, queries []*pattern.Pattern) ([]*aggr.Table, *RunStats, error) {
 	rc, ctx := r.startRun(ctx, "mni", len(queries))
-	out, st, err := r.mniRun(ctx, rc, g, queries)
+	ag, sink := attributeStorage(g)
+	out, st, err := r.mniRun(ctx, rc, ag, queries)
+	stampStorage(rc, st, g, sink)
 	r.finishRun(rc, st, err)
 	return out, st, err
 }

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"morphing/internal/graph"
+	"morphing/internal/pattern"
+)
+
+// TestStorageAttribution verifies per-query storage-tier attribution:
+// a run over the compressed tier stamps its own decode counters into
+// RunStats, publishes them into the run's metric scope (forwarded to
+// the runner's registry), and logs a "storage" lifecycle event — while
+// a plain-CSR run carries no storage section at all.
+func TestStorageAttribution(t *testing.T) {
+	var ql bytes.Buffer
+	r, _ := lifecycleRunner(t, &ql)
+	g := lifecycleGraph(t)
+	c, err := graph.Compress(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []*pattern.Pattern{pattern.Triangle().AsVertexInduced()}
+
+	_, st, err := r.Counts(c, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Decode == nil {
+		t.Fatal("compressed-tier run has no decode attribution")
+	}
+	if st.Decode.Rows == 0 || st.Decode.Elems == 0 {
+		t.Fatalf("decode attribution empty: %+v", *st.Decode)
+	}
+	if st.Residency != nil {
+		t.Fatalf("heap-backed graph sampled residency: %+v", *st.Residency)
+	}
+	if got := r.Obs.Metrics.Counter(MetricDecodeRows).Value(); got != st.Decode.Rows {
+		t.Fatalf("registry decode rows = %d, want %d (run scope must forward)", got, st.Decode.Rows)
+	}
+	var sawStorage bool
+	for _, e := range st.Events {
+		sawStorage = sawStorage || e.Name == "storage"
+	}
+	if !sawStorage {
+		t.Fatalf("no storage event in run lifecycle: %v", eventNames(st.Events))
+	}
+
+	// Two concurrent-ish runs stay disjoint: a second run's attribution
+	// reflects only its own work (same query => same magnitude, not
+	// cumulative).
+	_, st2, err := r.Counts(c, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Decode.Rows > 2*st.Decode.Rows {
+		t.Fatalf("second run attributed %d rows vs first %d: looks cumulative", st2.Decode.Rows, st.Decode.Rows)
+	}
+
+	// Plain CSR: no decode work, no storage section.
+	_, stPlain, err := r.Counts(g, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stPlain.Decode != nil {
+		t.Fatalf("plain-CSR run has decode attribution: %+v", *stPlain.Decode)
+	}
+}

@@ -1,0 +1,40 @@
+package graph
+
+// WithDecodeAttribution wraps g so that every View created through the
+// wrapper routes its decode-counter flushes into sink as well as the
+// process-wide DecodeTotals. This is the per-query attribution layer:
+// the runner attaches a fresh DecodeCounters per run, so concurrent
+// queries over the same compressed graph see only their own decode
+// work, while the process totals stay the sum over all scopes.
+//
+// Graphs whose rows are stable (plain CSR: VolatileRows() == false)
+// decode nothing, so they are returned unwrapped; likewise a nil sink.
+func WithDecodeAttribution(g Adjacency, sink *DecodeCounters) Adjacency {
+	if g == nil || sink == nil || !g.VolatileRows() {
+		return g
+	}
+	return &attributedGraph{Adjacency: g, sink: sink}
+}
+
+// attributedGraph delegates everything to the wrapped Adjacency except
+// View, which tags freshly created compressed views with the sink.
+// Calls on the wrapper itself (shared-object Neighbors/HasEdge) follow
+// the wrapped graph's unattributed shared path — engines do their
+// decode work through per-worker views, which is the path that counts.
+type attributedGraph struct {
+	Adjacency
+	sink *DecodeCounters
+}
+
+func (a *attributedGraph) View() Adjacency {
+	v := a.Adjacency.View()
+	if cv, ok := v.(*compressedView); ok {
+		cv.sink = a.sink
+		a.sink.track(cv)
+	}
+	return v
+}
+
+// Unwrap returns the wrapped Adjacency, letting callers that need the
+// concrete tier (e.g. residency sampling) reach through the wrapper.
+func (a *attributedGraph) Unwrap() Adjacency { return a.Adjacency }

@@ -258,17 +258,14 @@ func (c *CompressedGraph) decodeBlock(v uint32, bi uint64, out []uint32) []uint3
 	return out
 }
 
-// hasEdgeInto probes {u,v} decoding at most one block of the smaller-
-// degree endpoint into buf (returned regrown for reuse).
-func (c *CompressedGraph) hasEdgeInto(u, v uint32, buf []uint32) (bool, []uint32) {
-	if c.degs[u] > c.degs[v] {
-		u, v = v, u
-	}
+// findProbeBlock locates the block of u's row that could contain v:
+// the last block whose first element is <= v. The bool is false when
+// the row is empty or v precedes the whole row — no decode needed.
+func (c *CompressedGraph) findProbeBlock(u, v uint32) (uint64, bool) {
 	lo, hi := c.blockOff[u], c.blockOff[u+1]
 	if lo == hi {
-		return false, buf
+		return 0, false
 	}
-	// Last block whose first element is <= v.
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if c.blockFirst[mid] <= v {
@@ -278,12 +275,13 @@ func (c *CompressedGraph) hasEdgeInto(u, v uint32, buf []uint32) (bool, []uint32
 		}
 	}
 	if lo == c.blockOff[u] {
-		return false, buf // v precedes the first element of the row
+		return 0, false // v precedes the first element of the row
 	}
-	bi := lo - 1
-	buf = c.decodeBlock(u, bi, buf[:0])
-	countDecode(1, 1, uint64(len(buf)))
-	a := buf
+	return lo - 1, true
+}
+
+// searchBlock reports whether v occurs in a decoded (ascending) block.
+func searchBlock(a []uint32, v uint32) bool {
 	i, j := 0, len(a)
 	for i < j {
 		mid := (i + j) / 2
@@ -293,7 +291,23 @@ func (c *CompressedGraph) hasEdgeInto(u, v uint32, buf []uint32) (bool, []uint32
 			j = mid
 		}
 	}
-	return i < len(a) && a[i] == v, buf
+	return i < len(a) && a[i] == v
+}
+
+// hasEdgeInto probes {u,v} decoding at most one block of the smaller-
+// degree endpoint into buf (returned regrown for reuse).
+func (c *CompressedGraph) hasEdgeInto(u, v uint32, buf []uint32) (bool, []uint32) {
+	if c.degs[u] > c.degs[v] {
+		u, v = v, u
+	}
+	bi, ok := c.findProbeBlock(u, v)
+	if !ok {
+		return false, buf
+	}
+	buf = c.decodeBlock(u, bi, buf[:0])
+	countDecode(1, 1, uint64(len(buf)))
+	countProbe(0, 1)
+	return searchBlock(buf, v), buf
 }
 
 // HasEdge reports whether {u,v} is an edge. The shared-object form takes
@@ -308,6 +322,35 @@ func (c *CompressedGraph) HasEdge(u, v uint32) bool {
 	*bufp = b
 	c.probePool.Put(bufp)
 	return ok
+}
+
+// ResidencyStats describes how much of an mmap-backed graph's file is
+// resident in the page cache. Sampled is false for heap-backed graphs
+// and on platforms without mincore(2) — a zero ResidentBytes then means
+// "unknown", not "cold".
+type ResidencyStats struct {
+	MappedBytes   uint64 `json:"mapped_bytes"`
+	ResidentBytes uint64 `json:"resident_bytes"`
+	Sampled       bool   `json:"sampled"`
+}
+
+// Residency samples page-cache residency of the graph's mmap backing
+// via mincore(2). Point-in-time and advisory: the kernel may evict or
+// fault pages the instant after sampling. Heap-backed graphs return an
+// unsampled zero value.
+func (c *CompressedGraph) Residency() ResidencyStats {
+	if c == nil || c.backing == nil || !residencySupported {
+		return ResidencyStats{}
+	}
+	data := mappingBytes(c.backing)
+	if len(data) == 0 {
+		return ResidencyStats{}
+	}
+	resident, mapped, err := mincoreResidency(data)
+	if err != nil {
+		return ResidencyStats{MappedBytes: mapped}
+	}
+	return ResidencyStats{MappedBytes: mapped, ResidentBytes: resident, Sampled: true}
 }
 
 // Close releases the mmap backing, if any. After Close the graph must
@@ -416,17 +459,36 @@ func (c *CompressedGraph) Footprint() Footprint {
 // compressedView is the per-worker decode handle: two rotating row
 // buffers (see the Adjacency row lifetime contract) plus a dedicated
 // edge-probe buffer so HasEdge never invalidates a live row.
+//
+// The probe buffer doubles as a one-entry block cache: the view
+// remembers which (vertex, block) it holds, and a repeat probe into the
+// same block skips the decode entirely. Matching engines probe edges in
+// vertex-clustered bursts (all candidate extensions of one partial
+// embedding), so consecutive probes often land in the same block of the
+// same hub row.
 type compressedView struct {
 	g     *CompressedGraph
 	rows  [2][]uint32
 	cur   int
 	probe []uint32
 
-	// Local decode counters, flushed to the package totals in batches so
-	// the hot path stays free of shared atomics.
-	pendRows   uint64
-	pendBlocks uint64
-	pendElems  uint64
+	// Cached probe block identity: probe holds block probeBI of vertex
+	// probeV's row when probeOK is set. The graph is immutable, so a
+	// cached block never goes stale.
+	probeV  uint32
+	probeBI uint64
+	probeOK bool
+
+	// Local decode counters, flushed in batches so the hot path stays
+	// free of shared atomics. Flushes land in the package totals and,
+	// when a sink is attached (WithDecodeAttribution), in the per-scope
+	// accumulator too — process totals remain the sum over scopes.
+	pendRows        uint64
+	pendBlocks      uint64
+	pendElems       uint64
+	pendProbeHits   uint64
+	pendProbeMisses uint64
+	sink            *DecodeCounters
 }
 
 func (w *compressedView) NumVertices() int        { return w.g.nv }
@@ -454,42 +516,155 @@ func (w *compressedView) Neighbors(v uint32) []uint32 {
 	w.pendRows++
 	w.pendBlocks += (deg + uint64(w.g.blockSize) - 1) / uint64(w.g.blockSize)
 	w.pendElems += deg
-	if w.pendRows >= 512 {
+	if w.pendRows+w.pendProbeHits+w.pendProbeMisses >= 512 {
 		w.flush()
 	}
 	return row
 }
 
-// HasEdge probes {u,v} through the view's private block buffer.
+// HasEdge probes {u,v} through the view's private block buffer, reusing
+// it as a one-entry block cache: a hit answers from the already-decoded
+// block, a miss decodes and is counted like the shared probe path (one
+// row, one block).
 func (w *compressedView) HasEdge(u, v uint32) bool {
-	if cap(w.probe) == 0 {
-		w.probe = make([]uint32, 0, w.g.blockSize)
+	g := w.g
+	if g.degs[u] > g.degs[v] {
+		u, v = v, u
 	}
-	ok, buf := w.g.hasEdgeInto(u, v, w.probe)
-	w.probe = buf
-	return ok
+	bi, ok := g.findProbeBlock(u, v)
+	if !ok {
+		return false
+	}
+	if w.probeOK && w.probeV == u && w.probeBI == bi {
+		w.pendProbeHits++
+	} else {
+		if cap(w.probe) == 0 {
+			w.probe = make([]uint32, 0, g.blockSize)
+		}
+		w.probe = g.decodeBlock(u, bi, w.probe[:0])
+		w.probeV, w.probeBI, w.probeOK = u, bi, true
+		w.pendRows++
+		w.pendBlocks++
+		w.pendElems += uint64(len(w.probe))
+		w.pendProbeMisses++
+	}
+	if w.pendRows+w.pendProbeHits+w.pendProbeMisses >= 512 {
+		w.flush()
+	}
+	return searchBlock(w.probe, v)
 }
 
 func (w *compressedView) flush() {
 	countDecode(w.pendRows, w.pendBlocks, w.pendElems)
+	countProbe(w.pendProbeHits, w.pendProbeMisses)
+	if w.sink != nil {
+		w.sink.add(DecodeStats{
+			Rows: w.pendRows, Blocks: w.pendBlocks, Elems: w.pendElems,
+			ProbeHits: w.pendProbeHits, ProbeMisses: w.pendProbeMisses,
+		})
+	}
 	w.pendRows, w.pendBlocks, w.pendElems = 0, 0, 0
+	w.pendProbeHits, w.pendProbeMisses = 0, 0
 }
 
-// DecodeStats are the package-wide decompression counters: how many rows
-// and blocks were decoded and how many elements they expanded to. They
-// quantify the decode overhead the compressed tier pays per query.
+// DecodeStats are decompression counters: how many rows and blocks were
+// decoded, how many elements they expanded to, and how the per-view
+// probe-block cache fared. They quantify the decode overhead the
+// compressed tier pays — process-wide via DecodeTotals, per query scope
+// via DecodeCounters. An edge probe that decodes counts as one row and
+// one block (plus a ProbeMiss); a ProbeHit decodes nothing.
 type DecodeStats struct {
-	Rows   uint64 `json:"rows"`
-	Blocks uint64 `json:"blocks"`
-	Elems  uint64 `json:"elems"`
+	Rows        uint64 `json:"rows"`
+	Blocks      uint64 `json:"blocks"`
+	Elems       uint64 `json:"elems"`
+	ProbeHits   uint64 `json:"probe_hits"`
+	ProbeMisses uint64 `json:"probe_misses"`
+}
+
+// Add accumulates other into s.
+func (s *DecodeStats) Add(other DecodeStats) {
+	s.Rows += other.Rows
+	s.Blocks += other.Blocks
+	s.Elems += other.Elems
+	s.ProbeHits += other.ProbeHits
+	s.ProbeMisses += other.ProbeMisses
+}
+
+// DecodedBytes returns the expanded size of all decoded elements — the
+// "decode bytes" a dashboard charts per second.
+func (s DecodeStats) DecodedBytes() uint64 { return s.Elems * 4 }
+
+// DecodeCounters is a concurrency-safe per-scope decode accumulator.
+// Attach one to a graph with WithDecodeAttribution and every view
+// created through that wrapper flushes its batches here as well as into
+// the process totals — so a run's decode work is attributed to that run
+// even while other queries decode concurrently. While views are
+// mid-flight the counters can trail the true count by one unflushed
+// batch (<512 operations) per view; Drain collects those residues once
+// the views' workers are done.
+type DecodeCounters struct {
+	rows, blocks, elems, probeHits, probeMisses atomic.Uint64
+
+	mu    sync.Mutex
+	views []*compressedView
+}
+
+// track registers a view whose residue Drain should collect.
+func (d *DecodeCounters) track(v *compressedView) {
+	d.mu.Lock()
+	d.views = append(d.views, v)
+	d.mu.Unlock()
+}
+
+// Drain flushes every tracked view's pending decode batch into the
+// accumulator (and the process totals). Callers must ensure no worker
+// is still decoding through the views — the runner calls this after
+// mining has joined its workers, which orders the views' buffered
+// counters before the reads here.
+func (d *DecodeCounters) Drain() {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	views := d.views
+	d.views = nil
+	d.mu.Unlock()
+	for _, v := range views {
+		v.flush()
+	}
+}
+
+func (d *DecodeCounters) add(s DecodeStats) {
+	if d == nil {
+		return
+	}
+	d.rows.Add(s.Rows)
+	d.blocks.Add(s.Blocks)
+	d.elems.Add(s.Elems)
+	d.probeHits.Add(s.ProbeHits)
+	d.probeMisses.Add(s.ProbeMisses)
+}
+
+// Stats returns the accumulated counters.
+func (d *DecodeCounters) Stats() DecodeStats {
+	if d == nil {
+		return DecodeStats{}
+	}
+	return DecodeStats{
+		Rows:        d.rows.Load(),
+		Blocks:      d.blocks.Load(),
+		Elems:       d.elems.Load(),
+		ProbeHits:   d.probeHits.Load(),
+		ProbeMisses: d.probeMisses.Load(),
+	}
 }
 
 // Striped to keep concurrent flushes from serializing on one cache line.
 const decodeStripes = 8
 
 type decodeStripe struct {
-	rows, blocks, elems atomic.Uint64
-	_                   [5]uint64 // pad to a cache line
+	rows, blocks, elems, probeHits, probeMisses atomic.Uint64
+	_                                           [3]uint64 // pad to a cache line
 }
 
 var decodeTotals [decodeStripes]decodeStripe
@@ -502,15 +677,26 @@ func countDecode(rows, blocks, elems uint64) {
 	s.elems.Add(elems)
 }
 
+func countProbe(hits, misses uint64) {
+	if hits == 0 && misses == 0 {
+		return
+	}
+	s := &decodeTotals[decodeStripePick.Add(1)%decodeStripes]
+	s.probeHits.Add(hits)
+	s.probeMisses.Add(misses)
+}
+
 // DecodeTotals returns the cumulative process-wide decode counters.
-// Per-view batches flush every 512 rows, so totals can trail the true
-// count by a bounded residue while views are mid-flight.
+// Per-view batches flush every 512 operations, so totals can trail the
+// true count by a bounded residue while views are mid-flight.
 func DecodeTotals() DecodeStats {
 	var out DecodeStats
 	for i := range decodeTotals {
 		out.Rows += decodeTotals[i].rows.Load()
 		out.Blocks += decodeTotals[i].blocks.Load()
 		out.Elems += decodeTotals[i].elems.Load()
+		out.ProbeHits += decodeTotals[i].probeHits.Load()
+		out.ProbeMisses += decodeTotals[i].probeMisses.Load()
 	}
 	return out
 }

@@ -1,0 +1,41 @@
+//go:build linux
+
+package graph
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// residencySupported gates mmap page-residency sampling; only Linux
+// exposes mincore(2) under that name and semantics.
+const residencySupported = true
+
+// mincoreResidency asks the kernel which pages of data are resident in
+// the page cache. data must be the start of a memory mapping (mmap
+// returns page-aligned addresses). Returns resident and mapped byte
+// counts, both rounded to whole pages.
+func mincoreResidency(data []byte) (resident, mapped uint64, err error) {
+	if len(data) == 0 {
+		return 0, 0, nil
+	}
+	page := uint64(os.Getpagesize())
+	pages := (uint64(len(data)) + page - 1) / page
+	vec := make([]byte, pages)
+	_, _, errno := syscall.Syscall(
+		syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&data[0])),
+		uintptr(len(data)),
+		uintptr(unsafe.Pointer(&vec[0])),
+	)
+	if errno != 0 {
+		return 0, pages * page, errno
+	}
+	for _, b := range vec {
+		if b&1 != 0 {
+			resident += page
+		}
+	}
+	return resident, pages * page, nil
+}

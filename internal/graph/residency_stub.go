@@ -1,0 +1,13 @@
+//go:build !linux
+
+package graph
+
+import "errors"
+
+// residencySupported is false here: platforms without mincore(2) report
+// residency as unsampled rather than guessing.
+const residencySupported = false
+
+func mincoreResidency(data []byte) (resident, mapped uint64, err error) {
+	return 0, uint64(len(data)), errors.New("graph: page residency not supported on this platform")
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // shardCount is the number of per-worker cells behind every counter and
@@ -236,6 +237,45 @@ func (s HistogramSnapshot) Quantile(q float64) uint64 {
 		return uint64(v)
 	}
 	return BucketUpperBound(histBuckets - 1)
+}
+
+// Sub returns the windowed distribution observed between prev and s:
+// each bucket, the count and the sum are the differences of the two
+// cumulative snapshots, and P50/P95/P99 are recomputed over that window
+// only. This is how History derives per-interval quantiles — comparing
+// consecutive snapshots isolates the observations of one sampling
+// interval, whereas quantiles over the cumulative buckets would be
+// dominated by the whole process history and never show a regression
+// that starts after warm-up. prev must be an earlier snapshot of the
+// same histogram; stale or swapped arguments saturate to zero rather
+// than underflow.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	var out HistogramSnapshot
+	if s.Count > prev.Count {
+		out.Count = s.Count - prev.Count
+	}
+	if s.Sum > prev.Sum {
+		out.Sum = s.Sum - prev.Sum
+	}
+	for i := 0; i < histBuckets; i++ {
+		if s.Buckets[i] > prev.Buckets[i] {
+			out.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+		}
+	}
+	out.P50 = out.Quantile(0.50)
+	out.P95 = out.Quantile(0.95)
+	out.P99 = out.Quantile(0.99)
+	return out
+}
+
+// Rate returns observations per second between the since snapshot and
+// this one, given the wall-clock time elapsed between them. Non-positive
+// elapsed yields 0.
+func (s HistogramSnapshot) Rate(since HistogramSnapshot, elapsed time.Duration) float64 {
+	if elapsed <= 0 || s.Count <= since.Count {
+		return 0
+	}
+	return float64(s.Count-since.Count) / elapsed.Seconds()
 }
 
 // BucketUpperBound returns the inclusive upper bound of bucket i.

@@ -33,6 +33,14 @@ type FlightPolicy struct {
 	// default of 256 each.
 	RingSpans  int
 	RingEvents int
+	// History, when set, adds a history.json file to every anomaly dump
+	// holding the newest HistorySamples points of each time series — the
+	// minutes of process context *around* the anomaly, not just the
+	// anomalous run's own trace.
+	History *History
+	// HistorySamples caps the points per series embedded in a dump; 0
+	// means the default of 120.
+	HistorySamples int
 }
 
 // defaultRingCap bounds per-run span and event history, and
@@ -305,6 +313,26 @@ func (rc *RunContext) writeDump(reason string, out RunOutcome, wall time.Duratio
 	}
 	if err := ef.Close(); err != nil {
 		return "", err
+	}
+
+	if rc.policy.History != nil {
+		limit := rc.policy.HistorySamples
+		if limit <= 0 {
+			limit = 120
+		}
+		hf, err := os.Create(filepath.Join(dir, "history.json"))
+		if err != nil {
+			return "", err
+		}
+		he := json.NewEncoder(hf)
+		he.SetIndent("", "  ")
+		if err := he.Encode(rc.policy.History.Snapshot(limit)); err != nil {
+			hf.Close()
+			return "", err
+		}
+		if err := hf.Close(); err != nil {
+			return "", err
+		}
 	}
 
 	rc.mu.Lock()

@@ -98,6 +98,25 @@ type MiningReport struct {
 	TrieNodes        []TrieNodeReport `json:"trie_nodes,omitempty"`
 }
 
+// StorageReport attributes storage-tier work to one run: how much the
+// compressed tier decoded for this query, how the per-view probe-block
+// cache fared, and how much of an mmap backing was page-cache resident
+// at run end.
+type StorageReport struct {
+	DecodeRows   uint64 `json:"decode_rows"`
+	DecodeBlocks uint64 `json:"decode_blocks"`
+	DecodeElems  uint64 `json:"decode_elems"`
+	// DecodeBytes is the expanded size of the decoded elements.
+	DecodeBytes uint64 `json:"decode_bytes"`
+	ProbeHits   uint64 `json:"probe_hits"`
+	ProbeMisses uint64 `json:"probe_misses"`
+	// Mmap residency (mincore sample at run end); present only when the
+	// tier is mmap-backed on a platform that can sample.
+	MappedBytes      uint64 `json:"mapped_bytes,omitempty"`
+	ResidentBytes    uint64 `json:"resident_bytes,omitempty"`
+	ResidencySampled bool   `json:"residency_sampled,omitempty"`
+}
+
 // RunReport is the full serializable record of one pipeline execution.
 type RunReport struct {
 	Schema        string `json:"schema"`
@@ -145,6 +164,11 @@ type RunReport struct {
 
 	Mining   *MiningReport   `json:"mining,omitempty"`
 	Patterns []PatternReport `json:"patterns,omitempty"`
+
+	// Storage is the run's storage-tier attribution: decode work and
+	// probe-block cache activity by this run only (not process-cumulative
+	// totals), plus mmap page residency when the tier supports sampling.
+	Storage *StorageReport `json:"storage,omitempty"`
 
 	// Selection is the Algorithm 1 trace (explain mode only).
 	Selection *core.SelectionExplain `json:"selection,omitempty"`
@@ -213,6 +237,23 @@ func FromRunStats(st *core.RunStats) *RunReport {
 	if td := st.Trie; td != nil {
 		cp := *td
 		r.Trie = &cp
+	}
+	if st.Decode != nil || st.Residency != nil {
+		sr := &StorageReport{}
+		if d := st.Decode; d != nil {
+			sr.DecodeRows = d.Rows
+			sr.DecodeBlocks = d.Blocks
+			sr.DecodeElems = d.Elems
+			sr.DecodeBytes = d.DecodedBytes()
+			sr.ProbeHits = d.ProbeHits
+			sr.ProbeMisses = d.ProbeMisses
+		}
+		if rs := st.Residency; rs != nil {
+			sr.MappedBytes = rs.MappedBytes
+			sr.ResidentBytes = rs.ResidentBytes
+			sr.ResidencySampled = rs.Sampled
+		}
+		r.Storage = sr
 	}
 	if m := st.Mining; m != nil {
 		mr := &MiningReport{
@@ -408,6 +449,23 @@ func (r *RunReport) WriteText(w io.Writer) error {
 		}
 		if m.TotalTimeNS > 0 {
 			p("  mining wall-clock (summed over workers' executions): %v\n", time.Duration(m.TotalTimeNS))
+		}
+	}
+	if s := r.Storage; s != nil {
+		p("\n-- storage --\n")
+		p("  decoded: %d rows, %d blocks, %d elems (%d bytes expanded)\n",
+			s.DecodeRows, s.DecodeBlocks, s.DecodeElems, s.DecodeBytes)
+		if probes := s.ProbeHits + s.ProbeMisses; probes > 0 {
+			p("  probe-block cache: %d hits / %d probes (%.1f%%)\n",
+				s.ProbeHits, probes, 100*float64(s.ProbeHits)/float64(probes))
+		}
+		if s.ResidencySampled {
+			pct := 0.0
+			if s.MappedBytes > 0 {
+				pct = 100 * float64(s.ResidentBytes) / float64(s.MappedBytes)
+			}
+			p("  mmap residency: %d of %d bytes resident (%.1f%%)\n",
+				s.ResidentBytes, s.MappedBytes, pct)
 		}
 	}
 	if r.ConversionMode != "" {

@@ -38,6 +38,17 @@ const (
 	// MetricDrainCanceled counts queries force-canceled at the drain
 	// deadline.
 	MetricDrainCanceled = "server_drain_canceled_total"
+	// MetricErrors counts queries whose terminal outcome spent
+	// availability error budget (any failure except bad_request).
+	MetricErrors = "server_query_errors_total"
+
+	// Per-phase latency histograms (nanoseconds): where admitted
+	// queries' wall time went. Every query observes total; admit/queue/
+	// mine are observed for the phases it actually reached.
+	MetricPhaseAdmitNS = "server_phase_admit_ns"
+	MetricPhaseQueueNS = "server_phase_queue_ns"
+	MetricPhaseMineNS  = "server_phase_mine_ns"
+	MetricPhaseTotalNS = "server_phase_total_ns"
 
 	GaugeQueueDepth = "server_queue_depth"
 	GaugeInFlight   = "server_inflight"
@@ -98,7 +109,18 @@ type Config struct {
 	// Obs is the observability sink (nil = obs.Default()).
 	Obs *obs.Observer
 	// Flight is the per-query flight-recorder policy (nil = default).
+	// When the server runs a History sampler, anomaly dumps written
+	// through this policy also embed the recent time series (the policy's
+	// History field is filled in if unset).
 	Flight *obs.FlightPolicy
+	// SLO declares the serving objectives scored on /slo; zero fields
+	// take the defaults documented on SLOConfig.
+	SLO SLOConfig
+	// SampleInterval is the History sampler period backing /timeseries:
+	// 0 means one second, negative disables sampling.
+	SampleInterval time.Duration
+	// HistoryCapacity is the points retained per series (0 = 360).
+	HistoryCapacity int
 }
 
 // Defaults fills zero fields with production-shaped values.
@@ -158,6 +180,12 @@ type task struct {
 	done   chan struct{}
 	result *QueryResult
 	qerr   *QueryError
+
+	// Phase timestamps for the SLO tracker: when the task entered the
+	// queue and when a worker picked it up. Written under Server.mu
+	// before t.done closes; read by Submit after <-t.done.
+	enqueuedAt time.Time
+	startedAt  time.Time
 }
 
 // Server is the resident query service. Construct with New, serve
@@ -181,6 +209,9 @@ type Server struct {
 
 	workers sync.WaitGroup // worker goroutines
 	tasks   sync.WaitGroup // admitted tasks not yet settled
+
+	slo  *sloTracker  // rolling-window objective scoring (/slo)
+	hist *obs.History // time-series sampler (/timeseries); nil when disabled
 
 	drainOnce sync.Once
 	drainErr  error
@@ -213,12 +244,46 @@ func New(g graph.Adjacency, cfg Config) (*Server, error) {
 		clients:  make(map[string]int),
 		cache:    newResultCache(cfg.CacheSize),
 	}
+	s.slo = newSLOTracker(cfg.SLO)
+	if cfg.SampleInterval >= 0 {
+		s.hist = obs.NewHistory(s.o.Metrics, obs.HistoryConfig{
+			Interval: cfg.SampleInterval, // 0 → History's 1s default
+			Capacity: cfg.HistoryCapacity,
+			Counters: []string{
+				MetricQueries, MetricRejects, MetricErrors,
+				MetricCacheHits, MetricCacheMisses, MetricCoalesced,
+				MetricPanics, MetricInterrupted,
+				engine.MetricMatches, engine.MetricSetOps,
+				core.MetricRuns,
+				core.MetricDecodeRows, core.MetricDecodeBlocks, core.MetricDecodeElems,
+				core.MetricProbeHits, core.MetricProbeMisses,
+			},
+			Gauges: []string{
+				GaugeQueueDepth, GaugeInFlight, GaugeBudgetInUse,
+				core.GaugeMmapResident, core.GaugeMmapMapped,
+			},
+			Histograms: []string{
+				MetricPhaseAdmitNS, MetricPhaseQueueNS,
+				MetricPhaseMineNS, MetricPhaseTotalNS,
+				engine.MetricMineDurationNS,
+			},
+		})
+		s.hist.Start()
+		// Anomaly dumps get the recent time series for free.
+		if cfg.Flight != nil && cfg.Flight.History == nil {
+			cfg.Flight.History = s.hist
+		}
+	}
 	s.workers.Add(cfg.MaxInFlight)
 	for i := 0; i < cfg.MaxInFlight; i++ {
 		go s.worker()
 	}
 	return s, nil
 }
+
+// History returns the server's time-series sampler (nil when sampling
+// is disabled by a negative Config.SampleInterval).
+func (s *Server) History() *obs.History { return s.hist }
 
 // GraphEpoch returns the current graph epoch (part of every cache key).
 func (s *Server) GraphEpoch() uint64 {
@@ -401,6 +466,7 @@ func (s *Server) admit(t *task) (joined *flight, hit *QueryResult, qerr *QueryEr
 	}
 	select {
 	case s.queue <- t:
+		t.enqueuedAt = time.Now()
 	default:
 		s.mu.Unlock()
 		qe := errf(CodeQueueFull,
@@ -484,6 +550,7 @@ func (s *Server) worker() {
 	defer s.workers.Done()
 	for t := range s.queue {
 		s.mu.Lock()
+		t.startedAt = time.Now()
 		s.queued--
 		s.executing++
 		s.o.Gauge(GaugeQueueDepth).Set(float64(s.queued))
@@ -685,12 +752,15 @@ func alignResult(cached *QueryResult, ps []*pattern.Pattern) (*QueryResult, bool
 // of the HTTP handler (and what in-process embedders call). events, when
 // non-nil, receives progress notifications.
 func (s *Server) Submit(ctx context.Context, req *QueryRequest, client string, events func(StreamEvent)) (*QueryResult, *QueryError) {
+	t0 := time.Now()
 	if client == "" {
 		client = "anonymous"
 	}
 	t, qerr := s.prepare(req, client)
 	if qerr != nil {
-		return nil, s.reject(qerr)
+		qerr = s.reject(qerr)
+		s.record(client, t0, nil, qerr)
+		return nil, qerr
 	}
 	deadline := clampDeadline(time.Duration(req.DeadlineMS)*time.Millisecond,
 		s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
@@ -699,10 +769,12 @@ func (s *Server) Submit(ctx context.Context, req *QueryRequest, client string, e
 	joined, hit, qerr := s.admit(t)
 	if qerr != nil {
 		t.cancel()
+		s.record(client, t0, t, qerr)
 		return nil, qerr
 	}
 	if hit != nil {
 		t.cancel()
+		s.record(client, t0, t, nil)
 		return hit, nil
 	}
 	if joined != nil {
@@ -713,15 +785,21 @@ func (s *Server) Submit(ctx context.Context, req *QueryRequest, client string, e
 		case <-joined.done:
 			if joined.err != nil {
 				cp := *joined.err
+				s.record(client, t0, t, &cp)
 				return nil, &cp
 			}
 			if aligned, ok := alignResult(joined.result, t.patterns); ok {
 				aligned.Cache = "coalesced"
+				s.record(client, t0, t, nil)
 				return aligned, nil
 			}
-			return nil, errf(CodeInternal, "coalesced result does not cover the query set")
+			qe := errf(CodeInternal, "coalesced result does not cover the query set")
+			s.record(client, t0, t, qe)
+			return nil, qe
 		case <-t.ctx.Done():
-			return nil, classifyCtxErr(t.ctx.Err(), "waiting on coalesced execution")
+			qe := classifyCtxErr(t.ctx.Err(), "waiting on coalesced execution")
+			s.record(client, t0, t, qe)
+			return nil, qe
 		}
 	}
 	// Forward progress events until the task settles; Submit returns
@@ -746,7 +824,44 @@ func (s *Server) Submit(ctx context.Context, req *QueryRequest, client string, e
 	}
 	<-t.done
 	<-forwarded
+	s.record(client, t0, t, t.qerr)
 	return t.result, t.qerr
+}
+
+// record scores one terminal query outcome for the SLO tracker and the
+// per-phase latency histograms. Every query observes the total phase;
+// admit/queue/mine observe only when the query actually reached them
+// (t may be nil when rejected before a task existed, and t.enqueuedAt /
+// t.startedAt stay zero for rejections, cache hits, and coalesced
+// passengers). Failures spend error budget unless the client caused
+// them (bad_request).
+func (s *Server) record(client string, t0 time.Time, t *task, qerr *QueryError) {
+	end := time.Now()
+	var d [sloPhases]time.Duration
+	var valid [sloPhases]bool
+	d[sloTotal], valid[sloTotal] = end.Sub(t0), true
+	if t != nil && !t.enqueuedAt.IsZero() {
+		d[sloAdmit], valid[sloAdmit] = t.enqueuedAt.Sub(t0), true
+		if !t.startedAt.IsZero() {
+			d[sloQueue], valid[sloQueue] = t.startedAt.Sub(t.enqueuedAt), true
+			d[sloMine], valid[sloMine] = end.Sub(t.startedAt), true
+		} else {
+			// Settled without a worker pickup (drain-canceled while
+			// queued): the whole wait was queue time.
+			d[sloQueue], valid[sloQueue] = end.Sub(t.enqueuedAt), true
+		}
+	}
+	names := [sloPhases]string{MetricPhaseAdmitNS, MetricPhaseQueueNS, MetricPhaseMineNS, MetricPhaseTotalNS}
+	for i := 0; i < sloPhases; i++ {
+		if valid[i] {
+			s.o.Histogram(names[i]).Observe(0, uint64(d[i]))
+		}
+	}
+	failed := qerr != nil && qerr.Code != CodeBadRequest
+	if failed {
+		s.o.Counter(MetricErrors).Inc(0)
+	}
+	s.slo.observe(end, client, d, valid, failed)
 }
 
 // ---- HTTP surface ----
@@ -760,6 +875,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /slo", s.handleSLO)
+	mux.HandleFunc("GET /timeseries", s.handleTimeseries)
 	om := obs.Handler(s.o.Metrics)
 	mux.Handle("/vars", om)
 	mux.Handle("/metrics", om)
@@ -783,6 +900,29 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	json.NewEncoder(w).Encode(h)
+}
+
+// handleSLO serves the rolling-window objectives scorecard.
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(s.slo.Status(time.Now()))
+}
+
+// handleTimeseries serves the History sampler's ring buffers. ?n=K
+// limits each series to its newest K points.
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if s.hist == nil {
+		w.Write([]byte("{\"disabled\":true}\n"))
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	json.NewEncoder(w).Encode(s.hist.Snapshot(limit))
 }
 
 // handleQuery is the streaming query endpoint. Pre-admission rejections
@@ -899,6 +1039,10 @@ func (s *Server) drain(ctx context.Context) error {
 		return fmt.Errorf("server: drain aborted: %w", ctx.Err())
 	}
 	s.workers.Wait()
+	if s.hist != nil {
+		s.hist.SampleNow() // capture the final counter state in the series
+		s.hist.Stop()
+	}
 	d := time.Since(t0)
 	s.o.Gauge(GaugeDrainNS).Set(float64(d))
 	return nil

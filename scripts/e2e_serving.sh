@@ -25,6 +25,7 @@ MORPH_FAULT=panic@1:e2e-chaos-probe \
   "$ART/morphd" -graph MI -scale 0.005 -listen "$ADDR" \
   -inflight 2 -queue 8 -client-inflight 4 -threads 2 \
   -drain-timeout 5s -querylog "$ART/queries.jsonl" \
+  -sample-interval 200ms -slo-window 10s \
   2> "$ART/morphd.stderr" &
 DAEMON=$!
 trap 'kill -9 $DAEMON 2>/dev/null || true' EXIT
@@ -65,6 +66,55 @@ if "$ART/morphcli" query -addr "$BASE" -retries 0 -deadline 1ms -json p8 > "$ART
 fi
 grep -Eq '"code": *"(deadline|canceled)"' "$ART/deadline.json" \
   || { echo "no typed deadline error:" >&2; cat "$ART/deadline.json" >&2; exit 1; }
+
+echo "== observability under chaos: /slo burns budget, /timeseries has data"
+curl -sf "$BASE/slo" > "$ART/slo_chaos.json"
+curl -sf "$BASE/timeseries" > "$ART/timeseries.json"
+python3 - "$ART/slo_chaos.json" "$ART/timeseries.json" <<'PY'
+import json, math, sys
+slo = json.load(open(sys.argv[1]))
+# The panic and deadline failures above landed inside the 10s window:
+# the availability budget must be burning, and sanely so.
+assert slo["total"] >= 3, f"slo saw {slo['total']} queries, want >= 3"
+assert slo["errors"] >= 2, f"slo saw {slo['errors']} errors, want >= 2 (panic + deadline)"
+burn = slo["burn_rate"]
+assert math.isfinite(burn) and burn > 0, f"burn rate {burn} not positive during chaos"
+assert slo["error_burn_rate"] > 0, "error budget not burning despite injected failures"
+phases = slo["phases"]
+for ph in ("admit", "queue", "mine", "total"):
+    assert ph in phases, f"missing phase {ph}"
+assert phases["total"]["count"] >= slo["total"] - slo["errors"], "total phase under-observed"
+assert phases["mine"]["count"] >= 1, "no mine-phase observations"
+ts = json.load(open(sys.argv[2]))
+series = ts["series"]
+assert series, "/timeseries served no series"
+q = series.get("server_queries_total", [])
+assert q, f"no query-counter series; keys: {sorted(series)[:8]}..."
+assert q[-1]["v"] >= 3, f"query counter series ends at {q[-1]['v']}, want >= 3"
+assert any(k.endswith(":rate") for k in series), "no derived rate series"
+assert any(k.endswith(":p95") for k in series), "no windowed quantile series"
+print(f"   burn {burn:.2f} ({slo['errors']}/{slo['total']} errors), {len(series)} series")
+PY
+
+echo "== morphcli top renders a frame against the live daemon"
+"$ART/morphcli" top -addr "$BASE" -once > "$ART/top.txt"
+grep -q "burn rate" "$ART/top.txt" || { echo "top frame missing burn rate:" >&2; cat "$ART/top.txt" >&2; exit 1; }
+grep -q "qps" "$ART/top.txt" || { echo "top frame missing qps" >&2; exit 1; }
+grep -q "mine" "$ART/top.txt" || { echo "top frame missing phase rows" >&2; exit 1; }
+
+echo "== burn rate returns to ~0 once the window slides past the chaos"
+sleep 11
+"$ART/morphcli" query -addr "$BASE" -retries 2 -nocache triangle > /dev/null
+"$ART/morphcli" query -addr "$BASE" -retries 2 -nocache 4-star > /dev/null
+curl -sf "$BASE/slo" > "$ART/slo_recovered.json"
+python3 - "$ART/slo_recovered.json" <<'PY'
+import json, sys
+slo = json.load(open(sys.argv[1]))
+assert slo["total"] >= 2, f"recovery window saw {slo['total']} queries"
+assert slo["errors"] == 0, f"stale errors in recovery window: {slo['errors']}"
+assert slo["error_burn_rate"] == 0, f"error burn {slo['error_burn_rate']} after recovery, want 0"
+print(f"   recovered: burn {slo['burn_rate']:.2f} over {slo['total']} fresh queries")
+PY
 
 echo "== SIGTERM mid-service: graceful drain"
 # Park a long query on the daemon so drain has a live straggler, then
