@@ -50,6 +50,7 @@ func cmdRegress(args []string, w io.Writer) error {
 
 	fmt.Fprintf(w, "comparing %s against baseline %s (tolerance %.0f%%)\n",
 		*freshPath, *baselinePath, *tolerance*100)
+	printMetaMismatch(w, base.Meta, fresh.Meta)
 	var regressed []string
 	for _, b := range base.Results {
 		f, ok := freshByKey[b.key()]
@@ -107,7 +108,31 @@ func (r regressResult) key() string {
 
 type regressFile struct {
 	Timestamp string          `json:"timestamp"`
+	Meta      *benchMeta      `json:"meta"`
 	Results   []regressResult `json:"results"`
+}
+
+// printMetaMismatch notes when the two files were produced on visibly
+// different environments. Speedups are dimensionless so the comparison
+// still gates, but a mismatch is the first thing to check when a result
+// moves — say so instead of leaving it to archaeology. Older files
+// without a meta block are skipped.
+func printMetaMismatch(w io.Writer, base, fresh *benchMeta) {
+	if base == nil || fresh == nil || *base == *fresh {
+		return
+	}
+	diff := func(field, b, f string) {
+		if b != f {
+			fmt.Fprintf(w, "  note: %s differs: baseline %q, fresh %q\n", field, b, f)
+		}
+	}
+	diff("go version", base.GoVersion, fresh.GoVersion)
+	diff("goarch", base.GOARCH, fresh.GOARCH)
+	diff("goos", base.GOOS, fresh.GOOS)
+	diff("cpu model", base.CPUModel, fresh.CPUModel)
+	if base.GOMAXPROCS != fresh.GOMAXPROCS {
+		fmt.Fprintf(w, "  note: gomaxprocs differs: baseline %d, fresh %d\n", base.GOMAXPROCS, fresh.GOMAXPROCS)
+	}
 }
 
 func loadRegressFile(path string) (*regressFile, error) {

@@ -120,6 +120,35 @@ func TestRegressRejectsBadInputs(t *testing.T) {
 	}
 }
 
+func TestRegressPrintsMetaMismatch(t *testing.T) {
+	base := writeBench(t, "base.json", `{"meta":{"go_version":"go1.24.0","goarch":"amd64","goos":"linux","gomaxprocs":8,"cpu_model":"Xeon"},
+	  "results":[{"name":"a","speedup":1.0}]}`)
+	fresh := writeBench(t, "fresh.json", `{"meta":{"go_version":"go1.24.0","goarch":"arm64","goos":"linux","gomaxprocs":4,"cpu_model":"Graviton"},
+	  "results":[{"name":"a","speedup":1.0}]}`)
+	var out bytes.Buffer
+	if err := cmdRegress([]string{"-baseline", base, "-fresh", fresh}, &out); err != nil {
+		t.Fatalf("matching speedups regressed: %v", err)
+	}
+	for _, want := range []string{
+		`goarch differs: baseline "amd64", fresh "arm64"`,
+		`cpu model differs: baseline "Xeon", fresh "Graviton"`,
+		"gomaxprocs differs: baseline 8, fresh 4",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing mismatch note %q:\n%s", want, out.String())
+		}
+	}
+	// Files without a meta block (older baselines, trie/scale files) stay silent.
+	old := writeBench(t, "old.json", `{"results":[{"name":"a","speedup":1.0}]}`)
+	out.Reset()
+	if err := cmdRegress([]string{"-baseline", old, "-fresh", fresh}, &out); err != nil {
+		t.Fatalf("meta-less baseline regressed: %v", err)
+	}
+	if strings.Contains(out.String(), "differs") {
+		t.Errorf("meta note printed without a baseline meta:\n%s", out.String())
+	}
+}
+
 // TestRegressCommittedBaselines keeps the gate wired to the real files CI
 // compares against: each committed BENCH_*.json must parse and pass a
 // self-comparison.

@@ -265,6 +265,7 @@ func (e *Engine) CountAllCtx(ctx context.Context, g graph.Adjacency, ps []*patte
 		}
 		w.st.Workers = []engine.WorkerStats{{Worker: t, Time: w.busy, Matches: w.total()}}
 		st.Add(&w.st)
+		w.release()
 	}
 	for _, c := range counts {
 		st.Matches += c
@@ -373,6 +374,20 @@ type azWorker struct {
 	bufB       [][]uint32
 	connV      []uint32 // scratch: data vertices behind a loop's connect
 	discV      []uint32 // scratch: data vertices behind a loop's disconnect
+
+	// arena backs the uint32 scratch above and the setops tile kernels;
+	// drawn from the package pool per execution and released at merge, so
+	// slabs reach a steady state across CountAll calls.
+	arena *setops.Arena
+	// wins is per-depth restriction-window scratch: exec runs once per
+	// partial embedding, so resolving branch windows must not allocate.
+	wins [][]azWindow
+}
+
+// azWindow is one branch's resolved restriction window at one depth.
+type azWindow struct {
+	lower, upper       uint32
+	hasLower, hasUpper bool
 }
 
 // total sums the worker's per-pattern counts (the executor flushes the
@@ -386,23 +401,35 @@ func (w *azWorker) total() uint64 {
 }
 
 func newAZWorker(g graph.Adjacency, patterns, maxDepth, maxDeg int, instrument bool) *azWorker {
+	ar := setops.GetArena()
 	w := &azWorker{
 		g:          g.View(),
 		volatile:   g.VolatileRows(),
 		instrument: instrument,
 		levels:     make([]engine.LevelStats, maxDepth),
 		counts:     make([]uint64, patterns),
-		match:      make([]uint32, maxDepth),
+		match:      ar.AllocN(maxDepth),
 		bufA:       make([][]uint32, maxDepth),
 		bufB:       make([][]uint32, maxDepth),
-		connV:      make([]uint32, 0, maxDepth),
-		discV:      make([]uint32, 0, maxDepth),
+		connV:      ar.Alloc(maxDepth),
+		discV:      ar.Alloc(maxDepth),
+		arena:      ar,
+		wins:       make([][]azWindow, maxDepth),
 	}
+	w.sst.Scratch = ar
 	for i := 0; i < maxDepth; i++ {
-		w.bufA[i] = make([]uint32, 0, maxDeg)
-		w.bufB[i] = make([]uint32, 0, maxDeg)
+		w.bufA[i] = ar.Alloc(maxDeg)
+		w.bufB[i] = ar.Alloc(maxDeg)
 	}
 	return w
+}
+
+// release returns the worker's arena to the package pool; the worker must
+// not be used afterwards.
+func (w *azWorker) release() {
+	w.sst.Scratch = nil
+	w.arena.Release()
+	w.arena = nil
 }
 
 func (w *azWorker) runRoot(tr *trie, lo, hi uint32) {
@@ -447,14 +474,12 @@ func (w *azWorker) exec(node *trieNode, depth int) {
 	cands := w.candidates(node, depth)
 
 	// Per-branch restriction windows depend only on the bound prefix, so
-	// compute them once per loop execution.
-	type window struct {
-		lower, upper       uint32
-		hasLower, hasUpper bool
-	}
-	wins := make([]window, len(node.branches))
-	for bi, br := range node.branches {
-		win := window{upper: ^uint32(0)}
+	// compute them once per loop execution, into per-depth scratch — this
+	// runs once per partial embedding and must not allocate at steady
+	// state.
+	wins := w.wins[depth][:0]
+	for _, br := range node.branches {
+		win := azWindow{upper: ^uint32(0)}
 		for _, j := range br.greater {
 			if w.match[j] >= win.lower {
 				win.lower, win.hasLower = w.match[j], true
@@ -465,8 +490,9 @@ func (w *azWorker) exec(node *trieNode, depth int) {
 				win.upper, win.hasUpper = w.match[j], true
 			}
 		}
-		wins[bi] = win
+		wins = append(wins, win)
 	}
+	w.wins[depth] = wins
 
 	w.levels[depth].Candidates += uint64(len(cands))
 	var ext uint64

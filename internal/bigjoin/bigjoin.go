@@ -406,6 +406,7 @@ func (e *Engine) run(ctx context.Context, g graph.Adjacency, p *pattern.Pattern,
 		w.st.AddLevel(w.level, w.lvl.Candidates, w.lvl.Extended)
 		w.st.Workers = []engine.WorkerStats{{Worker: w.id, Time: w.busy, Matches: w.count}}
 		st.Add(&w.st)
+		w.release()
 	}
 	st.Matches = total
 	st.TotalTime = time.Since(start)
@@ -444,11 +445,17 @@ type bjWorker struct {
 	byVertex []uint32
 	connV    []uint32 // scratch: data vertices behind Connect[level]
 	label    int32
+
+	// arena backs the candidate buffers (sized to the graph's max degree
+	// up front, so extend never regrows them) and the setops tile kernels;
+	// drawn from the package pool per execution, released at merge.
+	arena *setops.Arena
 }
 
 func newBJWorker(id int, g graph.Adjacency, pl *plan.Plan, level, batchSize int, out chan *batch, visit engine.Visitor, instrument bool) *bjWorker {
 	k := pl.Pattern.N()
-	return &bjWorker{
+	ar := setops.GetArena()
+	w := &bjWorker{
 		id:         id,
 		g:          g.View(),
 		pl:         pl,
@@ -459,12 +466,23 @@ func newBJWorker(id int, g graph.Adjacency, pl *plan.Plan, level, batchSize int,
 		visit:      visit,
 		instrument: instrument,
 		pending:    &batch{width: level + 1},
-		bufA:       make([]uint32, 0, 64),
-		bufB:       make([]uint32, 0, 64),
+		bufA:       ar.Alloc(g.MaxDegree()),
+		bufB:       ar.Alloc(g.MaxDegree()),
 		byVertex:   make([]uint32, k),
-		connV:      make([]uint32, 0, k),
+		connV:      ar.Alloc(k),
 		label:      pl.Pattern.Label(pl.Order[level]),
+		arena:      ar,
 	}
+	w.sst.Scratch = ar
+	return w
+}
+
+// release returns the worker's arena to the package pool; the worker must
+// not be used afterwards.
+func (w *bjWorker) release() {
+	w.sst.Scratch = nil
+	w.arena.Release()
+	w.arena = nil
 }
 
 func (w *bjWorker) process(b *batch) {

@@ -41,7 +41,7 @@ func TestCountingTriangleWritesNothing(t *testing.T) {
 	}
 }
 
-// The four path counters partition SetOps exactly, with and without the
+// The six path counters partition SetOps exactly, with and without the
 // hub-bitset index.
 func TestCountingStatsPathPartition(t *testing.T) {
 	for _, hub := range []bool{false, true} {
@@ -65,7 +65,8 @@ func TestCountingStatsPathPartition(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			sum := st.SetMergeOps + st.SetGallopOps + st.SetBitsetOps + st.SetCountOps
+			sum := st.SetMergeOps + st.SetGallopOps + st.SetBitsetOps + st.SetCountOps +
+				st.SetUnrolledOps + st.SetTileOps
 			if sum != st.SetOps {
 				t.Errorf("hub=%v %v: paths sum to %d, SetOps=%d", hub, p, sum, st.SetOps)
 			}

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"morphing/internal/dataset"
+	"morphing/internal/pattern"
+	"morphing/internal/plan"
+)
+
+// TestPooledArenaConcurrentExecutions is the arena-reuse race check: many
+// concurrent executions over one shared graph, each drawing pooled workers
+// whose private arenas are reset and recycled between runs. Under -race
+// this proves no arena (or carved buffer) is ever visible to two workers
+// at once; the count assertions prove reset/reuse never leaks one
+// execution's scratch into the next.
+func TestPooledArenaConcurrentExecutions(t *testing.T) {
+	g, err := dataset.ErdosRenyi(200, 22, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := make([]*plan.Plan, 0, 2)
+	for _, p := range []*pattern.Pattern{pattern.Triangle(), pattern.House()} {
+		pl, err := plan.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, pl)
+	}
+	// Reference counts with arenas disabled: fresh heap buffers per worker,
+	// nothing shared, nothing pooled.
+	want := make([]uint64, len(plans))
+	for i, pl := range plans {
+		n, _, err := Backtrack(g, pl, nil, ExecOptions{Threads: 2, NoArena: true}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = n
+	}
+	tr, err := plan.MergePlans(plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 6
+	const iters = 3
+	var wg sync.WaitGroup
+	for gr := 0; gr < goroutines; gr++ {
+		wg.Add(1)
+		go func(gr int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				// Alternate pattern per iteration so pooled workers get
+				// reshaped for different k/plan shapes, not just rebound.
+				i := (gr + it) % len(plans)
+				n, _, err := Backtrack(g, plans[i], nil, ExecOptions{Threads: 2}, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n != want[i] {
+					t.Errorf("goroutine %d iter %d plan %d: count %d, want %d", gr, it, i, n, want[i])
+					return
+				}
+				counts, _, err := BacktrackTrie(g, tr, ExecOptions{Threads: 2}, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := range counts {
+					if counts[j] != want[j] {
+						t.Errorf("goroutine %d iter %d trie plan %d: count %d, want %d", gr, it, j, counts[j], want[j])
+						return
+					}
+				}
+			}
+		}(gr)
+	}
+	wg.Wait()
+}
+
+// NoArena and arena-backed executions must agree exactly, and the arena
+// run must actually route dense levels through the tile kernel (the
+// NoArena run cannot: tile dispatch requires scratch). FourClique because
+// its middle level materializes full adjacency intersections — tile and
+// unrolled ops are charged only on materializing kernels; count-only
+// levels book under SetCountOps regardless of the kernel used.
+func TestNoArenaMatchesArenaCounts(t *testing.T) {
+	// Dense enough that adjacency lists clear tileMinLen.
+	g, err := dataset.ErdosRenyi(300, 140, 0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := plan.Build(pattern.FourClique())
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, stOff, err := Backtrack(g, pl, nil, ExecOptions{Threads: 2, NoArena: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, stOn, err := Backtrack(g, pl, nil, ExecOptions{Threads: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on != off {
+		t.Fatalf("arena=%d, no-arena=%d", on, off)
+	}
+	if stOff.SetTileOps != 0 {
+		t.Errorf("NoArena run charged %d tile ops; tile path needs scratch", stOff.SetTileOps)
+	}
+	if stOn.SetTileOps == 0 {
+		t.Error("arena run never took the tile path on a dense graph")
+	}
+	if stOn.SetUnrolledOps == 0 {
+		t.Error("arena run never took the unrolled path")
+	}
+}

@@ -37,6 +37,12 @@ type ExecOptions struct {
 	// steal.go). On by default; the switch exists for A/B skew
 	// measurements and debugging.
 	NoTailSteal bool
+	// NoArena disables the pooled per-worker slab arenas that back the
+	// executor's prefix-set scratch (and the setops tile kernels), making
+	// every execution allocate fresh worker scratch from the GC heap. On
+	// by default; the switch exists for A/B allocation measurements
+	// (morphbench kernels reports both trajectories) and debugging.
+	NoArena bool
 }
 
 // ThreadCount resolves the effective worker count (GOMAXPROCS when
@@ -110,118 +116,59 @@ func BacktrackCtx(ctx context.Context, g graph.Adjacency, pl *plan.Plan, visit V
 	// readers (progress, /metrics) see movement without slowing matching.
 	liveMatches := o.Counter(MetricMatches)
 
-	var cursor int64
-	var found uint64 // shared early-termination counter (MatchLimit only)
-	var wg sync.WaitGroup
-	done := ctx.Done()
-	var abort atomic.Bool // set by cancellation or a worker panic
-	var panicOnce sync.Once
-	var panicErr *PanicError // first recovered panic wins
 	maxDeg := g.MaxDegree()
-	workers := make([]*btWorker, threads)
-	ranges := make([]*vertexRange, threads)
+	e := getBTExec(threads)
+	e.blockSize = blockSize
+	e.numBlocks = numBlocks
+	e.n = n
+	e.noTailSteal = opts.NoTailSteal
+	e.done = ctx.Done()
+	e.fi = fi
+	e.live = liveMatches
 	for t := 0; t < threads; t++ {
-		workers[t] = newBTWorker(t, g, pl, visit, opts.Instrument, maxDeg)
+		w := getBTWorker(t, g, pl, visit, opts.Instrument, maxDeg, opts.NoArena)
 		if opts.MatchLimit > 0 {
-			workers[t].limit = opts.MatchLimit
-			workers[t].found = &found
+			w.limit = opts.MatchLimit
+			w.found = &e.found
 		}
-		ranges[t] = &workers[t].rng
+		w.exec = e
+		e.workers[t] = w
+		e.ranges[t] = &w.rng
 	}
 	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(w *btWorker) {
-			defer wg.Done()
-			// Busy time: the whole work loop, including the tail where a
-			// worker keeps descending under its last root after the block
-			// cursor is exhausted — exactly the straggler signature the
-			// per-worker histograms exist to expose. Registered before the
-			// recover defer so panicking workers report their time too.
-			t0 := time.Now()
-			defer func() { w.busy = time.Since(t0) }()
-			// Panic containment: a visitor panic must not unwind past the
-			// worker goroutine (that would kill the process). Record the
-			// first one, abort the siblings, keep this worker's partial
-			// counters — they are merged like any other worker's below.
-			defer func() {
-				if r := recover(); r != nil {
-					pe := &PanicError{Worker: w.id, Value: r, Stack: debug.Stack()}
-					panicOnce.Do(func() { panicErr = pe })
-					abort.Store(true)
-				}
-			}()
-			for {
-				if abort.Load() {
-					return
-				}
-				select {
-				case <-done:
-					abort.Store(true)
-					return
-				default:
-				}
-				if w.limit > 0 && atomic.LoadUint64(w.found) >= w.limit {
-					return
-				}
-				b := int(atomic.AddInt64(&cursor, 1)) - 1
-				if b >= numBlocks {
-					break
-				}
-				lo := uint32(b * blockSize)
-				hi := uint32((b + 1) * blockSize)
-				if hi > uint32(n) {
-					hi = uint32(n)
-				}
-				w.rng.reset(lo, hi, !opts.NoTailSteal)
-				// After reset: a stall-injected straggler holds an armed,
-				// stealable range, the scenario tail stealing exists for.
-				fi.BlockClaimed(w.id)
-				before := w.count
-				w.runRoot()
-				liveMatches.Add(w.id, w.count-before)
-			}
-			// Tail: the cursor is dry but a sibling may still be grinding
-			// through a heavy block — split its remaining range and take the
-			// upper half (once per block, see steal.go).
-			for !opts.NoTailSteal {
-				if abort.Load() {
-					return
-				}
-				select {
-				case <-done:
-					abort.Store(true)
-					return
-				default:
-				}
-				if w.limit > 0 && atomic.LoadUint64(w.found) >= w.limit {
-					return
-				}
-				lo, hi, ok := stealFrom(ranges, w.id)
-				if !ok {
-					return
-				}
-				w.steals++
-				w.rng.reset(lo, hi, false)
-				before := w.count
-				w.runRoot()
-				liveMatches.Add(w.id, w.count-before)
-			}
-		}(workers[t])
+		e.wg.Add(1)
+		// w.spawn is a pre-bound zero-argument thunk created once per
+		// worker lifetime: `go f(args)` heap-allocates a wrapper to carry
+		// the arguments, while `go w.spawn()` reuses the existing funcval
+		// and allocates nothing beyond the goroutine itself.
+		go e.workers[t].spawn()
 	}
-	wg.Wait()
+	e.wg.Wait()
 
 	total := uint64(0)
-	st := &Stats{}
-	for _, w := range workers {
+	// Exact capacities: AddLevel tops out at the pattern size and Add
+	// appends one WorkerStats per worker, so the merged snapshot is three
+	// allocations (it escapes to the caller and cannot be pooled).
+	st := &Stats{
+		Levels:  make([]LevelStats, 0, pl.Pattern.N()),
+		Workers: make([]WorkerStats, 0, threads),
+	}
+	for _, w := range e.workers {
 		total += w.count
 		w.st.TailSteals += w.steals
 		w.st.AddSetops(w.sst)
 		for i, l := range w.levels {
 			w.st.AddLevel(i, l.Candidates, l.Extended)
 		}
-		w.st.Workers = []WorkerStats{{Worker: w.id, Time: w.busy, Matches: w.count}}
+		// Stats.Add copies entries by value, so the worker-owned backing
+		// array is safe to lend here and reuse on the next execution.
+		w.wstats[0] = WorkerStats{Worker: w.id, Time: w.busy, Matches: w.count}
+		w.st.Workers = w.wstats[:]
 		st.Add(&w.st)
+		w.release()
 	}
+	aborted, panicErr := e.abort.Load(), e.panicErr
+	e.release()
 	st.Matches = total
 	st.TotalTime = time.Since(start)
 	PublishStats(o, st)
@@ -229,11 +176,150 @@ func BacktrackCtx(ctx context.Context, g graph.Adjacency, pl *plan.Plan, visit V
 		PublishAbort(o, panicErr)
 		return total, st, panicErr
 	}
-	if err := CtxErr(ctx); err != nil && abort.Load() {
+	if err := CtxErr(ctx); err != nil && aborted {
 		PublishAbort(o, err)
 		return total, st, err
 	}
 	return total, st, nil
+}
+
+// btExec is the shared per-execution state of one BacktrackCtx call: the
+// block cursor, abort/panic latches, and the worker/range tables the
+// goroutines coordinate through. It exists as a pooled struct (rather
+// than locals captured by goroutine closures) for the allocation
+// trajectory: locals captured by N closures escape one by one, while a
+// single pooled carrier costs nothing in steady state, and `go e.run(w)`
+// spawns workers without materializing a closure at all.
+type btExec struct {
+	cursor int64  // atomic block claim cursor; leading for 64-bit alignment
+	found  uint64 // shared early-termination counter (MatchLimit only)
+
+	wg          sync.WaitGroup
+	abort       atomic.Bool // set by cancellation or a worker panic
+	panicOnce   sync.Once
+	panicErr    *PanicError // first recovered panic wins
+	done        <-chan struct{}
+	fi          *faultinject.Injector
+	live        *obs.Counter
+	blockSize   int
+	numBlocks   int
+	n           int
+	noTailSteal bool
+	workers     []*btWorker
+	ranges      []*vertexRange
+}
+
+var btExecPool = sync.Pool{New: func() any { return new(btExec) }}
+
+// getBTExec returns an execution carrier with clean latches and tables
+// sized for the worker count, reusing pooled capacity.
+func getBTExec(threads int) *btExec {
+	e := btExecPool.Get().(*btExec)
+	e.cursor, e.found = 0, 0
+	e.abort.Store(false)
+	e.panicOnce = sync.Once{}
+	e.panicErr = nil
+	if cap(e.workers) < threads {
+		e.workers = make([]*btWorker, threads)
+		e.ranges = make([]*vertexRange, threads)
+	} else {
+		e.workers = e.workers[:threads]
+		e.ranges = e.ranges[:threads]
+	}
+	return e
+}
+
+// release drops every per-execution reference (workers are already back
+// in their own pool; keeping them reachable here would alias the next
+// execution's state) and returns the carrier to the pool.
+func (e *btExec) release() {
+	clear(e.workers)
+	clear(e.ranges)
+	e.done = nil
+	e.fi = nil
+	e.live = nil
+	e.panicErr = nil
+	btExecPool.Put(e)
+}
+
+// run is one worker goroutine's work loop: claim blocks while the cursor
+// lasts, then steal tails from straggling siblings.
+func (e *btExec) run(w *btWorker) {
+	defer e.wg.Done()
+	// Busy time: the whole work loop, including the tail where a
+	// worker keeps descending under its last root after the block
+	// cursor is exhausted — exactly the straggler signature the
+	// per-worker histograms exist to expose. Registered before the
+	// recover defer so panicking workers report their time too.
+	t0 := time.Now()
+	defer func() { w.busy = time.Since(t0) }()
+	// Panic containment: a visitor panic must not unwind past the
+	// worker goroutine (that would kill the process). Record the
+	// first one, abort the siblings, keep this worker's partial
+	// counters — they are merged like any other worker's below.
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &PanicError{Worker: w.id, Value: r, Stack: debug.Stack()}
+			e.panicOnce.Do(func() { e.panicErr = pe })
+			e.abort.Store(true)
+		}
+	}()
+	for {
+		if e.abort.Load() {
+			return
+		}
+		select {
+		case <-e.done:
+			e.abort.Store(true)
+			return
+		default:
+		}
+		if w.limit > 0 && atomic.LoadUint64(w.found) >= w.limit {
+			return
+		}
+		b := int(atomic.AddInt64(&e.cursor, 1)) - 1
+		if b >= e.numBlocks {
+			break
+		}
+		lo := uint32(b * e.blockSize)
+		hi := uint32((b + 1) * e.blockSize)
+		if hi > uint32(e.n) {
+			hi = uint32(e.n)
+		}
+		w.rng.reset(lo, hi, !e.noTailSteal)
+		// After reset: a stall-injected straggler holds an armed,
+		// stealable range, the scenario tail stealing exists for.
+		e.fi.BlockClaimed(w.id)
+		before := w.count
+		w.runRoot()
+		e.live.Add(w.id, w.count-before)
+	}
+	// Tail: the cursor is dry but a sibling may still be grinding
+	// through a heavy block — split its remaining range and take the
+	// upper half (once per block, see steal.go).
+	for !e.noTailSteal {
+		if e.abort.Load() {
+			return
+		}
+		select {
+		case <-e.done:
+			e.abort.Store(true)
+			return
+		default:
+		}
+		if w.limit > 0 && atomic.LoadUint64(w.found) >= w.limit {
+			return
+		}
+		lo, hi, ok := stealFrom(e.ranges, w.id)
+		if !ok {
+			return
+		}
+		w.steals++
+		w.rng.reset(lo, hi, false)
+		before := w.count
+		w.runRoot()
+		e.live.Add(w.id, w.count-before)
+	}
 }
 
 type btWorker struct {
@@ -261,32 +347,119 @@ type btWorker struct {
 	labels   []int32  // required label per level (pattern.Unlabeled = any)
 	connV    []uint32 // scratch: data vertices behind Connect[i]
 	discV    []uint32 // scratch: data vertices behind Disconnect[i]
+
+	// Pooling state. A pooled worker keeps its slab arena — and the
+	// prefix-set buffers carved from it — across executions, so a worker
+	// reused at the same (pattern size, max degree) shape allocates
+	// nothing. wstats backs st.Workers so the merge loop does not allocate
+	// a one-element slice per worker per execution.
+	arena  *setops.Arena // backs scratch and kernel tiles; nil under NoArena
+	k      int           // pattern size the scratch is shaped for
+	maxDeg int           // buffer capacity the scratch is shaped for
+	wstats [1]WorkerStats
+
+	// exec is the current execution's carrier, set by BacktrackCtx before
+	// spawn runs and cleared on release. spawn is the pre-bound goroutine
+	// entry (`go w.spawn()`), allocated once per worker lifetime — see the
+	// spawn loop in BacktrackCtx for why it is not `go e.run(w)`.
+	exec  *btExec
+	spawn func()
 }
 
-func newBTWorker(id int, g graph.Adjacency, pl *plan.Plan, visit Visitor, instrument bool, maxDeg int) *btWorker {
-	k := pl.Pattern.N()
-	w := &btWorker{
-		id:         id,
-		g:          g.View(),
-		volatile:   g.VolatileRows(),
-		pl:         pl,
-		visit:      visit,
-		instrument: instrument,
-		levels:     make([]LevelStats, k),
-		match:      make([]uint32, k),
-		byVertex:   make([]uint32, k),
-		bufA:       make([][]uint32, k),
-		bufB:       make([][]uint32, k),
-		labels:     make([]int32, k),
-		connV:      make([]uint32, 0, k),
-		discV:      make([]uint32, 0, k),
+// btWorkerPool recycles workers (and the arenas inside them) across
+// executions. NoArena workers bypass it so A/B allocation measurements
+// see the unpooled trajectory.
+var btWorkerPool = sync.Pool{New: func() any { return new(btWorker) }}
+
+// getBTWorker returns a worker shaped for the plan, pooled unless noArena.
+func getBTWorker(id int, g graph.Adjacency, pl *plan.Plan, visit Visitor, instrument bool, maxDeg int, noArena bool) *btWorker {
+	var w *btWorker
+	if noArena {
+		w = new(btWorker)
+	} else {
+		w = btWorkerPool.Get().(*btWorker)
+		if w.arena == nil {
+			w.arena = setops.GetArena()
+		}
 	}
+	if w.spawn == nil {
+		w.spawn = func() { w.exec.run(w) }
+	}
+	k := pl.Pattern.N()
+	if w.k != k || w.maxDeg < maxDeg {
+		w.reshape(k, maxDeg)
+	}
+	w.id = id
+	w.g = g.View()
+	w.volatile = g.VolatileRows()
+	w.pl = pl
+	w.visit = visit
+	w.instrument = instrument
 	for i := 0; i < k; i++ {
-		w.bufA[i] = make([]uint32, 0, maxDeg)
-		w.bufB[i] = make([]uint32, 0, maxDeg)
 		w.labels[i] = pl.Pattern.Label(pl.Order[i])
 	}
+	clear(w.levels)
+	w.resetStats()
+	w.busy = 0
+	w.count = 0
+	w.steals = 0
+	w.limit = 0
+	w.found = nil
+	w.rng.reset(0, 0, false) // neutralize any stale armed range before siblings can steal
 	return w
+}
+
+// reshape (re)builds the worker's scratch for a new (k, maxDeg) shape.
+// With an arena attached every uint32 buffer is carved from it — after a
+// Reset, since the previous shape's buffers alias the same slabs.
+func (w *btWorker) reshape(k, maxDeg int) {
+	w.k, w.maxDeg = k, maxDeg
+	if w.arena != nil {
+		w.arena.Reset()
+	}
+	alloc := func(n int) []uint32 {
+		if w.arena != nil {
+			return w.arena.Alloc(n)
+		}
+		return make([]uint32, 0, n)
+	}
+	w.levels = make([]LevelStats, k)
+	w.match = alloc(k)[:k]
+	w.byVertex = alloc(k)[:k]
+	w.bufA = make([][]uint32, k)
+	w.bufB = make([][]uint32, k)
+	w.labels = make([]int32, k)
+	w.connV = alloc(k)
+	w.discV = alloc(k)
+	for i := 0; i < k; i++ {
+		w.bufA[i] = alloc(maxDeg)
+		w.bufB[i] = alloc(maxDeg)
+	}
+}
+
+// resetStats clears the per-execution counters while keeping the slice
+// capacity the previous execution grew (Stats.Add copies entries out, so
+// reuse cannot alias the merged snapshot).
+func (w *btWorker) resetStats() {
+	lv, wk, tn := w.st.Levels[:0], w.st.Workers[:0], w.st.TrieNodes[:0]
+	w.st = Stats{}
+	w.st.Levels, w.st.Workers, w.st.TrieNodes = lv, wk, tn
+	w.sst = setops.Stats{Scratch: w.arena}
+}
+
+// release returns a pooled worker to the pool, dropping per-execution
+// references so a pooled worker never pins a graph, plan or visitor.
+// NoArena workers are simply dropped for the GC to take.
+func (w *btWorker) release() {
+	if w.arena == nil {
+		return
+	}
+	w.g = nil
+	w.pl = nil
+	w.visit = nil
+	w.found = nil
+	w.exec = nil
+	btWorkerPool.Put(w)
 }
 
 // runRoot explores matches whose level-0 vertex lies in the worker's

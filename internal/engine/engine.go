@@ -67,13 +67,15 @@ type Engine interface {
 // workers are still running (progress, /metrics), engines publish into
 // the sharded cells of an obs.Registry instead.
 type Stats struct {
-	SetOps       uint64 // sorted-set operations executed
-	SetElems     uint64 // elements scanned by set operations
-	SetMergeOps  uint64 // operations served by the two-pointer merge path
-	SetGallopOps uint64 // operations served by the galloping path
-	SetBitsetOps uint64 // operations served by hub-bitset probes
-	SetCountOps  uint64 // count-only operations (no destination writes)
-	SetWritten   uint64 // elements written to destination slices
+	SetOps         uint64 // sorted-set operations executed
+	SetElems       uint64 // elements scanned by set operations
+	SetMergeOps    uint64 // operations served by the two-pointer merge path
+	SetGallopOps   uint64 // operations served by the galloping path
+	SetBitsetOps   uint64 // operations served by hub-bitset probes
+	SetCountOps    uint64 // count-only operations (no destination writes)
+	SetUnrolledOps uint64 // operations served by the branchless unrolled merge
+	SetTileOps     uint64 // operations served by the block-bitmap tile kernel
+	SetWritten     uint64 // elements written to destination slices
 	Materialized uint64 // vertices written into emitted matches
 	UDFCalls     uint64 // user-defined-function invocations
 	Branches     uint64 // data-dependent branches (edge probes, filters)
@@ -187,6 +189,8 @@ func (s *Stats) Add(other *Stats) {
 	s.SetGallopOps += other.SetGallopOps
 	s.SetBitsetOps += other.SetBitsetOps
 	s.SetCountOps += other.SetCountOps
+	s.SetUnrolledOps += other.SetUnrolledOps
+	s.SetTileOps += other.SetTileOps
 	s.SetWritten += other.SetWritten
 	s.Materialized += other.Materialized
 	s.UDFCalls += other.UDFCalls
@@ -258,5 +262,7 @@ func (s *Stats) AddSetops(o setops.Stats) {
 	s.SetGallopOps += o.GallopOps
 	s.SetBitsetOps += o.BitsetOps
 	s.SetCountOps += o.CountOps
+	s.SetUnrolledOps += o.UnrolledOps
+	s.SetTileOps += o.TileOps
 	s.SetWritten += o.Written
 }

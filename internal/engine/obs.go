@@ -22,16 +22,18 @@ const (
 	MetricUDFCalls     = "engine_udf_calls_total"
 	MetricBranches     = "engine_branches_total"
 
-	// Kernel path breakdown: which adaptive path (merge, gallop, hub
-	// bitset, count-only) served each set operation, and how many elements
-	// were written to destination slices. The four path counters partition
-	// MetricSetOps; MetricSetWritten staying flat while matching counts
-	// proves the last level ran without materialization.
-	MetricSetMergeOps  = "engine_set_merge_ops_total"
-	MetricSetGallopOps = "engine_set_gallop_ops_total"
-	MetricSetBitsetOps = "engine_set_bitset_ops_total"
-	MetricSetCountOps  = "engine_set_countonly_ops_total"
-	MetricSetWritten   = "engine_set_written_elems_total"
+	// Kernel path breakdown: which adaptive path (merge, unrolled, tile,
+	// gallop, hub bitset, count-only) served each set operation, and how
+	// many elements were written to destination slices. The six path
+	// counters partition MetricSetOps; MetricSetWritten staying flat while
+	// matching counts proves the last level ran without materialization.
+	MetricSetMergeOps    = "engine_set_merge_ops_total"
+	MetricSetGallopOps   = "engine_set_gallop_ops_total"
+	MetricSetBitsetOps   = "engine_set_bitset_ops_total"
+	MetricSetCountOps    = "engine_set_countonly_ops_total"
+	MetricSetUnrolledOps = "engine_set_unrolled_ops_total"
+	MetricSetTileOps     = "engine_set_tile_ops_total"
+	MetricSetWritten     = "engine_set_written_elems_total"
 
 	MetricSetOpTimeNS       = "engine_setop_time_ns_total"
 	MetricMaterializeTimeNS = "engine_materialize_time_ns_total"
@@ -85,6 +87,8 @@ func PublishStats(o *obs.Observer, st *Stats) {
 	o.Counter(MetricSetGallopOps).Add(0, st.SetGallopOps)
 	o.Counter(MetricSetBitsetOps).Add(0, st.SetBitsetOps)
 	o.Counter(MetricSetCountOps).Add(0, st.SetCountOps)
+	o.Counter(MetricSetUnrolledOps).Add(0, st.SetUnrolledOps)
+	o.Counter(MetricSetTileOps).Add(0, st.SetTileOps)
 	o.Counter(MetricSetWritten).Add(0, st.SetWritten)
 	o.Counter(MetricMaterialized).Add(0, st.Materialized)
 	o.Counter(MetricUDFCalls).Add(0, st.UDFCalls)
@@ -114,9 +118,28 @@ func PublishStats(o *obs.Observer, st *Stats) {
 	}
 }
 
+// levelMetricCacheSize bounds the precomputed per-level metric name
+// tables. Real plans have single-digit levels; anything past the cache
+// falls back to formatting.
+const levelMetricCacheSize = 32
+
+var levelCandidatesNames, levelExtendedNames = func() ([levelMetricCacheSize]string, [levelMetricCacheSize]string) {
+	var c, e [levelMetricCacheSize]string
+	for i := range c {
+		c[i] = fmt.Sprintf("engine_level_%d_candidates_total", i)
+		e[i] = fmt.Sprintf("engine_level_%d_extended_total", i)
+	}
+	return c, e
+}()
+
 // LevelCandidatesMetric names the per-level candidate counter for
 // exploration level i (flat names — the registry has no label support).
+// Names for realistic level counts are precomputed so PublishStats does
+// not allocate on the per-execution hot path.
 func LevelCandidatesMetric(i int) string {
+	if i < levelMetricCacheSize {
+		return levelCandidatesNames[i]
+	}
 	return fmt.Sprintf("engine_level_%d_candidates_total", i)
 }
 
@@ -124,6 +147,9 @@ func LevelCandidatesMetric(i int) string {
 // Extended/Candidates at one level is the measured selectivity the cost
 // model's candidate-set estimates must track.
 func LevelExtendedMetric(i int) string {
+	if i < levelMetricCacheSize {
+		return levelExtendedNames[i]
+	}
 	return fmt.Sprintf("engine_level_%d_extended_total", i)
 }
 

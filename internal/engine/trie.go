@@ -109,7 +109,7 @@ func BacktrackTrieCtx(ctx context.Context, g graph.Adjacency, tr *plan.Trie, opt
 	ranges := make([]*vertexRange, threads)
 	info := buildTrieExecInfo(tr)
 	for t := 0; t < threads; t++ {
-		workers[t] = newTrieWorker(t, g, tr, info, opts.Instrument, maxDeg)
+		workers[t] = getTrieWorker(t, g, tr, info, opts.Instrument, maxDeg, opts.NoArena)
 		ranges[t] = &workers[t].rng
 	}
 	for t := 0; t < threads; t++ {
@@ -193,7 +193,10 @@ func BacktrackTrieCtx(ctx context.Context, g graph.Adjacency, tr *plan.Trie, opt
 		for i, l := range w.levels {
 			w.st.AddLevel(i, l.Candidates, l.Extended)
 		}
-		w.st.Workers = []WorkerStats{{Worker: w.id, Time: w.busy, Matches: w.total()}}
+		// Stats.Add copies entries by value, so the worker-owned backing
+		// array is safe to lend here and reuse on the next execution.
+		w.wstats[0] = WorkerStats{Worker: w.id, Time: w.busy, Matches: w.total()}
+		w.st.Workers = w.wstats[:]
 		st.Add(&w.st)
 	}
 	tr.Walk(func(node *plan.TrieNode) {
@@ -205,6 +208,9 @@ func BacktrackTrieCtx(ctx context.Context, g graph.Adjacency, tr *plan.Trie, opt
 		}
 		st.AddTrieNode(agg)
 	})
+	for _, w := range workers {
+		w.release()
+	}
 	for _, c := range counts {
 		st.Matches += c
 	}
@@ -320,6 +326,14 @@ type trieWorker struct {
 	wins  [][]trieWin
 	connV []uint32
 	discV []uint32
+
+	// Pooling state, mirroring btWorker: a pooled worker keeps its arena
+	// and the scratch carved from it, so reuse at the same shape allocates
+	// nothing; wstats backs st.Workers across executions.
+	arena  *setops.Arena // nil under NoArena
+	d      int           // trie depth the scratch is shaped for
+	maxDeg int           // buffer capacity the scratch is shaped for
+	wstats [1]WorkerStats
 }
 
 // trieWin is one branch's resolved symmetry window, half-open [lo, hi).
@@ -335,33 +349,89 @@ func (w *trieWorker) total() uint64 {
 	return t
 }
 
-func newTrieWorker(id int, g graph.Adjacency, tr *plan.Trie, info []trieExecInfo, instrument bool, maxDeg int) *trieWorker {
+// trieWorkerPool recycles trie workers (and their arenas) across passes,
+// mirroring btWorkerPool.
+var trieWorkerPool = sync.Pool{New: func() any { return new(trieWorker) }}
+
+// getTrieWorker returns a worker shaped for the trie, pooled unless
+// noArena.
+func getTrieWorker(id int, g graph.Adjacency, tr *plan.Trie, info []trieExecInfo, instrument bool, maxDeg int, noArena bool) *trieWorker {
+	var w *trieWorker
+	if noArena {
+		w = new(trieWorker)
+	} else {
+		w = trieWorkerPool.Get().(*trieWorker)
+		if w.arena == nil {
+			w.arena = setops.GetArena()
+		}
+	}
 	d := tr.MaxDepth
-	w := &trieWorker{
-		id:         id,
-		g:          g.View(),
-		volatile:   g.VolatileRows(),
-		tr:         tr,
-		info:       info,
-		instrument: instrument,
-		levels:     make([]LevelStats, d),
-		counts:     make([]uint64, len(tr.Plans)),
-		nodeEnters: make([]uint64, tr.Nodes),
-		nodeCands:  make([]uint64, tr.Nodes),
-		nodeExt:    make([]uint64, tr.Nodes),
-		match:      make([]uint32, d),
-		bufA:       make([][]uint32, d),
-		bufB:       make([][]uint32, d),
-		raw:        make([][]uint32, d),
-		wins:       make([][]trieWin, d),
-		connV:      make([]uint32, 0, d),
-		discV:      make([]uint32, 0, d),
+	if w.d != d || w.maxDeg < maxDeg || len(w.counts) != len(tr.Plans) || len(w.nodeEnters) != tr.Nodes {
+		w.reshape(d, maxDeg, len(tr.Plans), tr.Nodes)
 	}
-	for i := 0; i < d; i++ {
-		w.bufA[i] = make([]uint32, 0, maxDeg)
-		w.bufB[i] = make([]uint32, 0, maxDeg)
-	}
+	w.id = id
+	w.g = g.View()
+	w.volatile = g.VolatileRows()
+	w.tr = tr
+	w.info = info
+	w.instrument = instrument
+	clear(w.levels)
+	clear(w.counts)
+	clear(w.nodeEnters)
+	clear(w.nodeCands)
+	clear(w.nodeExt)
+	lv, wk, tn := w.st.Levels[:0], w.st.Workers[:0], w.st.TrieNodes[:0]
+	w.st = Stats{}
+	w.st.Levels, w.st.Workers, w.st.TrieNodes = lv, wk, tn
+	w.sst = setops.Stats{Scratch: w.arena}
+	w.busy = 0
+	w.steals = 0
+	w.rng.reset(0, 0, false) // neutralize any stale armed range
 	return w
+}
+
+// reshape (re)builds the worker's scratch for a new trie shape, carving
+// every uint32 buffer from the arena when one is attached (after a Reset,
+// since the previous shape's buffers alias the same slabs).
+func (w *trieWorker) reshape(d, maxDeg, plans, nodes int) {
+	w.d, w.maxDeg = d, maxDeg
+	if w.arena != nil {
+		w.arena.Reset()
+	}
+	alloc := func(n int) []uint32 {
+		if w.arena != nil {
+			return w.arena.Alloc(n)
+		}
+		return make([]uint32, 0, n)
+	}
+	w.levels = make([]LevelStats, d)
+	w.counts = make([]uint64, plans)
+	w.nodeEnters = make([]uint64, nodes)
+	w.nodeCands = make([]uint64, nodes)
+	w.nodeExt = make([]uint64, nodes)
+	w.match = alloc(d)[:d]
+	w.bufA = make([][]uint32, d)
+	w.bufB = make([][]uint32, d)
+	w.raw = make([][]uint32, d)
+	w.wins = make([][]trieWin, d)
+	w.connV = alloc(d)
+	w.discV = alloc(d)
+	for i := 0; i < d; i++ {
+		w.bufA[i] = alloc(maxDeg)
+		w.bufB[i] = alloc(maxDeg)
+	}
+}
+
+// release returns a pooled worker to the pool, dropping per-pass
+// references; NoArena workers are dropped for the GC.
+func (w *trieWorker) release() {
+	if w.arena == nil {
+		return
+	}
+	w.g = nil
+	w.tr = nil
+	w.info = nil
+	trieWorkerPool.Put(w)
 }
 
 // runRoot scans the worker's armed level-0 range, claiming vertices one

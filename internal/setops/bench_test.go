@@ -118,3 +118,102 @@ func BenchmarkCountWindowArithmetic(b *testing.B) {
 		sink += CountF(x, Window(1<<8, 1<<19), &st)
 	}
 }
+
+// Dense inputs within a narrow ID range: with an arena attached the
+// dispatcher takes the block-bitmap tile path; without one it falls back
+// to the unrolled merge. Run both to see the tile win in isolation.
+func BenchmarkIntersectDenseTile(b *testing.B) {
+	x, y := benchSets(4096, 4096, 1<<14, 9)
+	dst := make([]uint32, 0, 4096)
+	st := Stats{Scratch: NewArena()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Intersect(dst, x, y, &st)
+	}
+	if st.TileOps == 0 {
+		b.Fatal("dense benchmark never took the tile path")
+	}
+	sink += uint64(len(dst))
+}
+
+func BenchmarkIntersectDenseNoArena(b *testing.B) {
+	x, y := benchSets(4096, 4096, 1<<14, 9)
+	dst := make([]uint32, 0, 4096)
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Intersect(dst, x, y, &st)
+	}
+	sink += uint64(len(dst))
+}
+
+func BenchmarkDifferenceDenseTile(b *testing.B) {
+	x, y := benchSets(4096, 4096, 1<<14, 10)
+	dst := make([]uint32, 0, 4096)
+	st := Stats{Scratch: NewArena()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Difference(dst, x, y, &st)
+	}
+	if st.TileOps == 0 {
+		b.Fatal("dense benchmark never took the tile path")
+	}
+	sink += uint64(len(dst))
+}
+
+func BenchmarkIntersectCountDenseTile(b *testing.B) {
+	x, y := benchSets(4096, 4096, 1<<14, 11)
+	st := Stats{Scratch: NewArena()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += IntersectCount(x, y, &st)
+	}
+}
+
+// FilterAbove and Remove both route through the arena-aware dst
+// convention now; these pin their cost (satellite of the kernel rework).
+func BenchmarkFilterAbove(b *testing.B) {
+	r := rand.New(rand.NewSource(12))
+	x := denseSet(r, 4096, 1<<20)
+	dst := make([]uint32, 0, 4096)
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = FilterAbove(dst, x, 1<<19, &st)
+	}
+	sink += uint64(len(dst))
+}
+
+func BenchmarkRemove(b *testing.B) {
+	r := rand.New(rand.NewSource(13))
+	x := denseSet(r, 4096, 1<<20)
+	mid := x[len(x)/2]
+	dst := make([]uint32, 0, 4096)
+	var st Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Remove(dst, x, mid, &st)
+	}
+	sink += uint64(len(dst))
+}
+
+// Arena allocation trajectory: carve a worker's worth of scratch, reset,
+// repeat. Steady state must be zero allocs/op.
+func BenchmarkArenaCarveReset(b *testing.B) {
+	a := NewArena()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Reset()
+		for j := 0; j < 8; j++ {
+			buf := a.Alloc(4096)
+			sink += uint64(cap(buf))
+		}
+	}
+}

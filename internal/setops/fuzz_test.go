@@ -31,11 +31,16 @@ func decodeSet(raw []byte) []uint32 {
 }
 
 // FuzzKernels differentially checks every adaptive kernel — merge,
-// gallop, bitset and count-only paths, with and without fused windows and
-// label filters — against the naive reference merges on random sorted
-// inputs. The seeded corpus covers the edge shapes the dispatcher
-// branches on: empty sides, identical sides, fully disjoint sides, single
-// elements, skew past the galloping threshold, and degenerate windows.
+// unrolled, tile, gallop, bitset and count-only paths, with and without
+// fused windows and label filters — against the naive reference merges on
+// random sorted inputs. The public dispatchers run both with and without
+// an arena (the arena enables the tile path), and the unrolled and tile
+// kernels are additionally called directly so dispatch thresholds cannot
+// hide them from short adversarial shapes. The seeded corpus covers the
+// edge shapes the dispatcher branches on: empty sides, identical sides,
+// fully disjoint sides, single elements, skew past the galloping
+// threshold, degenerate windows, dense contiguous ranges past tileMinLen,
+// and long runs of equal prefixes.
 func FuzzKernels(f *testing.F) {
 	f.Add([]byte{}, []byte{}, uint32(0), uint32(0), byte(0))
 	f.Add([]byte{0, 1, 0, 3, 0, 5}, []byte{}, uint32(0), uint32(fuzzMax), byte(1))
@@ -50,6 +55,27 @@ func FuzzKernels(f *testing.F) {
 	}
 	f.Add([]byte{0, 100}, long, uint32(50), uint32(150), byte(1))
 	f.Add(long, []byte{0, 100}, uint32(0), uint32(fuzzMax), byte(2))
+	// Dense contiguous ranges past tileMinLen: both sides saturate a shared
+	// vertex range, so the dispatcher (with an arena attached) takes the
+	// block-bitmap tile path, and the unrolled kernels see their worst case
+	// of equal runs.
+	denseA := make([]byte, 0, 4*tileMinLen)
+	denseB := make([]byte, 0, 4*tileMinLen)
+	for i := 0; i < 2*tileMinLen; i++ {
+		denseA = append(denseA, byte(i>>8), byte(i))
+		if i%2 == 0 || i > tileMinLen {
+			denseB = append(denseB, byte(i>>8), byte(i))
+		}
+	}
+	f.Add(denseA, denseB, uint32(0), uint32(fuzzMax), byte(0))
+	f.Add(denseA, denseA, uint32(10), uint32(200), byte(1)) // identical dense sides
+	// Runs of equal prefixes that diverge at the tail: the 4-wide block
+	// guards never skip, forcing the branchless inner steps the whole way.
+	eqPrefix := make([]byte, 0, 4*unrolledMinLen+8)
+	for i := 0; i < 2*unrolledMinLen; i++ {
+		eqPrefix = append(eqPrefix, byte(i>>8), byte(i))
+	}
+	f.Add(append(append([]byte{}, eqPrefix...), 0x0f, 0x00), append(append([]byte{}, eqPrefix...), 0x0f, 0x01), uint32(0), uint32(fuzzMax), byte(2))
 
 	f.Fuzz(func(t *testing.T, rawA, rawB []byte, lo, hi uint32, labelSeed byte) {
 		a := decodeSet(rawA)
@@ -66,58 +92,95 @@ func FuzzKernels(f *testing.F) {
 
 		wantI := RefIntersect(a, b)
 		wantD := RefDifference(a, b)
-		var st Stats
-
-		if got := Intersect(nil, a, b, &st); !equal(got, wantI) {
-			t.Fatalf("Intersect(%v, %v) = %v, want %v", a, b, got, wantI)
-		}
-		if got := Difference(nil, a, b, &st); !equal(got, wantD) {
-			t.Fatalf("Difference(%v, %v) = %v, want %v", a, b, got, wantD)
-		}
 		lower := lo % fuzzMax
 		wantAbove := wantI[SearchAbove(wantI, lower):]
-		if got := IntersectAbove(nil, a, b, lower, &st); !equal(got, wantAbove) {
-			t.Fatalf("IntersectAbove(%v, %v, %d) = %v, want %v", a, b, lower, got, wantAbove)
-		}
-		if got, want := FilterAbove(nil, a, lower, &st), a[SearchAbove(a, lower):]; !equal(got, want) {
-			t.Fatalf("FilterAbove = %v, want %v", got, want)
-		}
-
 		bbits := toBits(b, fuzzMax)
-		if got := IntersectBits(nil, a, bbits, &st); !equal(got, wantI) {
-			t.Fatalf("IntersectBits = %v, want %v", got, wantI)
-		}
-		if got := DifferenceBits(nil, a, bbits, &st); !equal(got, wantD) {
-			t.Fatalf("DifferenceBits = %v, want %v", got, wantD)
+
+		// Run the public dispatchers twice: once bare (heap destinations,
+		// tile path disabled) and once with an arena attached, which both
+		// enables the tile path and routes destination growth through the
+		// arena-aware convention.
+		for _, st := range []*Stats{{}, {Scratch: NewArena()}} {
+			if got := Intersect(nil, a, b, st); !equal(got, wantI) {
+				t.Fatalf("Intersect(%v, %v) = %v, want %v", a, b, got, wantI)
+			}
+			if got := Difference(nil, a, b, st); !equal(got, wantD) {
+				t.Fatalf("Difference(%v, %v) = %v, want %v", a, b, got, wantD)
+			}
+			if got := IntersectAbove(nil, a, b, lower, st); !equal(got, wantAbove) {
+				t.Fatalf("IntersectAbove(%v, %v, %d) = %v, want %v", a, b, lower, got, wantAbove)
+			}
+			if got, want := FilterAbove(nil, a, lower, st), a[SearchAbove(a, lower):]; !equal(got, want) {
+				t.Fatalf("FilterAbove = %v, want %v", got, want)
+			}
+
+			if got := IntersectBits(nil, a, bbits, st); !equal(got, wantI) {
+				t.Fatalf("IntersectBits = %v, want %v", got, wantI)
+			}
+			if got := DifferenceBits(nil, a, bbits, st); !equal(got, wantD) {
+				t.Fatalf("DifferenceBits = %v, want %v", got, wantD)
+			}
+
+			written := st.Written
+			for _, fl := range filters {
+				if got, want := IntersectCountF(a, b, fl, st), filterCount(wantI, fl); got != want {
+					t.Fatalf("IntersectCountF(%v, %v, %+v) = %d, want %d", a, b, fl, got, want)
+				}
+				if got, want := DifferenceCountF(a, b, fl, st), filterCount(wantD, fl); got != want {
+					t.Fatalf("DifferenceCountF(%v, %v, %+v) = %d, want %d", a, b, fl, got, want)
+				}
+				if got, want := CountF(a, fl, st), filterCount(a, fl); got != want {
+					t.Fatalf("CountF(%v, %+v) = %d, want %d", a, fl, got, want)
+				}
+				if got, want := IntersectBitsCountF(a, bbits, fl, st), filterCount(wantI, fl); got != want {
+					t.Fatalf("IntersectBitsCountF = %d, want %d", got, want)
+				}
+				if got, want := DifferenceBitsCountF(a, bbits, fl, st), filterCount(wantD, fl); got != want {
+					t.Fatalf("DifferenceBitsCountF = %d, want %d", got, want)
+				}
+				abits := toBits(a, fuzzMax)
+				if got, want := AndCountF(abits, bbits, fl, st), filterCount(wantI, fl); got != want {
+					t.Fatalf("AndCountF(%+v) = %d, want %d", fl, got, want)
+				}
+			}
+			if st.Written != written {
+				t.Fatalf("count-only kernels wrote %d elements", st.Written-written)
+			}
+			if st.Ops != st.MergeOps+st.GallopOps+st.BitsetOps+st.CountOps+st.UnrolledOps+st.TileOps {
+				t.Fatalf("path counters do not partition Ops: %+v", st)
+			}
 		}
 
-		written := st.Written
-		for _, fl := range filters {
-			if got, want := IntersectCountF(a, b, fl, &st), filterCount(wantI, fl); got != want {
-				t.Fatalf("IntersectCountF(%v, %v, %+v) = %d, want %d", a, b, fl, got, want)
-			}
-			if got, want := DifferenceCountF(a, b, fl, &st), filterCount(wantD, fl); got != want {
-				t.Fatalf("DifferenceCountF(%v, %v, %+v) = %d, want %d", a, b, fl, got, want)
-			}
-			if got, want := CountF(a, fl, &st), filterCount(a, fl); got != want {
-				t.Fatalf("CountF(%v, %+v) = %d, want %d", a, fl, got, want)
-			}
-			if got, want := IntersectBitsCountF(a, bbits, fl, &st), filterCount(wantI, fl); got != want {
-				t.Fatalf("IntersectBitsCountF = %d, want %d", got, want)
-			}
-			if got, want := DifferenceBitsCountF(a, bbits, fl, &st), filterCount(wantD, fl); got != want {
-				t.Fatalf("DifferenceBitsCountF = %d, want %d", got, want)
-			}
-			abits := toBits(a, fuzzMax)
-			if got, want := AndCountF(abits, bbits, fl, &st), filterCount(wantI, fl); got != want {
-				t.Fatalf("AndCountF(%+v) = %d, want %d", fl, got, want)
-			}
+		// Direct differential checks of the new kernels, bypassing dispatch
+		// thresholds so short and adversarial shapes hit them too.
+		stk := Stats{Scratch: NewArena()}
+		if got := unrolledIntersect(nil, a, b, &stk); !equal(got, wantI) {
+			t.Fatalf("unrolledIntersect(%v, %v) = %v, want %v", a, b, got, wantI)
 		}
-		if st.Written != written {
-			t.Fatalf("count-only kernels wrote %d elements", st.Written-written)
+		if got := unrolledDifference(nil, a, b, &stk); !equal(got, wantD) {
+			t.Fatalf("unrolledDifference(%v, %v) = %v, want %v", a, b, got, wantD)
 		}
-		if st.Ops != st.MergeOps+st.GallopOps+st.BitsetOps+st.CountOps {
-			t.Fatalf("path counters do not partition Ops: %+v", st)
+		if got, want := unrolledIntersectCount(a, b, &stk), uint64(len(wantI)); got != want {
+			t.Fatalf("unrolledIntersectCount(%v, %v) = %d, want %d", a, b, got, want)
+		}
+		if got, want := unrolledDifferenceCount(a, b, &stk), uint64(len(wantD)); got != want {
+			t.Fatalf("unrolledDifferenceCount(%v, %v) = %d, want %d", a, b, got, want)
+		}
+		if len(a) > 0 && len(b) > 0 {
+			if _, _, ok := tileRange(a, b); ok {
+				if got := tileIntersect(nil, a, b, &stk); !equal(got, wantI) {
+					t.Fatalf("tileIntersect(%v, %v) = %v, want %v", a, b, got, wantI)
+				}
+				if got := tileDifference(nil, a, b, &stk); !equal(got, wantD) {
+					t.Fatalf("tileDifference(%v, %v) = %v, want %v", a, b, got, wantD)
+				}
+				if got, want := tileIntersectCount(a, b, &stk), uint64(len(wantI)); got != want {
+					t.Fatalf("tileIntersectCount(%v, %v) = %d, want %d", a, b, got, want)
+				}
+				if got, want := tileDifferenceCount(a, b, &stk), uint64(len(wantD)); got != want {
+					t.Fatalf("tileDifferenceCount(%v, %v) = %d, want %d", a, b, got, want)
+				}
+			}
 		}
 
 		for _, x := range []uint32{0, lo % fuzzMax, fuzzMax - 1} {

@@ -3,14 +3,21 @@ package setops
 // Intersect writes the sorted intersection of a and b into dst[:0] and
 // returns it. a and b must be sorted ascending and duplicate free. The
 // kernel is adaptive: heavily skewed inputs gallop through the larger
-// side, balanced inputs run the two-pointer merge.
+// side, dense overlapping inputs run the block-bitmap tile kernel,
+// balanced inputs of any length run the branchless unrolled merge, and
+// only short inputs fall back to the scalar two-pointer merge.
 func Intersect(dst, a, b []uint32, st *Stats) []uint32 {
 	st.Ops++
 	if len(a) > len(b) {
 		a, b = b, a // intersection is symmetric; keep a the small side
 	}
-	if shouldGallop(len(a), len(b)) {
+	switch {
+	case shouldGallop(len(a), len(b)):
 		return gallopIntersect(dst, a, b, st)
+	case shouldTile(a, b, st.Scratch):
+		return tileIntersect(dst, a, b, st)
+	case len(a) >= unrolledMinLen:
+		return unrolledIntersect(dst, a, b, st)
 	}
 	return mergeIntersect(dst, a, b, st)
 }
@@ -26,8 +33,13 @@ func IntersectAbove(dst, a, b []uint32, lower uint32, st *Stats) []uint32 {
 	if len(a) > len(b) {
 		a, b = b, a
 	}
-	if shouldGallop(len(a), len(b)) {
+	switch {
+	case shouldGallop(len(a), len(b)):
 		return gallopIntersect(dst, a, b, st)
+	case shouldTile(a, b, st.Scratch):
+		return tileIntersect(dst, a, b, st)
+	case len(a) >= unrolledMinLen:
+		return unrolledIntersect(dst, a, b, st)
 	}
 	return mergeIntersect(dst, a, b, st)
 }
@@ -78,11 +90,17 @@ func gallopIntersect(dst, a, b []uint32, st *Stats) []uint32 {
 // vertex-induced matching plan costs one Difference per loop iteration,
 // which is exactly the overhead Subgraph Morphing removes in motif
 // counting (§7.1). When b dwarfs a, membership is resolved by galloping
-// through b instead of scanning it.
+// through b instead of scanning it; dense overlaps run the tile kernel and
+// balanced inputs the branchless unrolled merge, as in Intersect.
 func Difference(dst, a, b []uint32, st *Stats) []uint32 {
 	st.Ops++
-	if shouldGallop(len(a), len(b)) {
+	switch {
+	case shouldGallop(len(a), len(b)):
 		return gallopDifference(dst, a, b, st)
+	case shouldTile(a, b, st.Scratch):
+		return tileDifference(dst, a, b, st)
+	case len(a) >= unrolledMinLen && len(b) >= unrolledMinLen:
+		return unrolledDifference(dst, a, b, st)
 	}
 	return mergeDifference(dst, a, b, st)
 }
@@ -121,29 +139,38 @@ func gallopDifference(dst, a, b []uint32, st *Stats) []uint32 {
 }
 
 // FilterAbove copies the elements of a strictly greater than lower into
-// dst[:0]. The work charged to Elems is the copied suffix length — the
-// binary search examines only O(log) elements, and charging len(a) would
-// inflate the Fig. 12-style set-work totals.
+// dst[:0], growing dst through the arena-aware destination convention
+// (ensureCap) like every materializing kernel. The work charged to Elems
+// is the copied suffix length — the binary search examines only O(log)
+// elements, and charging len(a) would inflate the Fig. 12-style set-work
+// totals.
 func FilterAbove(dst, a []uint32, lower uint32, st *Stats) []uint32 {
 	st.Ops++
 	st.MergeOps++
 	i := SearchAbove(a, lower)
-	st.Elems += uint64(len(a) - i)
-	st.Written += uint64(len(a) - i)
-	return append(dst[:0], a[i:]...)
+	n := len(a) - i
+	st.Elems += uint64(n)
+	st.Written += uint64(n)
+	dst = ensureCap(dst, n, st)
+	return append(dst, a[i:]...)
 }
 
-// Remove copies a into dst[:0] without the element x (if present).
+// Remove copies a into dst[:0] without the element x (if present). The
+// position of x is found by binary search and the surviving spans are
+// block-copied — no per-element compare loop — through the arena-aware
+// dst convention.
 func Remove(dst, a []uint32, x uint32, st *Stats) []uint32 {
 	st.Ops++
 	st.MergeOps++
-	st.Elems += uint64(len(a))
-	dst = dst[:0]
-	for _, v := range a {
-		if v != x {
-			dst = append(dst, v)
-		}
+	dst = ensureCap(dst, len(a), st)
+	i := searchGE(a, x)
+	if i < len(a) && a[i] == x {
+		dst = append(dst, a[:i]...)
+		dst = append(dst, a[i+1:]...)
+	} else {
+		dst = append(dst, a...)
 	}
+	st.Elems += uint64(len(dst))
 	st.Written += uint64(len(dst))
 	return dst
 }

@@ -6,8 +6,16 @@
 // The package is an *adaptive kernel library*: every public operation
 // dispatches between specialized execution paths by input shape.
 //
-//   - merge: the classic two-pointer merge, best when both inputs have
-//     comparable sizes. Linear in len(a)+len(b).
+//   - merge: the classic two-pointer merge, kept for inputs too short to
+//     amortize anything cleverer. Linear in len(a)+len(b).
+//   - unrolled: a branch-minimized, 4-wide unrolled merge (unrolled.go)
+//     that replaces the data-dependent branches of the scalar merge with
+//     flag-materializing arithmetic; the default balanced path once both
+//     sides reach unrolledMinLen.
+//   - tile: a block-bitmap kernel (tile.go) that scatters both sides into
+//     per-range bitmaps from the worker arena and intersects 64
+//     candidates per uint64 AND, taken when both rows are dense across
+//     their overlapping vertex range.
 //   - gallop: exponential (doubling) search of the larger side for each
 //     element of the smaller side, best when one side is much smaller
 //     (|a| ≪ |b|). O(|a|·log(|b|/|a|)) instead of O(|a|+|b|).
@@ -58,14 +66,24 @@ type Stats struct {
 	Ops   uint64 // number of set operations executed
 	Elems uint64 // input elements examined across all operations
 
-	MergeOps  uint64 // operations that ran the two-pointer merge path
-	GallopOps uint64 // operations that ran the galloping path
-	BitsetOps uint64 // operations that probed a bitmap adjacency row
-	CountOps  uint64 // count-only operations (no destination writes)
-	Written   uint64 // elements written to destination slices
+	MergeOps    uint64 // operations that ran the two-pointer merge path
+	GallopOps   uint64 // operations that ran the galloping path
+	BitsetOps   uint64 // operations that probed a bitmap adjacency row
+	CountOps    uint64 // count-only operations (no destination writes)
+	UnrolledOps uint64 // operations that ran the branchless unrolled merge
+	TileOps     uint64 // operations that ran the block-bitmap tile kernel
+	Written     uint64 // elements written to destination slices
+
+	// Scratch is the worker's arena, when one is attached. Kernels that
+	// need transient memory (tile word scratch, store-always destination
+	// growth) draw from it; a nil Scratch disables the tile path and falls
+	// back to heap allocation for destination growth. Stats is per-worker,
+	// so the arena inherits the same single-owner discipline.
+	Scratch *Arena
 }
 
-// Add merges other into s.
+// Add merges other into s. Scratch is identity, not data — it never
+// transfers on merge.
 func (s *Stats) Add(other Stats) {
 	s.Ops += other.Ops
 	s.Elems += other.Elems
@@ -73,6 +91,8 @@ func (s *Stats) Add(other Stats) {
 	s.GallopOps += other.GallopOps
 	s.BitsetOps += other.BitsetOps
 	s.CountOps += other.CountOps
+	s.UnrolledOps += other.UnrolledOps
+	s.TileOps += other.TileOps
 	s.Written += other.Written
 }
 

@@ -340,20 +340,25 @@ func TestBitsetKernelsMatchReference(t *testing.T) {
 
 func TestStatsPathPartition(t *testing.T) {
 	r := rand.New(rand.NewSource(13))
-	var st Stats
+	st := Stats{Scratch: NewArena()}
+	tiny := denseSet(r, 6, 50000)
 	small := denseSet(r, 8, 50000)
 	big := denseSet(r, 9000, 50000)
 	even := denseSet(r, 500, 50000)
+	dense := denseSet(r, 400, 1024)
 	bits := toBits(big, 50000)
-	Intersect(nil, small, big, &st) // gallop
-	Intersect(nil, even, even, &st) // merge
+	Intersect(nil, small, big, &st)   // gallop
+	Intersect(nil, tiny, tiny, &st)   // merge (below unrolledMinLen)
+	Intersect(nil, even, even, &st)   // unrolled (balanced, sparse range)
+	Intersect(nil, dense, dense, &st) // tile (dense overlap, arena attached)
 	IntersectBits(nil, small, bits, &st)
 	IntersectCount(small, big, &st)  // count-only
-	Difference(nil, even, even, &st) // merge
-	if st.Ops != st.MergeOps+st.GallopOps+st.BitsetOps+st.CountOps {
+	Difference(nil, even, even, &st) // unrolled difference
+	if st.Ops != st.MergeOps+st.GallopOps+st.BitsetOps+st.CountOps+st.UnrolledOps+st.TileOps {
 		t.Fatalf("path counters do not partition Ops: %+v", st)
 	}
-	if st.GallopOps == 0 || st.MergeOps == 0 || st.BitsetOps == 0 || st.CountOps == 0 {
+	if st.GallopOps == 0 || st.MergeOps == 0 || st.BitsetOps == 0 ||
+		st.CountOps == 0 || st.UnrolledOps == 0 || st.TileOps == 0 {
 		t.Fatalf("expected all paths exercised: %+v", st)
 	}
 }

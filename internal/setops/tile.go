@@ -1,0 +1,179 @@
+package setops
+
+import "math/bits"
+
+// Block-bitmap tile kernels: when both inputs are dense within their
+// overlapping vertex range, the intersection is cheapest as bitmap
+// arithmetic — scatter each side into a per-range tile (the same
+// words[bit>>6] layout as the hub-bitset rows in bits.go, but offset by
+// the range base so a tile only spans the overlap), AND the tiles word
+// by word, and decode set bits back to sorted vertex IDs. Every 64
+// candidates cost one AND, so the per-element price collapses from a
+// compare-plus-possible-mispredict to a fraction of a word op; the
+// count-only variants skip the decode entirely and reduce to
+// AND+popcount, the same word-parallel loop AndCountF runs over full
+// hub rows.
+//
+// The tiles live in the worker's Arena (Stats.Scratch); without an
+// arena the dispatcher never picks this path, so the kernels can assume
+// scratch exists. Operations served here charge Stats.TileOps, and
+// Elems charges clipped inputs plus words touched — the honest measure
+// of work, mirroring AndCountF.
+
+const (
+	// tileMinLen is the smallest side the tile path accepts: below it
+	// the scatter/clear overhead dwarfs the word-parallel win.
+	tileMinLen = 128
+	// tileMaxWordsPerElem bounds tile size relative to input size: the
+	// path is taken only when the overlap span contains at most
+	// 64/tileDensity bits per input element, i.e. words <= elems/tileDensity.
+	// At 8 elements per word minimum density, clearing + ANDing the tile
+	// is at most 1/8th the element count in word ops.
+	tileDensity = 8
+)
+
+// tileRange returns the overlapping vertex range [lo, hi] (inclusive) of
+// two non-empty sorted sets, and whether it is non-empty.
+func tileRange(a, b []uint32) (lo, hi uint32, ok bool) {
+	lo = a[0]
+	if b[0] > lo {
+		lo = b[0]
+	}
+	hi = a[len(a)-1]
+	if bh := b[len(b)-1]; bh < hi {
+		hi = bh
+	}
+	return lo, hi, lo <= hi
+}
+
+// shouldTile reports whether the dense-range tile path is the right
+// kernel for a ∩ b (or a \ b): an arena to build tiles in, both sides
+// long enough, and a combined density of at least tileDensity elements
+// per tile word across the overlap.
+func shouldTile(a, b []uint32, ar *Arena) bool {
+	if ar == nil || len(a) < tileMinLen || len(b) < tileMinLen {
+		return false
+	}
+	lo, hi, ok := tileRange(a, b)
+	if !ok {
+		return false
+	}
+	words := uint64(hi-lo)/64 + 1
+	return words*tileDensity <= uint64(len(a)+len(b))
+}
+
+// clipInclusive narrows sorted a to the inclusive window [lo, hi].
+func clipInclusive(a []uint32, lo, hi uint32) []uint32 {
+	start := searchGE(a, lo)
+	return a[start : start+SearchAbove(a[start:], hi)]
+}
+
+// scatterTile sets the bit for every element of a (all within [lo, lo+64*len(words))).
+func scatterTile(words []uint64, a []uint32, lo uint32) {
+	for _, v := range a {
+		words[(v-lo)>>6] |= 1 << ((v - lo) & 63)
+	}
+}
+
+// tileIntersect writes a ∩ b into dst[:0] via per-range tiles. Dispatch
+// guarantees shouldTile held, so both sides are non-empty and an arena
+// is attached.
+func tileIntersect(dst, a, b []uint32, st *Stats) []uint32 {
+	st.TileOps++
+	lo, hi, _ := tileRange(a, b)
+	a = clipInclusive(a, lo, hi)
+	b = clipInclusive(b, lo, hi)
+	nw := int(uint64(hi-lo)/64) + 1
+	st.Elems += uint64(len(a)+len(b)) + uint64(nw)
+	x, y := st.Scratch.tileWords(nw)
+	scatterTile(x, a, lo)
+	scatterTile(y, b, lo)
+	need := len(a)
+	if len(b) < need {
+		need = len(b)
+	}
+	dst = ensureCap(dst, need, st)
+	for w := 0; w < nw; w++ {
+		word := x[w] & y[w]
+		base := lo + uint32(w)<<6
+		for word != 0 {
+			dst = append(dst, base+uint32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	st.Written += uint64(len(dst))
+	return dst
+}
+
+// tileDifference writes a \ b into dst[:0] via per-range tiles: the
+// prefix of a below the overlap and the suffix above it survive
+// wholesale (b has no elements there), and the overlap decodes x &^ y.
+func tileDifference(dst, a, b []uint32, st *Stats) []uint32 {
+	st.TileOps++
+	lo, hi, _ := tileRange(a, b)
+	pre := a[:searchGE(a, lo)]
+	post := a[SearchAbove(a, hi):]
+	mid := a[len(pre) : len(a)-len(post)]
+	bm := clipInclusive(b, lo, hi)
+	nw := int(uint64(hi-lo)/64) + 1
+	st.Elems += uint64(len(mid)+len(bm)) + uint64(nw)
+	x, y := st.Scratch.tileWords(nw)
+	scatterTile(x, mid, lo)
+	scatterTile(y, bm, lo)
+	dst = ensureCap(dst, len(a), st)
+	dst = append(dst, pre...)
+	for w := 0; w < nw; w++ {
+		word := x[w] &^ y[w]
+		base := lo + uint32(w)<<6
+		for word != 0 {
+			dst = append(dst, base+uint32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	dst = append(dst, post...)
+	st.Written += uint64(len(dst))
+	return dst
+}
+
+// tileIntersectCount counts |a ∩ b| via AND+popcount over per-range
+// tiles — fully word-parallel, nothing decoded. Dispatch applies this
+// only on unlabeled filters with the window already clipped in. Like the
+// unrolled count helpers it charges Elems only: the dispatching count
+// kernel has already charged the operation to CountOps, and the path
+// counters must keep partitioning Ops.
+func tileIntersectCount(a, b []uint32, st *Stats) uint64 {
+	lo, hi, _ := tileRange(a, b)
+	a = clipInclusive(a, lo, hi)
+	b = clipInclusive(b, lo, hi)
+	nw := int(uint64(hi-lo)/64) + 1
+	st.Elems += uint64(len(a)+len(b)) + uint64(nw)
+	x, y := st.Scratch.tileWords(nw)
+	scatterTile(x, a, lo)
+	scatterTile(y, b, lo)
+	var n uint64
+	for w := 0; w < nw; w++ {
+		n += uint64(bits.OnesCount64(x[w] & y[w]))
+	}
+	return n
+}
+
+// tileDifferenceCount counts |a \ b| via ANDNOT+popcount over per-range
+// tiles, plus the lengths of a's prefix/suffix outside the overlap.
+// Charges Elems only, like tileIntersectCount.
+func tileDifferenceCount(a, b []uint32, st *Stats) uint64 {
+	lo, hi, _ := tileRange(a, b)
+	pre := searchGE(a, lo)
+	postStart := SearchAbove(a, hi)
+	mid := a[pre:postStart]
+	bm := clipInclusive(b, lo, hi)
+	nw := int(uint64(hi-lo)/64) + 1
+	st.Elems += uint64(len(mid)+len(bm)) + uint64(nw)
+	x, y := st.Scratch.tileWords(nw)
+	scatterTile(x, mid, lo)
+	scatterTile(y, bm, lo)
+	n := uint64(pre) + uint64(len(a)-postStart)
+	for w := 0; w < nw; w++ {
+		n += uint64(bits.OnesCount64(x[w] &^ y[w]))
+	}
+	return n
+}
